@@ -1,0 +1,252 @@
+(* Command-line interface to the GUARDRAIL library.
+
+     guardrail synthesize data.csv -o constraints.grl
+     guardrail detect    data.csv -c constraints.grl
+     guardrail rectify   data.csv -c constraints.grl -o repaired.csv
+     guardrail sql       data.csv -c constraints.grl --table t
+     guardrail datasets
+*)
+
+module Frame = Dataframe.Frame
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let load_constraints frame path =
+  Guardrail.Parse.prog (Frame.schema frame) (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* synthesize *)
+
+let synthesize csv_path output epsilon alpha identity_sampler quiet =
+  let frame = Dataframe.Csv.load csv_path in
+  let config =
+    { Guardrail.Config.default with
+      Guardrail.Config.epsilon;
+      alpha;
+      sampler =
+        (if identity_sampler then Guardrail.Config.Identity
+         else Guardrail.Config.Auxiliary);
+    }
+  in
+  let result = Guardrail.Synthesize.run ~config frame in
+  let text = Guardrail.Pretty.prog_to_string result.Guardrail.Synthesize.program in
+  (match output with
+   | Some path -> write_file path (text ^ "\n")
+   | None -> print_endline text);
+  if not quiet then
+    Printf.eprintf
+      "synthesized %d statements (coverage %.3f, %d DAGs in MEC%s, %.2fs)\n"
+      (Guardrail.Dsl.stmt_count result.Guardrail.Synthesize.program)
+      result.Guardrail.Synthesize.coverage
+      result.Guardrail.Synthesize.dag_count
+      (if result.Guardrail.Synthesize.truncated then ", truncated" else "")
+      (Guardrail.Synthesize.total_time result.Guardrail.Synthesize.timing);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* detect *)
+
+let detect csv_path constraints_path =
+  let frame = Dataframe.Csv.load csv_path in
+  let program = load_constraints frame constraints_path in
+  let violations = Guardrail.Validator.violations program frame in
+  List.iter
+    (fun v ->
+      print_endline (Guardrail.Validator.describe (Frame.schema frame) v))
+    violations;
+  Printf.eprintf "%d violation(s) in %d rows\n" (List.length violations)
+    (Frame.nrows frame);
+  if violations = [] then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* rectify *)
+
+let rectify csv_path constraints_path output strategy_name =
+  let frame = Dataframe.Csv.load csv_path in
+  let program = load_constraints frame constraints_path in
+  match Guardrail.Validator.strategy_of_string strategy_name with
+  | None ->
+    Printf.eprintf "unknown strategy %S (raise|ignore|coerce|rectify)\n"
+      strategy_name;
+    2
+  | Some strategy ->
+    let repaired, violations =
+      Guardrail.Validator.handle ~strategy program frame
+    in
+    let text = Dataframe.Csv.to_string repaired in
+    (match output with
+     | Some path -> write_file path text
+     | None -> print_string text);
+    Printf.eprintf "%d violation(s) handled with %s\n" (List.length violations)
+      strategy_name;
+    0
+
+(* ------------------------------------------------------------------ *)
+(* inspect *)
+
+let inspect csv_path constraints_path epsilon =
+  let frame = Dataframe.Csv.load csv_path in
+  let program = load_constraints frame constraints_path in
+  let report = Guardrail.Report.of_program ~epsilon program frame in
+  Fmt.pr "%a@." Guardrail.Report.pp report;
+  if
+    List.for_all
+      (fun r -> r.Guardrail.Report.epsilon_valid)
+      report.Guardrail.Report.statements
+  then 0
+  else 1
+
+(* ------------------------------------------------------------------ *)
+(* sql *)
+
+let sql csv_path constraints_path table =
+  let frame = Dataframe.Csv.load csv_path in
+  let program = load_constraints frame constraints_path in
+  print_endline "-- violation queries";
+  List.iter print_endline
+    (Guardrail.Sql_export.prog_violation_queries ~table program);
+  print_endline "-- rectification updates";
+  List.iter print_endline
+    (Guardrail.Sql_export.prog_rectify_updates ~table program);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* datasets *)
+
+let datasets () =
+  List.iter (fun spec -> Fmt.pr "%a@." Datagen.Spec.pp spec) Datagen.Spec.all;
+  0
+
+(* generate one of the evaluation datasets to CSV *)
+let generate id n_rows output =
+  let spec = Datagen.Spec.by_id id in
+  let _, frame =
+    match n_rows with
+    | Some n -> Datagen.Generate.dataset ~n_rows:n spec
+    | None -> Datagen.Generate.dataset spec
+  in
+  let text = Dataframe.Csv.to_string frame in
+  (match output with
+   | Some path -> write_file path text
+   | None -> print_string text);
+  Printf.eprintf "generated %s: %d rows\n" spec.Datagen.Spec.name
+    (Frame.nrows frame);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* command definitions *)
+
+open Cmdliner
+
+let csv_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DATA.csv" ~doc:"Input CSV file.")
+
+let constraints_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "c"; "constraints" ] ~docv:"FILE" ~doc:"Constraint program file.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout if omitted).")
+
+let synthesize_cmd =
+  let epsilon =
+    Arg.(
+      value & opt float 0.05
+      & info [ "epsilon" ] ~docv:"EPS"
+          ~doc:"Noise tolerance for branch validity (paper recommends 0.01-0.05).")
+  in
+  let alpha =
+    Arg.(
+      value & opt float 0.01
+      & info [ "alpha" ] ~docv:"ALPHA" ~doc:"CI-test significance level.")
+  in
+  let identity =
+    Arg.(
+      value & flag
+      & info [ "identity-sampler" ]
+          ~doc:"Learn on raw codes instead of the auxiliary distribution (ablation).")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the summary.") in
+  Cmd.v
+    (Cmd.info "synthesize" ~doc:"Synthesize integrity constraints from a CSV dataset.")
+    Term.(const synthesize $ csv_arg $ output_arg $ epsilon $ alpha $ identity $ quiet)
+
+let detect_cmd =
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Report rows violating a constraint program.")
+    Term.(const detect $ csv_arg $ constraints_arg)
+
+let rectify_cmd =
+  let strategy =
+    Arg.(
+      value & opt string "rectify"
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:"Error handling: raise, ignore, coerce or rectify.")
+  in
+  Cmd.v
+    (Cmd.info "rectify" ~doc:"Apply an error-handling strategy and emit the repaired CSV.")
+    Term.(const rectify $ csv_arg $ constraints_arg $ output_arg $ strategy)
+
+let inspect_cmd =
+  let epsilon =
+    Arg.(
+      value & opt float 0.05
+      & info [ "epsilon" ] ~docv:"EPS" ~doc:"Validity threshold for the report.")
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Report per-statement coverage, loss and validity of a constraint \
+             program against a dataset.")
+    Term.(const inspect $ csv_arg $ constraints_arg $ epsilon)
+
+let sql_cmd =
+  let table =
+    Arg.(
+      value & opt string "data"
+      & info [ "table" ] ~docv:"NAME" ~doc:"Table name used in the generated SQL.")
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Export the constraints as SQL queries and updates.")
+    Term.(const sql $ csv_arg $ constraints_arg $ table)
+
+let datasets_cmd =
+  Cmd.v
+    (Cmd.info "datasets" ~doc:"List the 12 built-in evaluation datasets.")
+    Term.(const datasets $ const ())
+
+let generate_cmd =
+  let id =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"ID" ~doc:"Dataset id (1-12).")
+  in
+  let n_rows =
+    Arg.(
+      value & opt (some int) None
+      & info [ "rows" ] ~docv:"N" ~doc:"Row count override.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate one of the evaluation datasets as CSV.")
+    Term.(const generate $ id $ n_rows $ output_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "guardrail" ~version:"1.0.0"
+       ~doc:"Automated integrity constraint synthesis from noisy data.")
+    [ synthesize_cmd; detect_cmd; rectify_cmd; inspect_cmd; sql_cmd;
+      datasets_cmd; generate_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

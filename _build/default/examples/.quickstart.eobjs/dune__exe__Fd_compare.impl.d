@@ -1,0 +1,1 @@
+examples/fd_compare.ml: Baselines Dataframe Datagen Fmt Guardrail List Printf Stat

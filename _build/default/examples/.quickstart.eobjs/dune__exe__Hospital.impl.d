@@ -1,0 +1,1 @@
+examples/hospital.ml: Dataframe Datagen Fmt Guardrail List Mlmodel Printf Sqlexec Stat

@@ -1,0 +1,1 @@
+examples/postal.ml: Array Dataframe Fmt Guardrail List Printf Stat

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dataframe Guardrail List Printf String

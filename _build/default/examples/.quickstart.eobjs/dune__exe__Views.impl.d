@@ -1,0 +1,1 @@
+examples/views.ml: Dataframe Datagen Fmt Guardrail Mlmodel Printf Sqlexec

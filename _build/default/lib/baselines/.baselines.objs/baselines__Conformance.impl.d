@@ -1,0 +1,1 @@
+lib/baselines/conformance.ml: Array Dataframe Float Guardrail List

@@ -1,0 +1,1 @@
+lib/baselines/conformance.mli: Dataframe Guardrail

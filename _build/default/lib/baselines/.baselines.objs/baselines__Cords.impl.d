@@ -1,0 +1,1 @@
+lib/baselines/cords.ml: Array Dataframe Fd Hashtbl List Stat

@@ -1,0 +1,1 @@
+lib/baselines/cords.mli: Dataframe Fd

@@ -1,0 +1,1 @@
+lib/baselines/ctane.ml: Array Dataframe Fmt Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/baselines/ctane.mli: Dataframe Format

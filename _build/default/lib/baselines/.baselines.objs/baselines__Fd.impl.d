@@ -1,0 +1,1 @@
+lib/baselines/fd.ml: Array Dataframe Fmt Hashtbl Int List Option Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/fd.mli: Dataframe Format

@@ -1,0 +1,1 @@
+lib/baselines/fdx.ml: Array Dataframe Fd Float Guardrail List Printf Stat

@@ -1,0 +1,1 @@
+lib/baselines/fdx.mli: Dataframe Fd Guardrail Stat

@@ -1,0 +1,1 @@
+lib/baselines/optsmt.ml: Array Dataframe Guardrail Hashtbl List Option Unix

@@ -1,0 +1,1 @@
+lib/baselines/optsmt.mli: Dataframe Guardrail

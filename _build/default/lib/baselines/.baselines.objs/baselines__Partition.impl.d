@@ -1,0 +1,1 @@
+lib/baselines/partition.ml: Array Dataframe Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/baselines/partition.mli: Dataframe

@@ -1,0 +1,1 @@
+lib/baselines/tane.ml: Dataframe Fd Hashtbl Int List Option Partition Printf

@@ -1,0 +1,1 @@
+lib/baselines/tane.mli: Dataframe Fd

@@ -1,0 +1,80 @@
+(* Conformance-constraint-style numeric bounds (Fariha et al., SIGMOD
+   2021), the complementary detector §6 points at: GUARDRAIL covers
+   categorical attributes; numeric attributes get interval constraints
+   learned from the clean split.
+
+   Per numeric column we learn a robust interval [q1 - k*iqr, q3 + k*iqr]
+   (Tukey fences); a row violates when any numeric cell falls outside its
+   column's fence. The combined detector ORs this with a GUARDRAIL
+   program, covering both attribute classes. *)
+
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+
+type bound = { column : int; lo : float; hi : float }
+
+type t = { bounds : bound list }
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    let w = pos -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+  end
+
+(* Learn Tukey fences for every numeric column with at least [min_rows]
+   non-null values. *)
+let learn ?(k = 1.5) ?(min_rows = 20) frame =
+  let bounds = ref [] in
+  for column = Frame.ncols frame - 1 downto 0 do
+    match Dataframe.Schema.kind (Frame.schema frame) column with
+    | Dataframe.Schema.Categorical -> ()
+    | Dataframe.Schema.Numeric ->
+      let values =
+        Array.of_list
+          (List.filter_map
+             (fun i -> Value.to_float (Frame.get frame i column))
+             (List.init (Frame.nrows frame) (fun i -> i)))
+      in
+      if Array.length values >= min_rows then begin
+        Array.sort Float.compare values;
+        let q1 = quantile values 0.25 and q3 = quantile values 0.75 in
+        let iqr = q3 -. q1 in
+        bounds :=
+          { column; lo = q1 -. (k *. iqr); hi = q3 +. (k *. iqr) } :: !bounds
+      end
+  done;
+  { bounds = !bounds }
+
+let cell_violates t column v =
+  match Value.to_float v with
+  | None -> false
+  | Some f ->
+    List.exists
+      (fun b -> b.column = column && (f < b.lo || f > b.hi))
+      t.bounds
+
+let detect t frame =
+  let flags = Array.make (Frame.nrows frame) false in
+  List.iter
+    (fun b ->
+      for i = 0 to Frame.nrows frame - 1 do
+        if not flags.(i) then begin
+          match Value.to_float (Frame.get frame i b.column) with
+          | Some f when f < b.lo || f > b.hi -> flags.(i) <- true
+          | Some _ | None -> ()
+        end
+      done)
+    t.bounds;
+  flags
+
+(* Combined detector: numeric fences OR a GUARDRAIL program — the "used
+   in conjunction" deployment §6 describes. *)
+let detect_with_guardrail t program frame =
+  let numeric = detect t frame in
+  let categorical = Guardrail.Validator.detect program frame in
+  Array.mapi (fun i f -> f || categorical.(i)) numeric

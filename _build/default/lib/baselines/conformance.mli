@@ -1,0 +1,22 @@
+(** Conformance-constraint-style numeric interval detector (Tukey
+    fences), complementary to GUARDRAIL's categorical constraints (§6). *)
+
+type bound = { column : int; lo : float; hi : float }
+type t = { bounds : bound list }
+
+(** Linear-interpolated quantile of a sorted array. *)
+val quantile : float array -> float -> float
+
+(** Fences [q1 - k·iqr, q3 + k·iqr] for every numeric column with at
+    least [min_rows] non-null values. *)
+val learn : ?k:float -> ?min_rows:int -> Dataframe.Frame.t -> t
+
+val cell_violates : t -> int -> Dataframe.Value.t -> bool
+
+(** Per-row out-of-bounds flags. *)
+val detect : t -> Dataframe.Frame.t -> bool array
+
+(** Numeric fences OR a GUARDRAIL program — the combined deployment §6
+    describes. *)
+val detect_with_guardrail :
+  t -> Guardrail.Dsl.prog -> Dataframe.Frame.t -> bool array

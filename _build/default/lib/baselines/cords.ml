@@ -1,0 +1,75 @@
+(* CORDS (Ilyas et al., SIGMOD 2004): automatic discovery of correlations
+   and soft functional dependencies from pairwise statistics.
+
+   CORDS samples the data and, for every ordered attribute pair (a, b),
+   estimates the "strength" of a -> b as |distinct(a)| / |distinct(a, b)|:
+   the fraction of a-groups that map to a single b value. Pairs whose
+   strength exceeds a threshold are soft FDs; chi-square on the pair's
+   contingency table filters out statistically insignificant
+   correlations.
+
+   The paper's §6 critique — CORDS only sees *pairwise* correlation, so it
+   cannot separate direct from transitive dependencies and keeps redundant
+   FDs (a -> c alongside a -> b -> c) — is inherent to the method and
+   visible in this implementation's output. *)
+
+module Frame = Dataframe.Frame
+
+type config = {
+  strength_threshold : float;  (* soft-FD strength cut-off *)
+  alpha : float;               (* chi-square significance level *)
+  sample_rows : int;           (* CORDS samples the relation *)
+  seed : int;
+}
+
+let default_config =
+  { strength_threshold = 0.95; alpha = 0.01; sample_rows = 10_000; seed = 17 }
+
+(* Soft-FD strength of a -> b: |distinct(a)| / |distinct(a,b)|, in (0, 1]. *)
+let strength frame a b =
+  let xa = Dataframe.Column.codes (Frame.column frame a) in
+  let xb = Dataframe.Column.codes (Frame.column frame b) in
+  let n = Array.length xa in
+  if n = 0 then 0.0
+  else begin
+    let da = Hashtbl.create 64 and dab = Hashtbl.create 64 in
+    for i = 0 to n - 1 do
+      Hashtbl.replace da xa.(i) ();
+      Hashtbl.replace dab (xa.(i), xb.(i)) ()
+    done;
+    float_of_int (Hashtbl.length da) /. float_of_int (Hashtbl.length dab)
+  end
+
+let correlated ~alpha frame a b =
+  let ca = Frame.column frame a and cb = Frame.column frame b in
+  let t =
+    Stat.Contingency.two_way
+      ~kx:(Dataframe.Column.cardinality ca)
+      ~ky:(Dataframe.Column.cardinality cb)
+      (Dataframe.Column.codes ca) (Dataframe.Column.codes cb)
+  in
+  let r = Stat.Independence.test_two_way ~alpha t in
+  not r.Stat.Independence.independent
+
+let discover ?(config = default_config) frame =
+  let sampled =
+    if Frame.nrows frame > config.sample_rows then
+      Frame.take frame
+        (Dataframe.Split.sample_indices ~seed:config.seed (Frame.nrows frame)
+           config.sample_rows)
+    else frame
+  in
+  let attrs = Frame.categorical_indices sampled in
+  let fds = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a <> b then begin
+            let s = strength sampled a b in
+            if s >= config.strength_threshold && correlated ~alpha:config.alpha sampled a b
+            then fds := Fd.make ~lhs:[ a ] ~rhs:b :: !fds
+          end)
+        attrs)
+    attrs;
+  List.rev !fds

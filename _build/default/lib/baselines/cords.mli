@@ -1,0 +1,19 @@
+(** CORDS: correlation-based soft-FD discovery (pairwise only; keeps
+    transitive redundancies by construction — the §6 critique). *)
+
+type config = {
+  strength_threshold : float;
+  alpha : float;
+  sample_rows : int;
+  seed : int;
+}
+
+val default_config : config
+
+(** Soft-FD strength of [a -> b]: |distinct a| / |distinct (a, b)|. *)
+val strength : Dataframe.Frame.t -> int -> int -> float
+
+val correlated : alpha:float -> Dataframe.Frame.t -> int -> int -> bool
+
+(** Single-determinant soft FDs over the categorical attributes. *)
+val discover : ?config:config -> Dataframe.Frame.t -> Fd.t list

@@ -1,0 +1,27 @@
+(** CTANE: constant conditional functional dependencies. *)
+
+exception Out_of_budget of string
+
+type config = {
+  epsilon : float;
+  max_lhs : int;
+  min_support : int;
+  max_rules : int;
+}
+
+val default_config : config
+
+type rule = {
+  lhs : int list;
+  pattern : Dataframe.Value.t list;
+  rhs : int;
+  value : Dataframe.Value.t;
+}
+
+val pp_rule : Dataframe.Schema.t -> Format.formatter -> rule -> unit
+
+(** Raises {!Out_of_budget} past [max_rules]. *)
+val discover : ?config:config -> Dataframe.Frame.t -> rule list
+
+(** Per-row violation flags. *)
+val detect : rule list -> Dataframe.Frame.t -> bool array

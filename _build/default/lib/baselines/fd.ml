@@ -1,0 +1,122 @@
+(* Functional dependencies and FD-based row-level error detection.
+
+   The FD-discovery baselines (TANE, CTANE, FDX) output dependencies
+   X -> A. An FD by itself cannot localize errors (paper §2.2), so — as in
+   the paper's evaluation — each discovered FD is operationalized as a
+   detector: learn the X-value -> modal-A-value mapping on the clean
+   training split, and flag test rows whose A deviates. *)
+
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+
+type t = { lhs : int list; rhs : int }
+
+let make ~lhs ~rhs =
+  if lhs = [] then invalid_arg "Fd.make: empty lhs";
+  if List.mem rhs lhs then invalid_arg "Fd.make: rhs inside lhs";
+  { lhs = List.sort_uniq Int.compare lhs; rhs }
+
+let compare a b = Stdlib.compare (a.lhs, a.rhs) (b.lhs, b.rhs)
+let equal a b = compare a b = 0
+
+let pp schema ppf fd =
+  Fmt.pf ppf "%a -> %s"
+    Fmt.(list ~sep:(any ", ") string)
+    (List.map (Dataframe.Schema.name schema) fd.lhs)
+    (Dataframe.Schema.name schema fd.rhs)
+
+(* g3-style violation count of an FD on a frame: rows that must be removed
+   so that every lhs group has a single rhs value. *)
+let violation_count frame fd =
+  let n = Frame.nrows frame in
+  let lhs_codes =
+    List.map (fun c -> Dataframe.Column.codes (Frame.column frame c)) fd.lhs
+  in
+  let rhs_col = Frame.column frame fd.rhs in
+  let rhs_codes = Dataframe.Column.codes rhs_col in
+  let rhs_card = Dataframe.Column.cardinality rhs_col in
+  let groups : (int list, int array) Hashtbl.t = Hashtbl.create 256 in
+  for i = 0 to n - 1 do
+    let key = List.map (fun codes -> codes.(i)) lhs_codes in
+    let hist =
+      match Hashtbl.find_opt groups key with
+      | Some h -> h
+      | None ->
+        let h = Array.make rhs_card 0 in
+        Hashtbl.add groups key h;
+        h
+    in
+    hist.(rhs_codes.(i)) <- hist.(rhs_codes.(i)) + 1
+  done;
+  Hashtbl.fold
+    (fun _ hist acc ->
+      let total = Array.fold_left ( + ) 0 hist in
+      let best = Array.fold_left max 0 hist in
+      acc + (total - best))
+    groups 0
+
+(* Does the FD hold approximately: violations <= epsilon * n ? *)
+let holds ?(epsilon = 0.0) frame fd =
+  let n = Frame.nrows frame in
+  n = 0 || float_of_int (violation_count frame fd) <= epsilon *. float_of_int n
+
+(* Detector compiled from an FD on a training split: lhs combination ->
+   modal rhs value. *)
+type detector = {
+  fd : t;
+  mapping : (Value.t list, Value.t) Hashtbl.t;
+}
+
+let compile train fd =
+  let n = Frame.nrows train in
+  let groups : (Value.t list, (Value.t, int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  for i = 0 to n - 1 do
+    let key = List.map (fun c -> Frame.get train i c) fd.lhs in
+    let hist =
+      match Hashtbl.find_opt groups key with
+      | Some h -> h
+      | None ->
+        let h = Hashtbl.create 4 in
+        Hashtbl.add groups key h;
+        h
+    in
+    let v = Frame.get train i fd.rhs in
+    Hashtbl.replace hist v (1 + Option.value ~default:0 (Hashtbl.find_opt hist v))
+  done;
+  let mapping = Hashtbl.create (Hashtbl.length groups) in
+  Hashtbl.iter
+    (fun key hist ->
+      let best = ref None in
+      Hashtbl.iter
+        (fun v c ->
+          match !best with
+          | Some (_, c') when c' >= c -> ()
+          | _ -> best := Some (v, c))
+        hist;
+      match !best with
+      | Some (v, _) -> Hashtbl.add mapping key v
+      | None -> ())
+    groups;
+  { fd; mapping }
+
+(* Flag test rows whose rhs deviates from the training mapping; unseen lhs
+   combinations are not flagged (no evidence). *)
+let detect detectors test =
+  let n = Frame.nrows test in
+  let flags = Array.make n false in
+  List.iter
+    (fun d ->
+      for i = 0 to n - 1 do
+        if not flags.(i) then begin
+          let key = List.map (fun c -> Frame.get test i c) d.fd.lhs in
+          match Hashtbl.find_opt d.mapping key with
+          | Some expected ->
+            if not (Value.equal (Frame.get test i d.fd.rhs) expected) then
+              flags.(i) <- true
+          | None -> ()
+        end
+      done)
+    detectors;
+  flags

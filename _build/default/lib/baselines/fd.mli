@@ -1,0 +1,26 @@
+(** Functional dependencies and FD-based row-level error detection. *)
+
+type t = { lhs : int list; rhs : int }
+
+(** Raises [Invalid_argument] on empty lhs or rhs ∈ lhs. *)
+val make : lhs:int list -> rhs:int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Dataframe.Schema.t -> Format.formatter -> t -> unit
+
+(** g3-style violation count: rows to remove so each lhs group has one rhs
+    value. *)
+val violation_count : Dataframe.Frame.t -> t -> int
+
+(** Approximate satisfaction: violations ≤ ε·|D|. *)
+val holds : ?epsilon:float -> Dataframe.Frame.t -> t -> bool
+
+type detector
+
+(** Learn the lhs-combination → modal-rhs mapping on a training split. *)
+val compile : Dataframe.Frame.t -> t -> detector
+
+(** Per-row violation flags on a test split; unseen lhs combinations are
+    not flagged. *)
+val detect : detector list -> Dataframe.Frame.t -> bool array

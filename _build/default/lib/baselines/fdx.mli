@@ -1,0 +1,23 @@
+(** FDX: statistical FD discovery via a linear autoregressive model over
+    the auxiliary binary distribution. *)
+
+exception Ill_conditioned of string
+
+type config = {
+  lambda : float;     (** ridge regularization (non-strict mode) *)
+  threshold : float;  (** coefficient cut-off for keeping a parent *)
+  max_shifts : int;
+  max_samples : int;
+  strict : bool;      (** plain least squares; raise on singular systems *)
+}
+
+val default_config : config
+
+(** Row k holds the regression coefficients of auxiliary column k on all
+    others. Raises {!Ill_conditioned} in strict mode on singular systems,
+    [Invalid_argument] with too few samples. *)
+val autoregressive_matrix :
+  ?config:config -> Guardrail.Auxdist.samples -> Stat.Linalg.mat
+
+(** Discovered FDs over frame column indices. *)
+val discover : ?config:config -> Dataframe.Frame.t -> Fd.t list

@@ -1,0 +1,13 @@
+(** OptSMT-style synthesis baseline (paper §8.3): exact sketch-free search
+    with a clause-count estimator and a time budget. *)
+
+type outcome =
+  | Solved of { program : Guardrail.Dsl.prog; explored : int; clauses : int }
+  | Budget_exceeded of { explored : int; clauses : int; elapsed_s : float }
+
+(** Clause count of the flat SMT encoding of the synthesis problem. *)
+val clause_estimate : ?max_lhs:int -> Dataframe.Frame.t -> int
+
+(** Exact search; returns [Budget_exceeded] past [budget_s] seconds. *)
+val solve :
+  ?max_lhs:int -> ?budget_s:float -> ?epsilon:float -> Dataframe.Frame.t -> outcome

@@ -1,0 +1,91 @@
+(* Stripped partitions — the core data structure of TANE (Huhtala et al.,
+   1999).
+
+   The partition of a relation by an attribute set X groups rows with
+   equal X-values; "stripped" means singleton groups are dropped. TANE's
+   two key quantities come straight off the partition:
+
+     - an (approximate) FD X -> A holds iff the partition by X refines the
+       partition by X ∪ {A} (up to g3 error);
+     - partitions are computed levelwise by the *product* of two
+       partitions one level down. *)
+
+type t = {
+  classes : int array list;  (* equivalence classes of size >= 2 *)
+  n_rows : int;
+}
+
+let classes t = t.classes
+
+(* ||pi||: number of stripped classes. *)
+let class_count t = List.length t.classes
+
+(* Total rows inside stripped classes. *)
+let element_count t =
+  List.fold_left (fun acc c -> acc + Array.length c) 0 t.classes
+
+let of_codes n codes =
+  let tbl : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  for i = n - 1 downto 0 do
+    let k = codes.(i) in
+    Hashtbl.replace tbl k (i :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  done;
+  let classes =
+    Hashtbl.fold
+      (fun _ rows acc ->
+        match rows with
+        | [] | [ _ ] -> acc
+        | rows -> Array.of_list rows :: acc)
+      tbl []
+  in
+  { classes; n_rows = n }
+
+let of_column col =
+  of_codes (Dataframe.Column.length col) (Dataframe.Column.codes col)
+
+(* Product pi_X * pi_Y = pi_{X union Y}, computed with the standard
+   linear-time trick: label rows by their X-class, then split each Y-class
+   by label. *)
+let product a b =
+  let label = Array.make a.n_rows (-1) in
+  List.iteri
+    (fun ci rows -> Array.iter (fun r -> label.(r) <- ci) rows)
+    a.classes;
+  let classes = ref [] in
+  List.iter
+    (fun rows ->
+      let sub : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+      Array.iter
+        (fun r ->
+          if label.(r) >= 0 then
+            Hashtbl.replace sub label.(r)
+              (r :: Option.value ~default:[] (Hashtbl.find_opt sub label.(r))))
+        rows;
+      Hashtbl.iter
+        (fun _ sub_rows ->
+          match sub_rows with
+          | [] | [ _ ] -> ()
+          | sub_rows -> classes := Array.of_list sub_rows :: !classes)
+        sub)
+    b.classes;
+  { classes = !classes; n_rows = a.n_rows }
+
+(* e(X): minimum number of rows to remove from the stripped classes so
+   that... in TANE, error of FD X -> A is computed from pi_X and
+   pi_{X u A}:  e = sum over classes c of pi_X of (|c| - max size of a
+   pi_{X u A} subclass inside c). *)
+let fd_error pi_x pi_xa =
+  (* mark each row with the size of its pi_{X u A} class *)
+  let size_of = Array.make pi_x.n_rows 1 in
+  List.iter
+    (fun rows -> Array.iter (fun r -> size_of.(r) <- Array.length rows) rows)
+    pi_xa.classes;
+  List.fold_left
+    (fun acc rows ->
+      let best = Array.fold_left (fun m r -> max m size_of.(r)) 1 rows in
+      acc + (Array.length rows - best))
+    0 pi_x.classes
+
+(* Exact FD check: X -> A holds iff e = 0, equivalently the products have
+   equal element and class counts. *)
+let refines pi_x pi_xa = fd_error pi_x pi_xa = 0

@@ -1,0 +1,24 @@
+(** Stripped partitions (TANE's core data structure). *)
+
+type t
+
+val classes : t -> int array list
+
+(** Number of stripped (size ≥ 2) classes. *)
+val class_count : t -> int
+
+(** Rows inside stripped classes. *)
+val element_count : t -> int
+
+val of_codes : int -> int array -> t
+val of_column : Dataframe.Column.t -> t
+
+(** π_X · π_Y = π_{X∪Y}. *)
+val product : t -> t -> t
+
+(** g3 error of the FD X → A from π_X and π_{X∪A}: rows to remove for the
+    FD to hold exactly. *)
+val fd_error : t -> t -> int
+
+(** Exact FD check: error = 0. *)
+val refines : t -> t -> bool

@@ -1,0 +1,117 @@
+(* TANE (Huhtala et al., 1999): levelwise discovery of minimal
+   (approximate) functional dependencies with stripped partitions.
+
+   Levelwise search over the attribute-set lattice: level l holds
+   partitions for all candidate sets of size l; candidate sets are built
+   by an apriori join of sets sharing an (l-1)-prefix; the FD X\{A} -> A
+   is emitted when the g3 error is within epsilon, and supersets of found
+   lhs's are pruned (minimality).
+
+   Like the original, memory grows with the number of candidate sets; the
+   [max_candidates] budget aborts the search on wide datasets — the
+   behaviour the paper reports as "-" (out-of-memory) for TANE in
+   Table 3. *)
+
+module Frame = Dataframe.Frame
+
+exception Out_of_budget of string
+
+type config = {
+  epsilon : float;        (* g3 tolerance as a fraction of |D| *)
+  max_level : int;        (* maximum lhs size + 1 *)
+  max_candidates : int;   (* lattice-width budget *)
+}
+
+(* Approximate-FD tolerance of 1% by default: exact FDs rarely survive
+   noisy data, and TANE's g3 machinery exists precisely for this. *)
+let default_config = { epsilon = 0.01; max_level = 4; max_candidates = 20_000 }
+
+(* Sorted-int-list attribute sets. *)
+let set_remove x s = List.filter (fun y -> y <> x) s
+
+(* Apriori join: combine sets sharing all but the last element. *)
+let next_level sets =
+  let tbl : (int list, int list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      match List.rev s with
+      | last :: rev_prefix ->
+        let prefix = List.rev rev_prefix in
+        Hashtbl.replace tbl prefix
+          (last :: Option.value ~default:[] (Hashtbl.find_opt tbl prefix))
+      | [] -> ())
+    sets;
+  let out = ref [] in
+  Hashtbl.iter
+    (fun prefix lasts ->
+      let lasts = List.sort Int.compare lasts in
+      let rec pairs = function
+        | [] -> ()
+        | x :: rest ->
+          List.iter (fun y -> out := (prefix @ [ x; y ]) :: !out) rest;
+          pairs rest
+      in
+      pairs lasts)
+    tbl;
+  !out
+
+let discover ?(config = default_config) frame =
+  let attrs = Frame.categorical_indices frame in
+  let n = Frame.nrows frame in
+  let budget = float_of_int n *. config.epsilon in
+  let partitions : (int list, Partition.t) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun a -> Hashtbl.add partitions [ a ] (Partition.of_column (Frame.column frame a)))
+    attrs;
+  let found = ref [] in
+  (* is some already-found lhs for [rhs] a subset of [lhs]? *)
+  let subsumed lhs rhs =
+    List.exists
+      (fun (fd : Fd.t) ->
+        fd.Fd.rhs = rhs && List.for_all (fun x -> List.mem x lhs) fd.Fd.lhs)
+      !found
+  in
+  let level = ref (List.map (fun a -> [ a ]) attrs) in
+  let l = ref 1 in
+  while !level <> [] && !l < config.max_level do
+    let candidates = next_level !level in
+    if List.length candidates > config.max_candidates then
+      raise
+        (Out_of_budget
+           (Printf.sprintf "TANE: %d candidate sets at level %d"
+              (List.length candidates) (!l + 1)));
+    (* compute partitions of this level by product of two subsets *)
+    let kept = ref [] in
+    List.iter
+      (fun set ->
+        match set with
+        | a :: b :: _ ->
+          let sub1 = set_remove a set in
+          let sub2 = set_remove b set in
+          (match
+             (Hashtbl.find_opt partitions sub1, Hashtbl.find_opt partitions sub2)
+           with
+           | Some p1, Some p2 ->
+             let p = Partition.product p1 p2 in
+             Hashtbl.add partitions set p;
+             kept := set :: !kept;
+             (* test X\{A} -> A for each A in the set *)
+             List.iter
+               (fun rhs ->
+                 let lhs = set_remove rhs set in
+                 if not (subsumed lhs rhs) then begin
+                   match Hashtbl.find_opt partitions lhs with
+                   | Some pi_lhs ->
+                     let err = Partition.fd_error pi_lhs p in
+                     if float_of_int err <= budget then
+                       found := Fd.make ~lhs ~rhs :: !found
+                   | None -> ()
+                 end)
+               set
+           | _ -> ())
+        | _ -> ())
+      candidates;
+    level := !kept;
+    incr l
+  done;
+  List.rev !found

@@ -1,0 +1,19 @@
+(** TANE: levelwise discovery of minimal (approximate) FDs. *)
+
+exception Out_of_budget of string
+
+type config = {
+  epsilon : float;       (** g3 tolerance as a fraction of |D| *)
+  max_level : int;       (** maximum lhs size + 1 *)
+  max_candidates : int;  (** lattice-width budget *)
+}
+
+val default_config : config
+
+(** Apriori prefix join producing the next lattice level. *)
+val next_level : int list list -> int list list
+
+(** Minimal approximate FDs over the categorical attributes. Raises
+    {!Out_of_budget} when the candidate lattice exceeds the budget (the
+    paper's TANE out-of-memory failure on wide datasets). *)
+val discover : ?config:config -> Dataframe.Frame.t -> Fd.t list

@@ -1,0 +1,1 @@
+lib/core/auxdist.ml: Array Dataframe List Stat

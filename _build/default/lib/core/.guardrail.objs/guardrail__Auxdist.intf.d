@@ -1,0 +1,1 @@
+lib/core/auxdist.mli: Dataframe

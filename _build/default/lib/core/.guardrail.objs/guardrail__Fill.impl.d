@@ -1,0 +1,1 @@
+lib/core/fill.ml: Array Dataframe Dsl Hashtbl List Sketch

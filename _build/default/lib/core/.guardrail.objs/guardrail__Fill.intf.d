@@ -1,0 +1,1 @@
+lib/core/fill.mli: Dataframe Dsl Sketch

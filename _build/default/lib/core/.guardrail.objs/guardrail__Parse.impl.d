@@ -1,0 +1,1 @@
+lib/core/parse.ml: Buffer Dataframe Dsl List Printf String

@@ -1,0 +1,1 @@
+lib/core/report.ml: Dataframe Dsl Fmt List Pretty Semantics

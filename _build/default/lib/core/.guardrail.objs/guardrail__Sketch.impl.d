@@ -1,0 +1,1 @@
+lib/core/sketch.ml: Array Dataframe Fmt Hashtbl Int List Pgm Stat

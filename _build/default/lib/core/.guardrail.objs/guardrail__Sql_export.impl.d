@@ -1,0 +1,1 @@
+lib/core/sql_export.ml: Buffer Dataframe Dsl List Printf String

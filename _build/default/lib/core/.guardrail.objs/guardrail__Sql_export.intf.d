@@ -1,0 +1,1 @@
+lib/core/sql_export.mli: Dataframe Dsl

@@ -1,0 +1,1 @@
+lib/core/synthesize.ml: Array Auxdist Config Dataframe Dsl Fill Float Hashtbl List Logs Pgm Sketch Unix

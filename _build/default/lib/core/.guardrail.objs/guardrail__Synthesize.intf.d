@@ -1,0 +1,1 @@
+lib/core/synthesize.mli: Config Dataframe Dsl Pgm

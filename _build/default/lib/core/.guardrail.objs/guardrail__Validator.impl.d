@@ -1,0 +1,1 @@
+lib/core/validator.ml: Array Dataframe Dsl Fmt Hashtbl List Pretty

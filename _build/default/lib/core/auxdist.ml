@@ -1,0 +1,84 @@
+(* The auxiliary distribution of Def. 4.5 and its circular-shift sampler.
+
+   For two rows t1, t2 ~ P_D, the binary vector I has I_k = 1 iff
+   t1(a_k) = t2(a_k). Proposition 5 (paper appendix) shows P_I has the
+   same conditional-independence structure as P_D, so the PGM can be
+   learned over I instead — the binary recast sidesteps the
+   high-cardinality sparsity that starves contingency-table CI tests.
+
+   Sampling all O(n²) row pairs is wasteful; the paper adopts FDX's
+   circular-shift trick: for shift s, pair row i with row (i + s) mod n,
+   giving n near-independent pairs per shift. *)
+
+module Frame = Dataframe.Frame
+
+type samples = {
+  columns : int array array;  (* one binary 0/1 array per attribute *)
+  cards : int list;           (* all 2 *)
+  n_samples : int;
+  design_scale : float;       (* rows / samples: non-iid deflation factor *)
+}
+
+(* Binary samples over the given columns of a frame. *)
+let circular_shift ?(max_shifts = 7) ?(max_samples = 60_000) frame cols =
+  let n = Frame.nrows frame in
+  if n < 2 then invalid_arg "Auxdist.circular_shift: need at least 2 rows";
+  let m = List.length cols in
+  let code_arrays =
+    Array.of_list
+      (List.map (fun c -> Dataframe.Column.codes (Frame.column frame c)) cols)
+  in
+  let shifts = min max_shifts (n - 1) in
+  let per_shift = n in
+  let total = min (shifts * per_shift) max_samples in
+  let columns = Array.init m (fun _ -> Array.make total 0) in
+  let out = ref 0 in
+  let s = ref 1 in
+  while !out < total && !s <= shifts do
+    let i = ref 0 in
+    while !out < total && !i < n do
+      let j = (!i + !s) mod n in
+      for k = 0 to m - 1 do
+        columns.(k).(!out) <-
+          (if code_arrays.(k).(!i) = code_arrays.(k).(j) then 1 else 0)
+      done;
+      incr out;
+      incr i
+    done;
+    incr s
+  done;
+  {
+    columns;
+    cards = List.init m (fun _ -> 2);
+    n_samples = total;
+    design_scale = 1.0;  (* callers may deflate via Independence.ci_test's stat_scale *)
+  }
+
+(* The identity "sampler": raw dictionary codes, used by the Table 8
+   ablation. High-cardinality attributes make the downstream CI tests
+   underpowered, which is the failure the auxiliary distribution fixes. *)
+let identity frame cols =
+  let columns =
+    Array.of_list
+      (List.map
+         (fun c -> Array.copy (Dataframe.Column.codes (Frame.column frame c)))
+         cols)
+  in
+  let cards =
+    List.map (fun c -> Dataframe.Column.cardinality (Frame.column frame c)) cols
+  in
+  { columns; cards; n_samples = Frame.nrows frame; design_scale = 1.0 }
+
+(* CI oracle over sampled columns for the PC algorithm: is variable i
+   independent of variable j given the variables in [cond]? *)
+let ci_oracle ?(alpha = 0.01) ?(max_strata = 4096) ?(min_effect = 0.0) samples =
+  let cards = Array.of_list samples.cards in
+  fun i j cond ->
+    let r =
+      Stat.Independence.ci_test ~max_strata ~min_effect
+        ~stat_scale:samples.design_scale ~alpha ~kx:cards.(i) ~ky:cards.(j)
+        samples.columns.(i) samples.columns.(j)
+        (List.map (fun k -> samples.columns.(k)) cond)
+        (List.map (fun k -> cards.(k)) cond)
+    in
+    r.Stat.Independence.independent

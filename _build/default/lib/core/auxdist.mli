@@ -1,0 +1,28 @@
+(** Auxiliary binary distribution (paper Def. 4.5) and its circular-shift
+    sampler (§4.6). *)
+
+type samples = {
+  columns : int array array;  (** one 0/1 array per attribute *)
+  cards : int list;           (** per-attribute cardinalities *)
+  n_samples : int;
+  design_scale : float;       (** rows / samples: non-iid deflation factor *)
+}
+
+(** Binary indicator samples over the given columns; raises
+    [Invalid_argument] on frames with fewer than two rows. *)
+val circular_shift :
+  ?max_shifts:int -> ?max_samples:int -> Dataframe.Frame.t -> int list -> samples
+
+(** Raw dictionary codes (the Table 8 ablation baseline). *)
+val identity : Dataframe.Frame.t -> int list -> samples
+
+(** Conditional-independence oracle over the samples, for {!Pgm.Pc}. *)
+val ci_oracle :
+  ?alpha:float ->
+  ?max_strata:int ->
+  ?min_effect:float ->
+  samples ->
+  int ->
+  int ->
+  int list ->
+  bool

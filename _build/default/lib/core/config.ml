@@ -1,0 +1,49 @@
+(* Tuning knobs of the synthesis pipeline, with the defaults used across
+   the evaluation. The paper recommends epsilon in [0.01, 0.05] (§8.3). *)
+
+type sampler =
+  | Auxiliary  (* circular-shift samples of the binary indicator vector, §4.6 *)
+  | Identity   (* learn directly on the raw codes (ablation, Table 8) *)
+
+type structure =
+  | Pc_mec      (* the paper's pipeline: PC -> CPDAG -> MEC enumeration *)
+  | Hill_climb  (* score-based search returning a single DAG (ablation) *)
+
+type t = {
+  epsilon : float;        (* branch-level noise tolerance, Eqn. 3 *)
+  alpha : float;          (* CI-test significance level for sketch learning *)
+  max_cond : int;         (* PC conditioning-set bound *)
+  max_dags : int;         (* MEC enumeration cut-off (Alg. 2) *)
+  max_shifts : int;       (* circular shifts drawn by the auxiliary sampler *)
+  max_samples : int;      (* cap on auxiliary sample count *)
+  min_support : int;      (* rows a branch condition must cover to be kept *)
+  min_effect : float;     (* Cramér's-V floor for CI tests (large-sample guard) *)
+  sampler : sampler;
+  structure : structure;  (* sketch-learning strategy *)
+  max_strata : int;       (* CI-test stratum cap (identity sampler suffers here) *)
+}
+
+let default =
+  {
+    epsilon = 0.05;
+    alpha = 0.01;
+    max_cond = 2;
+    max_dags = 512;
+    max_shifts = 11;
+    max_samples = 120_000;
+    min_support = 2;
+    min_effect = 0.02;
+    sampler = Auxiliary;
+    structure = Pc_mec;
+    max_strata = 4096;
+  }
+
+let with_epsilon epsilon t = { t with epsilon }
+let with_sampler sampler t = { t with sampler }
+let with_structure structure t = { t with structure }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "{epsilon=%.3f; alpha=%.3f; max_cond=%d; max_dags=%d; sampler=%s}"
+    t.epsilon t.alpha t.max_cond t.max_dags
+    (match t.sampler with Auxiliary -> "auxiliary" | Identity -> "identity")

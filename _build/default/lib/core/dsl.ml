@@ -1,0 +1,93 @@
+(* Abstract syntax of the GUARDRAIL DSL (paper Fig. 2).
+
+     p ∈ Prog      := s*
+     s ∈ Stmt      := GIVEN a+ ON a HAVING b+
+     b ∈ Branch    := IF c THEN a <- l
+     c ∈ Condition := a = l | c AND c
+     l ∈ Literal   := String ∪ Number ∪ Boolean
+
+   Attributes are referenced by column index; a program therefore carries
+   the schema it was synthesized against so it can be re-bound by name when
+   applied to another frame (Validator.rebind). Conditions are kept in the
+   normalized conjunctive form the synthesis produces: one equality per
+   determinant attribute, sorted by attribute index.
+
+   Inside a branch [IF c THEN a <- l], the condition ranges over the
+   statement's GIVEN attributes and [a] is the statement's ON attribute, so
+   the branch list of a statement is a decision table keyed by determinant
+   values. *)
+
+type literal = Dataframe.Value.t
+
+type equality = { attr : int; value : literal }
+
+(* Conjunction of equalities, sorted by [attr], no duplicate attributes. *)
+type condition = equality list
+
+type branch = { condition : condition; assignment : literal }
+
+type stmt = {
+  given : int list;  (* determinant attributes, sorted *)
+  on : int;          (* dependent attribute *)
+  branches : branch list;
+}
+
+type prog = { schema : Dataframe.Schema.t; stmts : stmt list }
+
+let normalize_condition c =
+  let sorted = List.sort (fun a b -> Int.compare a.attr b.attr) c in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if a.attr = b.attr then invalid_arg "Dsl: duplicate attribute in condition";
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  sorted
+
+let branch ~condition ~assignment =
+  { condition = normalize_condition condition; assignment }
+
+let stmt ~given ~on ~branches =
+  if given = [] then invalid_arg "Dsl.stmt: empty determinant set";
+  if List.mem on given then invalid_arg "Dsl.stmt: dependent attribute in GIVEN";
+  let given = List.sort_uniq Int.compare given in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun eq ->
+          if not (List.mem eq.attr given) then
+            invalid_arg "Dsl.stmt: branch conditions must range over GIVEN")
+        b.condition)
+    branches;
+  { given; on; branches }
+
+let prog ~schema stmts = { schema; stmts }
+
+let empty schema = { schema; stmts = [] }
+
+let stmt_count p = List.length p.stmts
+let branch_count p =
+  List.fold_left (fun acc s -> acc + List.length s.branches) 0 p.stmts
+
+(* Attributes a program constrains (its ON set). *)
+let constrained_attributes p =
+  List.sort_uniq Int.compare (List.map (fun s -> s.on) p.stmts)
+
+let equal_literal = Dataframe.Value.equal
+
+let equal_branch a b =
+  equal_literal a.assignment b.assignment
+  && List.length a.condition = List.length b.condition
+  && List.for_all2
+       (fun x y -> x.attr = y.attr && equal_literal x.value y.value)
+       a.condition b.condition
+
+let equal_stmt a b =
+  a.given = b.given && a.on = b.on
+  && List.length a.branches = List.length b.branches
+  && List.for_all2 equal_branch a.branches b.branches
+
+let equal_prog a b =
+  List.length a.stmts = List.length b.stmts
+  && List.for_all2 equal_stmt a.stmts b.stmts

@@ -1,0 +1,43 @@
+(** Abstract syntax of the GUARDRAIL DSL (paper Fig. 2). Attributes are
+    column indices into the carried schema. *)
+
+type literal = Dataframe.Value.t
+
+type equality = { attr : int; value : literal }
+
+(** Conjunction of equalities, sorted by attribute, one per attribute. *)
+type condition = equality list
+
+type branch = { condition : condition; assignment : literal }
+
+type stmt = {
+  given : int list;  (** determinant attributes, sorted *)
+  on : int;          (** dependent attribute *)
+  branches : branch list;
+}
+
+type prog = { schema : Dataframe.Schema.t; stmts : stmt list }
+
+(** Sorts and checks the condition; raises [Invalid_argument] on duplicate
+    attributes. *)
+val normalize_condition : condition -> condition
+
+val branch : condition:condition -> assignment:literal -> branch
+
+(** Raises [Invalid_argument] on an empty GIVEN set, a dependent attribute
+    inside GIVEN, or branch conditions outside GIVEN. *)
+val stmt : given:int list -> on:int -> branches:branch list -> stmt
+
+val prog : schema:Dataframe.Schema.t -> stmt list -> prog
+val empty : Dataframe.Schema.t -> prog
+
+val stmt_count : prog -> int
+val branch_count : prog -> int
+
+(** Attributes constrained by the program (its ON set), sorted. *)
+val constrained_attributes : prog -> int list
+
+val equal_literal : literal -> literal -> bool
+val equal_branch : branch -> branch -> bool
+val equal_stmt : stmt -> stmt -> bool
+val equal_prog : prog -> prog -> bool

@@ -1,0 +1,106 @@
+(* Algorithm 1: fill a program sketch against a dataset.
+
+   For each statement sketch GIVEN det ON dep HAVING [], the warranted
+   conditions are the observed combinations of determinant values
+   (comb(det) in the paper); unseen combinations have empty support and
+   can never be epsilon-valid, so enumerating the full Cartesian product
+   is unnecessary. For each condition the best-fit literal is the modal
+   dependent value on the matching rows (the arg-min of the 0/1 loss), and
+   the branch is kept when it is epsilon-valid. *)
+
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+
+type filled = {
+  stmt : Dsl.stmt;
+  coverage : float;   (* |D^s| / |D| over kept branches *)
+  loss : int;         (* summed branch loss over kept branches *)
+  support : int;      (* rows covered by kept branches *)
+}
+
+(* Group rows by determinant combination. Returns, per observed
+   combination: a representative row (to materialize condition literals),
+   the support size, and the histogram of dependent codes. *)
+let group_by_determinants frame given on =
+  let n = Frame.nrows frame in
+  let det_codes =
+    List.map (fun c -> Dataframe.Column.codes (Frame.column frame c)) given
+  in
+  let on_col = Frame.column frame on in
+  let on_codes = Dataframe.Column.codes on_col in
+  let on_card = Dataframe.Column.cardinality on_col in
+  let groups : (int list, int * int ref * int array) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  for i = 0 to n - 1 do
+    let key = List.map (fun codes -> codes.(i)) det_codes in
+    let _, count, hist =
+      match Hashtbl.find_opt groups key with
+      | Some g -> g
+      | None ->
+        let g = (i, ref 0, Array.make on_card 0) in
+        Hashtbl.add groups key g;
+        g
+    in
+    incr count;
+    hist.(on_codes.(i)) <- hist.(on_codes.(i)) + 1
+  done;
+  groups
+
+(* FillStmtSketch (Alg. 1, lines 7-20). Returns [None] when no branch
+   survives the epsilon-validity check (line 20: ⊥). *)
+let fill_stmt_sketch ?(min_support = 1) frame ~epsilon (sk : Sketch.stmt_sketch) =
+  let n = Frame.nrows frame in
+  if n = 0 then None
+  else begin
+    let groups = group_by_determinants frame sk.Sketch.given sk.Sketch.on in
+    let on_col = Frame.column frame sk.Sketch.on in
+    let branches = ref [] in
+    let total_loss = ref 0 in
+    let total_support = ref 0 in
+    Hashtbl.iter
+      (fun _key (rep_row, count, hist) ->
+        let support = !count in
+        (* l* = arg-min loss = modal dependent code (Alg. 1 line 14) *)
+        let best = ref 0 in
+        Array.iteri (fun c k -> if k > hist.(!best) then best := c) hist;
+        let loss = support - hist.(!best) in
+        (* epsilon-validity (line 15) plus a support floor to keep
+           singleton conditions from vacuously passing *)
+        if
+          support >= min_support
+          && float_of_int loss <= float_of_int support *. epsilon
+        then begin
+          let condition =
+            List.map
+              (fun attr ->
+                { Dsl.attr; value = Frame.get frame rep_row attr })
+              sk.Sketch.given
+          in
+          let assignment = Dataframe.Column.value_of_code on_col !best in
+          branches := Dsl.branch ~condition ~assignment :: !branches;
+          total_loss := !total_loss + loss;
+          total_support := !total_support + support
+        end)
+      groups;
+    match !branches with
+    | [] -> None
+    | branches ->
+      let stmt = Dsl.stmt ~given:sk.Sketch.given ~on:sk.Sketch.on ~branches in
+      Some
+        {
+          stmt;
+          coverage = float_of_int !total_support /. float_of_int n;
+          loss = !total_loss;
+          support = !total_support;
+        }
+  end
+
+(* Fill a whole program sketch (Alg. 1, lines 1-6): statements whose
+   sketch yields no valid branch are dropped. *)
+let fill_prog_sketch ?min_support frame ~epsilon (p : Sketch.prog_sketch) =
+  let filled =
+    List.filter_map (fill_stmt_sketch ?min_support frame ~epsilon) p
+  in
+  let stmts = List.map (fun f -> f.stmt) filled in
+  (Dsl.prog ~schema:(Frame.schema frame) stmts, filled)

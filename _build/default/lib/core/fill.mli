@@ -1,0 +1,25 @@
+(** Algorithm 1: fill a program sketch against a dataset. *)
+
+type filled = {
+  stmt : Dsl.stmt;
+  coverage : float;  (** |D^s| / |D| over kept branches *)
+  loss : int;        (** summed branch loss over kept branches *)
+  support : int;     (** rows covered by kept branches *)
+}
+
+(** FillStmtSketch: [None] when no branch is ε-valid. [min_support] is a
+    floor on branch support (defaults to 1 = the paper's behaviour). *)
+val fill_stmt_sketch :
+  ?min_support:int ->
+  Dataframe.Frame.t ->
+  epsilon:float ->
+  Sketch.stmt_sketch ->
+  filled option
+
+(** Fill a whole sketch; statements with no ε-valid branch are dropped. *)
+val fill_prog_sketch :
+  ?min_support:int ->
+  Dataframe.Frame.t ->
+  epsilon:float ->
+  Sketch.prog_sketch ->
+  Dsl.prog * filled list

@@ -1,0 +1,245 @@
+(* Parser for the DSL surface syntax produced by Pretty:
+
+     prog   := stmt*
+     stmt   := GIVEN ident ("," ident)* ON ident HAVING branches [";"]
+     branches := branch (";" branch)*
+     branch := IF cond THEN ident "<-" literal
+     cond   := eq (AND eq)*
+     eq     := ident "=" literal
+     literal := string | number | true | false | NULL
+
+   Attribute names are resolved against a schema at parse time. *)
+
+module Value = Dataframe.Value
+module Schema = Dataframe.Schema
+
+exception Error of { pos : int; message : string }
+
+let error pos message = raise (Error { pos; message })
+
+type token =
+  | Ident of string
+  | Str of string
+  | Num of Value.t
+  | Kw_given
+  | Kw_on
+  | Kw_having
+  | Kw_if
+  | Kw_then
+  | Kw_and
+  | Kw_null
+  | Kw_true
+  | Kw_false
+  | Comma
+  | Semicolon
+  | Equals
+  | Arrow
+  | Eof
+
+let keyword_of_string = function
+  | "GIVEN" -> Some Kw_given
+  | "ON" -> Some Kw_on
+  | "HAVING" -> Some Kw_having
+  | "IF" -> Some Kw_if
+  | "THEN" -> Some Kw_then
+  | "AND" -> Some Kw_and
+  | "NULL" -> Some Kw_null
+  | "true" -> Some Kw_true
+  | "false" -> Some Kw_false
+  | _ -> None
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let push t pos = tokens := (t, pos) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ',' then (push Comma !i; incr i)
+    else if c = ';' then (push Semicolon !i; incr i)
+    else if c = '=' then (push Equals !i; incr i)
+    else if c = '<' && !i + 1 < n && s.[!i + 1] = '-' then begin
+      push Arrow !i;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      let start = !i in
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then error start "unterminated string literal";
+        (match s.[!i] with
+         | '"' -> closed := true
+         | '\\' when !i + 1 < n ->
+           incr i;
+           Buffer.add_char buf
+             (match s.[!i] with
+              | 'n' -> '\n'
+              | 't' -> '\t'
+              | c -> c)
+         | c -> Buffer.add_char buf c);
+        incr i
+      done;
+      push (Str (Buffer.contents buf)) start
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      let start = !i in
+      incr i;
+      while !i < n && (is_digit s.[!i] || s.[!i] = '.' || s.[!i] = 'e'
+                       || s.[!i] = 'E' || s.[!i] = '+'
+                       || (s.[!i] = '-' && (s.[!i - 1] = 'e' || s.[!i - 1] = 'E')))
+      do
+        incr i
+      done;
+      let text = String.sub s start (!i - start) in
+      (match int_of_string_opt text with
+       | Some v -> push (Num (Value.Int v)) start
+       | None ->
+         (match float_of_string_opt text with
+          | Some v -> push (Num (Value.Float v)) start
+          | None -> error start (Printf.sprintf "bad number %S" text)))
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      let text = String.sub s start (!i - start) in
+      match keyword_of_string text with
+      | Some kw -> push kw start
+      | None -> push (Ident text) start
+    end
+    else error !i (Printf.sprintf "unexpected character %C" c)
+  done;
+  push Eof n;
+  List.rev !tokens
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with (t, p) :: _ -> (t, p) | [] -> (Eof, 0)
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok what =
+  let t, p = peek st in
+  if t = tok then advance st else error p (Printf.sprintf "expected %s" what)
+
+let parse_ident st what =
+  match peek st with
+  | Ident name, _ ->
+    advance st;
+    name
+  | _, p -> error p (Printf.sprintf "expected %s" what)
+
+let resolve schema pos name =
+  match Schema.index_opt schema name with
+  | Some i -> i
+  | None -> error pos (Printf.sprintf "unknown attribute %S" name)
+
+let parse_literal st =
+  match peek st with
+  | Str s, _ ->
+    advance st;
+    Value.String s
+  | Num v, _ ->
+    advance st;
+    v
+  | Kw_true, _ ->
+    advance st;
+    Value.Bool true
+  | Kw_false, _ ->
+    advance st;
+    Value.Bool false
+  | Kw_null, _ ->
+    advance st;
+    Value.Null
+  | Ident s, _ ->
+    (* bare identifiers double as string literals for hand-written rules *)
+    advance st;
+    Value.String s
+  | _, p -> error p "expected literal"
+
+let parse_equality schema st =
+  let t, p = peek st in
+  match t with
+  | Ident name ->
+    advance st;
+    expect st Equals "'='";
+    let value = parse_literal st in
+    { Dsl.attr = resolve schema p name; value }
+  | _ -> error p "expected attribute name"
+
+let parse_condition schema st =
+  let first = parse_equality schema st in
+  let rec more acc =
+    match peek st with
+    | Kw_and, _ ->
+      advance st;
+      more (parse_equality schema st :: acc)
+    | _ -> List.rev acc
+  in
+  more [ first ]
+
+let parse_branch schema st =
+  expect st Kw_if "'IF'";
+  let condition = parse_condition schema st in
+  expect st Kw_then "'THEN'";
+  let _, p = peek st in
+  let target = parse_ident st "attribute name" in
+  let target_idx = resolve schema p target in
+  expect st Arrow "'<-'";
+  let assignment = parse_literal st in
+  (target_idx, Dsl.branch ~condition ~assignment)
+
+let parse_stmt schema st =
+  expect st Kw_given "'GIVEN'";
+  let rec idents acc =
+    let _, p = peek st in
+    let name = parse_ident st "attribute name" in
+    let acc = resolve schema p name :: acc in
+    match peek st with
+    | Comma, _ ->
+      advance st;
+      idents acc
+    | _ -> List.rev acc
+  in
+  let given = idents [] in
+  expect st Kw_on "'ON'";
+  let _, p = peek st in
+  let on_name = parse_ident st "attribute name" in
+  let on = resolve schema p on_name in
+  expect st Kw_having "'HAVING'";
+  let rec branches acc =
+    let target, b = parse_branch schema st in
+    if target <> on then
+      error 0 "branch target must match the statement's ON attribute";
+    let acc = b :: acc in
+    match peek st with
+    | Semicolon, _ -> begin
+      advance st;
+      match peek st with
+      | Kw_if, _ -> branches acc
+      | _ -> List.rev acc
+    end
+    | _ -> List.rev acc
+  in
+  let branches = branches [] in
+  Dsl.stmt ~given ~on ~branches
+
+let prog schema text =
+  let st = { toks = tokenize text } in
+  let rec stmts acc =
+    match peek st with
+    | Eof, _ -> List.rev acc
+    | Kw_given, _ -> stmts (parse_stmt schema st :: acc)
+    | _, p -> error p "expected 'GIVEN' or end of input"
+  in
+  Dsl.prog ~schema (stmts [])

@@ -1,0 +1,7 @@
+(** Parser for the DSL surface syntax; inverse of {!Pretty}. *)
+
+exception Error of { pos : int; message : string }
+
+(** Parse a program, resolving attribute names against the schema. Raises
+    {!Error} on syntax or resolution failure. *)
+val prog : Dataframe.Schema.t -> string -> Dsl.prog

@@ -1,0 +1,56 @@
+(* Concrete syntax for programs, statements and branches:
+
+     GIVEN city, state ON country HAVING
+       IF city = "Berkeley" AND state = "CA" THEN country <- "USA";
+       IF city = "Lyon" AND state = "ARA" THEN country <- "France";
+
+   The printer and Parse.prog round-trip. *)
+
+open Dsl
+
+module Value = Dataframe.Value
+module Schema = Dataframe.Schema
+
+let pp_literal ppf (v : Value.t) =
+  match v with
+  | Value.Null -> Fmt.string ppf "NULL"
+  | Value.Bool b -> Fmt.string ppf (string_of_bool b)
+  | Value.Int i -> Fmt.int ppf i
+  | Value.Float f -> Fmt.pf ppf "%.12g" f
+  | Value.String s -> Fmt.pf ppf "%S" s
+
+let pp_equality schema ppf { attr; value } =
+  Fmt.pf ppf "%s = %a" (Schema.name schema attr) pp_literal value
+
+let pp_condition schema ppf (c : condition) =
+  Fmt.(list ~sep:(any " AND ") (pp_equality schema)) ppf c
+
+let pp_branch schema on ppf (b : branch) =
+  Fmt.pf ppf "IF %a THEN %s <- %a" (pp_condition schema) b.condition
+    (Schema.name schema on) pp_literal b.assignment
+
+let pp_stmt schema ppf (s : stmt) =
+  Fmt.pf ppf "@[<v 2>GIVEN %a ON %s HAVING@,%a;@]"
+    Fmt.(list ~sep:(any ", ") string)
+    (List.map (Schema.name schema) s.given)
+    (Schema.name schema s.on)
+    Fmt.(list ~sep:(any ";@,") (pp_branch schema s.on))
+    s.branches
+
+let pp_prog ppf (p : prog) =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,@,") (pp_stmt p.schema)) p.stmts
+
+let prog_to_string p = Fmt.str "%a" pp_prog p
+
+(* One-line summary used in logs and CLI output. *)
+let pp_stmt_summary schema ppf (s : stmt) =
+  Fmt.pf ppf "GIVEN %a ON %s (%d branches)"
+    Fmt.(list ~sep:(any ", ") string)
+    (List.map (Schema.name schema) s.given)
+    (Schema.name schema s.on)
+    (List.length s.branches)
+
+let pp_prog_summary ppf (p : prog) =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:cut (pp_stmt_summary p.schema))
+    p.stmts

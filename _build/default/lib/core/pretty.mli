@@ -1,0 +1,15 @@
+(** Concrete syntax printer for the DSL; round-trips with {!Parse}. *)
+
+val pp_literal : Format.formatter -> Dsl.literal -> unit
+val pp_equality : Dataframe.Schema.t -> Format.formatter -> Dsl.equality -> unit
+val pp_condition : Dataframe.Schema.t -> Format.formatter -> Dsl.condition -> unit
+
+(** The [int] is the statement's ON attribute. *)
+val pp_branch : Dataframe.Schema.t -> int -> Format.formatter -> Dsl.branch -> unit
+
+val pp_stmt : Dataframe.Schema.t -> Format.formatter -> Dsl.stmt -> unit
+val pp_prog : Format.formatter -> Dsl.prog -> unit
+val prog_to_string : Dsl.prog -> string
+
+val pp_stmt_summary : Dataframe.Schema.t -> Format.formatter -> Dsl.stmt -> unit
+val pp_prog_summary : Format.formatter -> Dsl.prog -> unit

@@ -1,0 +1,72 @@
+(* Program quality report: the per-statement coverage / loss / validity
+   summary a user inspects before trusting synthesized constraints on
+   production data. Used by the CLI's `inspect` command and the bench
+   harness. *)
+
+module Frame = Dataframe.Frame
+
+type stmt_report = {
+  stmt : Dsl.stmt;
+  branches : int;
+  coverage : float;
+  loss : int;
+  support : int;
+  epsilon_valid : bool;
+}
+
+type t = {
+  program : Dsl.prog;
+  epsilon : float;
+  rows : int;
+  statements : stmt_report list;
+  program_coverage : float;
+  program_loss : int;
+}
+
+let of_program ~epsilon program frame =
+  let statements =
+    List.map
+      (fun (s : Dsl.stmt) ->
+        let loss, support =
+          List.fold_left
+            (fun (l, n) b ->
+              let l', n' = Semantics.branch_loss frame s b in
+              (l + l', n + n'))
+            (0, 0) s.Dsl.branches
+        in
+        {
+          stmt = s;
+          branches = List.length s.Dsl.branches;
+          coverage = Semantics.stmt_coverage frame s;
+          loss;
+          support;
+          epsilon_valid = Semantics.stmt_epsilon_valid frame s ~epsilon;
+        })
+      program.Dsl.stmts
+  in
+  {
+    program;
+    epsilon;
+    rows = Frame.nrows frame;
+    statements;
+    program_coverage = Semantics.prog_coverage frame program;
+    program_loss = Semantics.prog_loss frame program;
+  }
+
+let loss_rate r =
+  if r.support = 0 then 0.0 else float_of_int r.loss /. float_of_int r.support
+
+let pp ppf t =
+  let schema = t.program.Dsl.schema in
+  Fmt.pf ppf "@[<v>program: %d statements over %d rows (epsilon = %.3f)@,"
+    (List.length t.statements) t.rows t.epsilon;
+  Fmt.pf ppf "coverage %.3f, total loss %d@," t.program_coverage t.program_loss;
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "  %a: %d branches, coverage %.3f, loss %d/%d (%.2f%%)%s@,"
+        (Pretty.pp_stmt_summary schema) r.stmt r.branches r.coverage r.loss
+        r.support
+        (100.0 *. loss_rate r)
+        (if r.epsilon_valid then "" else "  [NOT epsilon-valid]"))
+    t.statements;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,26 @@
+(** Program quality report: per-statement coverage / loss / ε-validity. *)
+
+type stmt_report = {
+  stmt : Dsl.stmt;
+  branches : int;
+  coverage : float;
+  loss : int;
+  support : int;
+  epsilon_valid : bool;
+}
+
+type t = {
+  program : Dsl.prog;
+  epsilon : float;
+  rows : int;
+  statements : stmt_report list;
+  program_coverage : float;
+  program_loss : int;
+}
+
+val of_program : epsilon:float -> Dsl.prog -> Dataframe.Frame.t -> t
+
+(** Loss as a fraction of statement support. *)
+val loss_rate : stmt_report -> float
+
+val pp : Format.formatter -> t -> unit

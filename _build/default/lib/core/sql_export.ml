@@ -1,0 +1,84 @@
+(* Translate synthesized constraints to standard SQL (paper §9 notes the
+   DSL "can be easily translated into standard SQL queries"). Two forms:
+
+   - a violation query per statement: SELECT the rows breaking any branch;
+   - a rectification expression per statement: a CASE WHEN that computes
+     the repaired dependent value, usable in an UPDATE or a SELECT. *)
+
+open Dsl
+
+module Value = Dataframe.Value
+module Schema = Dataframe.Schema
+
+let quote_ident name =
+  let buf = Buffer.create (String.length name + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c -> if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    name;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let sql_literal (v : Value.t) =
+  match v with
+  | Value.Null -> "NULL"
+  | Value.Bool b -> if b then "TRUE" else "FALSE"
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.12g" f
+  | Value.String s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c ->
+        if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+
+let equality_sql schema { attr; value } =
+  match value with
+  | Value.Null -> Printf.sprintf "%s IS NULL" (quote_ident (Schema.name schema attr))
+  | _ ->
+    Printf.sprintf "%s = %s"
+      (quote_ident (Schema.name schema attr))
+      (sql_literal value)
+
+let condition_sql schema (c : condition) =
+  String.concat " AND " (List.map (equality_sql schema) c)
+
+(* Predicate matching rows that violate one branch. *)
+let branch_violation_sql schema on (b : branch) =
+  let dep = quote_ident (Schema.name schema on) in
+  Printf.sprintf "(%s AND (%s IS NULL OR %s <> %s))"
+    (condition_sql schema b.condition)
+    dep dep (sql_literal b.assignment)
+
+(* SELECT returning the rows of [table] violating the statement. *)
+let stmt_violation_query schema ~table (s : stmt) =
+  Printf.sprintf "SELECT * FROM %s WHERE %s;" (quote_ident table)
+    (String.concat "\n   OR " (List.map (branch_violation_sql schema s.on) s.branches))
+
+(* CASE expression computing the rectified dependent value. *)
+let stmt_rectify_case schema (s : stmt) =
+  let dep = quote_ident (Schema.name schema s.on) in
+  let whens =
+    List.map
+      (fun (b : branch) ->
+        Printf.sprintf "WHEN %s THEN %s"
+          (condition_sql schema b.condition)
+          (sql_literal b.assignment))
+      s.branches
+  in
+  Printf.sprintf "CASE %s ELSE %s END" (String.concat " " whens) dep
+
+(* UPDATE applying the rectify strategy for one statement. *)
+let stmt_rectify_update schema ~table (s : stmt) =
+  Printf.sprintf "UPDATE %s SET %s = %s;" (quote_ident table)
+    (quote_ident (Schema.name schema s.on))
+    (stmt_rectify_case schema s)
+
+let prog_violation_queries ~table (p : prog) =
+  List.map (stmt_violation_query p.schema ~table) p.stmts
+
+let prog_rectify_updates ~table (p : prog) =
+  List.map (stmt_rectify_update p.schema ~table) p.stmts

@@ -1,0 +1,19 @@
+(** Translate synthesized constraints to standard SQL. *)
+
+val quote_ident : string -> string
+val sql_literal : Dataframe.Value.t -> string
+val condition_sql : Dataframe.Schema.t -> Dsl.condition -> string
+
+(** SELECT returning the rows of [table] violating the statement. *)
+val stmt_violation_query :
+  Dataframe.Schema.t -> table:string -> Dsl.stmt -> string
+
+(** CASE expression computing the rectified dependent value. *)
+val stmt_rectify_case : Dataframe.Schema.t -> Dsl.stmt -> string
+
+(** UPDATE applying the rectify strategy for one statement. *)
+val stmt_rectify_update :
+  Dataframe.Schema.t -> table:string -> Dsl.stmt -> string
+
+val prog_violation_queries : table:string -> Dsl.prog -> string list
+val prog_rectify_updates : table:string -> Dsl.prog -> string list

@@ -1,0 +1,175 @@
+(* End-to-end synthesis (paper Fig. 4 workflow + Algorithm 2).
+
+   1. Restrict to categorical attributes.
+   2. Draw auxiliary-distribution samples (or raw codes for the identity
+      ablation).
+   3. Learn the CPDAG of the MEC with the PC algorithm over a chi-square
+      CI oracle.
+   4. Enumerate the DAGs of the MEC (capped), derive a program sketch from
+      each DAG's parent sets, fill it with Algorithm 1, and keep the
+      program with the highest coverage (Alg. 2's fitness).
+
+   Statement-level cache: distinct DAGs of one MEC share most parent sets,
+   so concretized statements are memoized on (given, on) — the
+   implementation optimization described in paper §7. *)
+
+module Frame = Dataframe.Frame
+
+let log_src = Logs.Src.create "guardrail.synthesize" ~doc:"GUARDRAIL synthesis pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type timing = {
+  sampling_s : float;
+  structure_s : float;
+  enumeration_s : float;
+  fill_s : float;
+}
+
+type result = {
+  program : Dsl.prog;
+  coverage : float;
+  cpdag : Pgm.Pdag.t;
+  dag_count : int;
+  truncated : bool;
+  columns : int list;        (* frame columns the variables map to *)
+  cache_hits : int;
+  cache_misses : int;
+  timing : timing;
+}
+
+let total_time t = t.sampling_s +. t.structure_s +. t.enumeration_s +. t.fill_s
+
+let now () = Unix.gettimeofday ()
+
+(* Columns eligible for constraint synthesis: categorical, non-constant,
+   and of manageable cardinality relative to the data size. *)
+let eligible_columns frame =
+  List.filter
+    (fun c ->
+      let col = Frame.column frame c in
+      let k = Dataframe.Column.cardinality col in
+      k >= 2 && k <= max 2 (Frame.nrows frame / 2))
+    (Frame.categorical_indices frame)
+
+let learn_cpdag ?(config = Config.default) frame cols =
+  let samples =
+    match config.Config.sampler with
+    | Config.Auxiliary ->
+      Auxdist.circular_shift ~max_shifts:config.Config.max_shifts
+        ~max_samples:config.Config.max_samples frame cols
+    | Config.Identity -> Auxdist.identity frame cols
+  in
+  let oracle =
+    Auxdist.ci_oracle ~alpha:config.Config.alpha
+      ~max_strata:config.Config.max_strata
+      ~min_effect:config.Config.min_effect samples
+  in
+  let cpdag, _sepsets =
+    Pgm.Pc.cpdag ~n:(List.length cols) ~max_cond:config.Config.max_cond oracle
+  in
+  cpdag
+
+let run ?(config = Config.default) frame =
+  let cols = eligible_columns frame in
+  let n_vars = List.length cols in
+  let var_to_col = Array.of_list cols in
+  let t0 = now () in
+  let samples =
+    match config.Config.sampler with
+    | Config.Auxiliary when Frame.nrows frame >= 2 ->
+      Auxdist.circular_shift ~max_shifts:config.Config.max_shifts
+        ~max_samples:config.Config.max_samples frame cols
+    | Config.Auxiliary | Config.Identity -> Auxdist.identity frame cols
+  in
+  let t1 = now () in
+  let oracle =
+    Auxdist.ci_oracle ~alpha:config.Config.alpha
+      ~max_strata:config.Config.max_strata
+      ~min_effect:config.Config.min_effect samples
+  in
+  let cpdag, dags, truncated, t2, t3 =
+    match config.Config.structure with
+    | Config.Pc_mec ->
+      let cpdag, _ =
+        Pgm.Pc.cpdag ~n:n_vars ~max_cond:config.Config.max_cond oracle
+      in
+      let t2 = now () in
+      let dags, truncated =
+        Pgm.Enumerate.consistent_extensions ~max_dags:config.Config.max_dags
+          cpdag
+      in
+      Log.debug (fun m ->
+          m "MEC: %d DAGs%s over %d variables" (List.length dags)
+            (if truncated then " (truncated)" else "")
+            n_vars);
+      (cpdag, dags, truncated, t2, now ())
+    | Config.Hill_climb ->
+      (* score-based alternative: a single BIC-optimal-ish DAG, no MEC *)
+      let data =
+        Pgm.Score.data_of ~cards:samples.Auxdist.cards
+          (Array.to_list samples.Auxdist.columns)
+      in
+      let dag = Pgm.Score.hill_climb data in
+      let t2 = now () in
+      (Pgm.Pdag.of_dag dag, [ dag ], false, t2, t2)
+  in
+  (* Algorithm 2 main loop with the statement-level cache. *)
+  let cache : (int list * int, Fill.filled option) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let hits = ref 0 and misses = ref 0 in
+  let fill_cached (sk : Sketch.stmt_sketch) =
+    let key = (sk.Sketch.given, sk.Sketch.on) in
+    match Hashtbl.find_opt cache key with
+    | Some r ->
+      incr hits;
+      r
+    | None ->
+      incr misses;
+      let r =
+        Fill.fill_stmt_sketch ~min_support:config.Config.min_support frame
+          ~epsilon:config.Config.epsilon sk
+      in
+      Hashtbl.add cache key r;
+      r
+  in
+  let best = ref (Dsl.empty (Frame.schema frame), -1.0) in
+  List.iter
+    (fun dag ->
+      let sketch = Sketch.of_dag ~var_to_col:(fun i -> var_to_col.(i)) dag in
+      let filled = List.filter_map fill_cached sketch in
+      let stmts = List.map (fun f -> f.Fill.stmt) filled in
+      let coverage =
+        match filled with
+        | [] -> 0.0
+        | fs ->
+          List.fold_left (fun acc f -> acc +. f.Fill.coverage) 0.0 fs
+          /. float_of_int (List.length fs)
+      in
+      if coverage > snd !best then
+        best := (Dsl.prog ~schema:(Frame.schema frame) stmts, coverage))
+    dags;
+  let t4 = now () in
+  let program, coverage = !best in
+  let coverage = Float.max coverage 0.0 in
+  Log.info (fun m ->
+      m "synthesized %d statements, coverage %.3f (%d cache hits / %d misses)"
+        (Dsl.stmt_count program) coverage !hits !misses);
+  {
+    program;
+    coverage;
+    cpdag;
+    dag_count = List.length dags;
+    truncated;
+    columns = cols;
+    cache_hits = !hits;
+    cache_misses = !misses;
+    timing =
+      {
+        sampling_s = t1 -. t0;
+        structure_s = t2 -. t1;
+        enumeration_s = t3 -. t2;
+        fill_s = t4 -. t3;
+      };
+  }

@@ -1,0 +1,32 @@
+(** End-to-end synthesis (paper Fig. 4 + Algorithm 2). *)
+
+type timing = {
+  sampling_s : float;
+  structure_s : float;
+  enumeration_s : float;
+  fill_s : float;
+}
+
+type result = {
+  program : Dsl.prog;
+  coverage : float;          (** Alg. 2 fitness of the returned program *)
+  cpdag : Pgm.Pdag.t;        (** learned MEC representation *)
+  dag_count : int;           (** DAGs enumerated within the MEC *)
+  truncated : bool;          (** enumeration hit the [max_dags] cap *)
+  columns : int list;        (** frame columns the CPDAG variables map to *)
+  cache_hits : int;
+  cache_misses : int;
+  timing : timing;
+}
+
+val total_time : timing -> float
+
+(** Categorical, non-constant columns of tractable cardinality. *)
+val eligible_columns : Dataframe.Frame.t -> int list
+
+(** Structure-learning phase only (used by ablations). *)
+val learn_cpdag :
+  ?config:Config.t -> Dataframe.Frame.t -> int list -> Pgm.Pdag.t
+
+(** Full pipeline with the defaults of {!Config.default}. *)
+val run : ?config:Config.t -> Dataframe.Frame.t -> result

@@ -1,0 +1,159 @@
+(* Runtime guardrail: check rows against a synthesized program and handle
+   violations with the paper's four strategies (§7):
+
+     raise   - abort on the first violation,
+     ignore  - report but leave the data untouched,
+     coerce  - blank the offending dependent cell (NaN/NULL semantics),
+     rectify - overwrite it with the value the program entails.
+
+   The rectify strategy is the one that repairs ML-integrated queries in
+   the evaluation (RQ2). *)
+
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+
+type violation = {
+  row : int;
+  stmt : Dsl.stmt;
+  branch : Dsl.branch;
+  actual : Value.t;     (* offending value of the dependent attribute *)
+  expected : Value.t;   (* value the branch assigns *)
+}
+
+type strategy = Raise | Ignore | Coerce | Rectify
+
+exception Violation_error of string
+
+let strategy_of_string = function
+  | "raise" -> Some Raise
+  | "ignore" -> Some Ignore
+  | "coerce" -> Some Coerce
+  | "rectify" -> Some Rectify
+  | _ -> None
+
+let strategy_to_string = function
+  | Raise -> "raise"
+  | Ignore -> "ignore"
+  | Coerce -> "coerce"
+  | Rectify -> "rectify"
+
+(* Compiled form: each statement becomes a hash table from determinant
+   value tuples to the branch that matches them, so checking a row is
+   O(statements) instead of O(branches) — statements over high-cardinality
+   attributes have thousands of branches. *)
+type compiled_stmt = {
+  source : Dsl.stmt;
+  given : int array;
+  table : (Value.t list, Dsl.branch) Hashtbl.t;
+}
+
+type compiled = { prog : Dsl.prog; compiled_stmts : compiled_stmt list }
+
+let compile (p : Dsl.prog) =
+  let compile_stmt (s : Dsl.stmt) =
+    let given = Array.of_list s.Dsl.given in
+    let table = Hashtbl.create (List.length s.Dsl.branches) in
+    List.iter
+      (fun (b : Dsl.branch) ->
+        (* conditions are sorted by attribute, matching [given] *)
+        let key = List.map (fun { Dsl.value; _ } -> value) b.Dsl.condition in
+        Hashtbl.replace table key b)
+      s.Dsl.branches;
+    { source = s; given; table }
+  in
+  { prog = p; compiled_stmts = List.map compile_stmt p.Dsl.stmts }
+
+let check_values_compiled (c : compiled) values =
+  List.filter_map
+    (fun cs ->
+      let key = Array.to_list (Array.map (fun attr -> values.(attr)) cs.given) in
+      match Hashtbl.find_opt cs.table key with
+      | None -> None
+      | Some b ->
+        let actual = values.(cs.source.Dsl.on) in
+        if Value.equal actual b.Dsl.assignment then None
+        else
+          Some
+            {
+              row = -1;
+              stmt = cs.source;
+              branch = b;
+              actual;
+              expected = b.Dsl.assignment;
+            })
+    c.compiled_stmts
+
+(* Violations of one materialized row. *)
+let check_values (p : Dsl.prog) values = check_values_compiled (compile p) values
+
+(* All violations over a frame. *)
+let violations (p : Dsl.prog) frame =
+  let c = compile p in
+  let acc = ref [] in
+  for i = Frame.nrows frame - 1 downto 0 do
+    let vs = check_values_compiled c (Frame.row frame i) in
+    acc := List.map (fun v -> { v with row = i }) vs @ !acc
+  done;
+  !acc
+
+(* Per-row violation flags: the detector output scored in Table 3. *)
+let detect (p : Dsl.prog) frame =
+  let flags = Array.make (Frame.nrows frame) false in
+  List.iter (fun v -> flags.(v.row) <- true) (violations p frame);
+  flags
+
+let describe schema v =
+  Fmt.str "row %d: %s = %a violates [%a] (expected %a)" v.row
+    (Dataframe.Schema.name schema v.stmt.Dsl.on)
+    Value.pp v.actual
+    (Pretty.pp_branch schema v.stmt.Dsl.on)
+    v.branch Value.pp v.expected
+
+(* Apply a handling strategy. Returns the (possibly repaired) frame plus
+   the violations found. *)
+let handle ?(strategy = Ignore) (p : Dsl.prog) frame =
+  let vs = violations p frame in
+  match strategy with
+  | Ignore -> (frame, vs)
+  | Raise ->
+    (match vs with
+     | [] -> (frame, [])
+     | v :: _ ->
+       raise (Violation_error (describe (Frame.schema frame) v)))
+  | Coerce ->
+    let repaired =
+      List.fold_left
+        (fun f v -> Frame.set f v.row v.stmt.Dsl.on Value.Null)
+        frame vs
+    in
+    (repaired, vs)
+  | Rectify ->
+    let repaired =
+      List.fold_left
+        (fun f v -> Frame.set f v.row v.stmt.Dsl.on v.expected)
+        frame vs
+    in
+    (repaired, vs)
+
+(* Re-resolve a program's attribute indices by name against another
+   schema, so constraints synthesized on a training split can be applied
+   to any frame with the same column names. *)
+let rebind (p : Dsl.prog) schema =
+  let old = p.Dsl.schema in
+  let map i = Dataframe.Schema.index schema (Dataframe.Schema.name old i) in
+  let map_branch (b : Dsl.branch) =
+    Dsl.branch
+      ~condition:
+        (List.map
+           (fun { Dsl.attr; value } -> { Dsl.attr = map attr; value })
+           b.Dsl.condition)
+      ~assignment:b.Dsl.assignment
+  in
+  let stmts =
+    List.map
+      (fun (s : Dsl.stmt) ->
+        Dsl.stmt ~given:(List.map map s.Dsl.given) ~on:(map s.Dsl.on)
+          ~branches:(List.map map_branch s.Dsl.branches))
+      p.Dsl.stmts
+  in
+  Dsl.prog ~schema stmts

@@ -1,0 +1,48 @@
+(** Runtime guardrail: violation detection and the four error-handling
+    strategies of paper §7. *)
+
+type violation = {
+  row : int;
+  stmt : Dsl.stmt;
+  branch : Dsl.branch;
+  actual : Dataframe.Value.t;
+  expected : Dataframe.Value.t;
+}
+
+type strategy = Raise | Ignore | Coerce | Rectify
+
+exception Violation_error of string
+
+val strategy_of_string : string -> strategy option
+val strategy_to_string : strategy -> string
+
+(** Statements compiled into determinant-tuple hash tables: checking a row
+    is O(statements) instead of O(branches). *)
+type compiled
+
+val compile : Dsl.prog -> compiled
+
+(** Violations of one materialized row ([row] field is [-1]). *)
+val check_values_compiled : compiled -> Dataframe.Value.t array -> violation list
+
+(** One-shot variant of {!check_values_compiled}; compile once when
+    checking many rows. *)
+val check_values : Dsl.prog -> Dataframe.Value.t array -> violation list
+
+val violations : Dsl.prog -> Dataframe.Frame.t -> violation list
+
+(** Per-row violation flags — the detector output scored in Table 3. *)
+val detect : Dsl.prog -> Dataframe.Frame.t -> bool array
+
+val describe : Dataframe.Schema.t -> violation -> string
+
+(** Apply a strategy (default [Ignore]); [Raise] raises
+    {!Violation_error} on the first violation. *)
+val handle :
+  ?strategy:strategy ->
+  Dsl.prog ->
+  Dataframe.Frame.t ->
+  Dataframe.Frame.t * violation list
+
+(** Re-resolve attribute indices by column name against another schema. *)
+val rebind : Dsl.prog -> Dataframe.Schema.t -> Dsl.prog

@@ -1,0 +1,1 @@
+lib/dataframe/column.ml: Array Hashtbl List Value

@@ -1,0 +1,1 @@
+lib/dataframe/column.mli: Value

@@ -1,0 +1,1 @@
+lib/dataframe/csv.ml: Array Buffer Frame Hashtbl List Printf Schema String Value

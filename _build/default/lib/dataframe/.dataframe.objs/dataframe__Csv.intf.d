@@ -1,0 +1,1 @@
+lib/dataframe/csv.mli: Frame

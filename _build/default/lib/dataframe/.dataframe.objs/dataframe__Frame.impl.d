@@ -1,0 +1,1 @@
+lib/dataframe/frame.ml: Array Column Fmt List Schema Value

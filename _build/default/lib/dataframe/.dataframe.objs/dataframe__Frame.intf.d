@@ -1,0 +1,1 @@
+lib/dataframe/frame.mli: Column Format Schema Value

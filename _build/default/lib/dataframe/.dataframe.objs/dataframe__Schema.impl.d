@@ -1,0 +1,1 @@
+lib/dataframe/schema.ml: Array Fmt Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/dataframe/schema.mli: Format

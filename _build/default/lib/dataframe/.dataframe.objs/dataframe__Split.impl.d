@@ -1,0 +1,1 @@
+lib/dataframe/split.ml: Array Float Frame Random

@@ -1,0 +1,1 @@
+lib/dataframe/split.mli: Frame

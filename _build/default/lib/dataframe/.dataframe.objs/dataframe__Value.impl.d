@@ -1,0 +1,1 @@
+lib/dataframe/value.ml: Bool Float Fmt Hashtbl Int Printf String

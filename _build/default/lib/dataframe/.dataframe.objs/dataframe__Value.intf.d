@@ -1,0 +1,1 @@
+lib/dataframe/value.mli: Format

@@ -1,0 +1,124 @@
+(* In-memory relation: a schema plus one dictionary-encoded column per
+   attribute. Rows are materialized on demand. *)
+
+type t = {
+  schema : Schema.t;
+  columns : Column.t array;
+  nrows : int;
+}
+
+let schema t = t.schema
+let nrows t = t.nrows
+let ncols t = Array.length t.columns
+let column t i = t.columns.(i)
+let column_by_name t n = t.columns.(Schema.index t.schema n)
+let names t = Schema.names t.schema
+let index t n = Schema.index t.schema n
+
+let check_consistent schema columns =
+  let arity = Schema.arity schema in
+  if Array.length columns <> arity then
+    invalid_arg "Dataframe: schema arity and column count differ";
+  if arity > 0 then begin
+    let n = Column.length columns.(0) in
+    Array.iter
+      (fun c ->
+        if Column.length c <> n then invalid_arg "Dataframe: ragged columns")
+      columns
+  end
+
+let of_columns schema columns =
+  let columns = Array.of_list columns in
+  check_consistent schema columns;
+  let nrows = if Array.length columns = 0 then 0 else Column.length columns.(0) in
+  { schema; columns; nrows }
+
+let of_rows schema rows =
+  let arity = Schema.arity schema in
+  let rows = Array.of_list rows in
+  Array.iter
+    (fun r ->
+      if Array.length r <> arity then invalid_arg "Dataframe.of_rows: ragged row")
+    rows;
+  let columns =
+    Array.init arity (fun j -> Column.of_values (Array.map (fun r -> r.(j)) rows))
+  in
+  { schema; columns; nrows = Array.length rows }
+
+let get t row col = Column.get t.columns.(col) row
+let get_by_name t row name = get t row (index t name)
+let row t i = Array.map (fun c -> Column.get c i) t.columns
+
+let rows t = List.init t.nrows (row t)
+
+let set t row col v =
+  let columns = Array.copy t.columns in
+  columns.(col) <- Column.set columns.(col) row v;
+  { t with columns }
+
+(* Integer code matrix, one code array per column: the representation the
+   synthesis pipeline and the baselines operate on. *)
+let code_matrix t = Array.map Column.codes t.columns
+
+let cardinalities t = Array.map Column.cardinality t.columns
+
+let filter t pred =
+  let keep = Array.init t.nrows (fun i -> pred t i) in
+  let columns = Array.map (fun c -> Column.select c (fun i -> keep.(i))) t.columns in
+  let nrows = Array.fold_left (fun acc k -> if k then acc + 1 else acc) 0 keep in
+  { t with columns; nrows }
+
+let take t indices =
+  let columns = Array.map (fun c -> Column.take c indices) t.columns in
+  { t with columns; nrows = Array.length indices }
+
+let project t names =
+  let idxs = List.map (index t) names in
+  let cols = List.map (fun i -> Schema.col t.schema i) idxs in
+  let schema = Schema.make cols in
+  let columns = Array.of_list (List.map (fun i -> t.columns.(i)) idxs) in
+  { schema; columns; nrows = t.nrows }
+
+let append a b =
+  if Schema.names a.schema <> Schema.names b.schema then
+    invalid_arg "Dataframe.append: schema mismatch";
+  let columns = Array.mapi (fun i c -> Column.append c b.columns.(i)) a.columns in
+  { a with columns; nrows = a.nrows + b.nrows }
+
+let head t k = take t (Array.init (min k t.nrows) (fun i -> i))
+
+let iter_rows t f =
+  for i = 0 to t.nrows - 1 do
+    f i
+  done
+
+let fold_rows t init f =
+  let acc = ref init in
+  for i = 0 to t.nrows - 1 do
+    acc := f !acc i
+  done;
+  !acc
+
+let categorical_indices t =
+  let acc = ref [] in
+  for i = Schema.arity t.schema - 1 downto 0 do
+    match Schema.kind t.schema i with
+    | Schema.Categorical -> acc := i :: !acc
+    | Schema.Numeric -> ()
+  done;
+  !acc
+
+let pp ppf t =
+  let arity = ncols t in
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "%a@,"
+    Fmt.(list ~sep:(any " | ") string)
+    (List.init arity (Schema.name t.schema));
+  let shown = min t.nrows 20 in
+  for i = 0 to shown - 1 do
+    Fmt.pf ppf "%a@,"
+      Fmt.(list ~sep:(any " | ") string)
+      (List.init arity (fun j -> Value.to_string (get t i j)))
+  done;
+  if t.nrows > shown then Fmt.pf ppf "... (%d rows)@," t.nrows;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,56 @@
+(** In-memory relation: a schema plus one dictionary-encoded column per
+    attribute. *)
+
+type t
+
+val schema : t -> Schema.t
+val nrows : t -> int
+val ncols : t -> int
+val column : t -> int -> Column.t
+val column_by_name : t -> string -> Column.t
+val names : t -> string list
+
+(** Index of a named column; raises [Invalid_argument] if absent. *)
+val index : t -> string -> int
+
+(** Build from columns; raises [Invalid_argument] on arity or length
+    mismatch. *)
+val of_columns : Schema.t -> Column.t list -> t
+
+(** Build from row arrays; raises [Invalid_argument] on ragged rows. *)
+val of_rows : Schema.t -> Value.t array list -> t
+
+val get : t -> int -> int -> Value.t
+val get_by_name : t -> int -> string -> Value.t
+val row : t -> int -> Value.t array
+val rows : t -> Value.t array list
+
+(** Functional single-cell update. *)
+val set : t -> int -> int -> Value.t -> t
+
+(** Per-column code arrays — the representation the synthesis pipeline
+    operates on. Do not mutate. *)
+val code_matrix : t -> int array array
+
+val cardinalities : t -> int array
+
+(** Keep rows satisfying [pred t row_index]. *)
+val filter : t -> (t -> int -> bool) -> t
+
+(** Gather rows by index (duplicates allowed). *)
+val take : t -> int array -> t
+
+(** Restrict to named columns, in the given order. *)
+val project : t -> string list -> t
+
+(** Concatenate two frames with identical column names. *)
+val append : t -> t -> t
+
+val head : t -> int -> t
+val iter_rows : t -> (int -> unit) -> unit
+val fold_rows : t -> 'a -> ('a -> int -> 'a) -> 'a
+
+(** Indices of categorical columns, ascending. *)
+val categorical_indices : t -> int list
+
+val pp : Format.formatter -> t -> unit

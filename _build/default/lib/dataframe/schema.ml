@@ -1,0 +1,51 @@
+(* Column declarations for a relation. *)
+
+type kind =
+  | Categorical  (* finite domain; the attribute class GUARDRAIL targets *)
+  | Numeric      (* continuous; ignored by constraint synthesis *)
+
+type col = { name : string; kind : kind }
+
+type t = { cols : col array; by_name : (string, int) Hashtbl.t }
+
+let make cols =
+  let cols = Array.of_list cols in
+  let by_name = Hashtbl.create (Array.length cols) in
+  Array.iteri
+    (fun i c ->
+      if Hashtbl.mem by_name c.name then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate column %S" c.name);
+      Hashtbl.add by_name c.name i)
+    cols;
+  { cols; by_name }
+
+let categorical name = { name; kind = Categorical }
+let numeric name = { name; kind = Numeric }
+
+let arity t = Array.length t.cols
+let col t i = t.cols.(i)
+let name t i = t.cols.(i).name
+let kind t i = t.cols.(i).kind
+let names t = Array.to_list (Array.map (fun c -> c.name) t.cols)
+
+let index t n =
+  match Hashtbl.find_opt t.by_name n with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Schema: no column %S" n)
+
+let index_opt t n = Hashtbl.find_opt t.by_name n
+let mem t n = Hashtbl.mem t.by_name n
+
+let equal_kind a b =
+  match a, b with
+  | Categorical, Categorical | Numeric, Numeric -> true
+  | (Categorical | Numeric), _ -> false
+
+let pp_kind ppf = function
+  | Categorical -> Fmt.string ppf "categorical"
+  | Numeric -> Fmt.string ppf "numeric"
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.iter Array.iter (fun ppf c -> Fmt.pf ppf "%s : %a" c.name pp_kind c.kind))
+    t.cols

@@ -1,0 +1,30 @@
+(** Column declarations for a relation. *)
+
+type kind =
+  | Categorical  (** finite domain; the attribute class GUARDRAIL targets *)
+  | Numeric      (** continuous; ignored by constraint synthesis *)
+
+type col = { name : string; kind : kind }
+
+type t
+
+(** Raises [Invalid_argument] on duplicate column names. *)
+val make : col list -> t
+
+val categorical : string -> col
+val numeric : string -> col
+
+val arity : t -> int
+val col : t -> int -> col
+val name : t -> int -> string
+val kind : t -> int -> kind
+val names : t -> string list
+
+(** Index of a named column. Raises [Invalid_argument] if absent. *)
+val index : t -> string -> int
+
+val index_opt : t -> string -> int option
+val mem : t -> string -> bool
+val equal_kind : kind -> kind -> bool
+val pp_kind : Format.formatter -> kind -> unit
+val pp : Format.formatter -> t -> unit

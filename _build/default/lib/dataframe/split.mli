@@ -1,0 +1,14 @@
+(** Deterministic shuffling and train/test splitting. *)
+
+(** Seeded Fisher–Yates permutation of [0 .. n-1]. *)
+val permutation : seed:int -> int -> int array
+
+val shuffle : seed:int -> Frame.t -> Frame.t
+
+(** [(train, test)]; shuffles first, keeps at least one row per side when
+    the frame has two or more rows. *)
+val train_test :
+  seed:int -> train_fraction:float -> Frame.t -> Frame.t * Frame.t
+
+(** [k] distinct row indices out of [n], seeded. *)
+val sample_indices : seed:int -> int -> int -> int array

@@ -1,0 +1,92 @@
+(* Cell values for relational data.
+
+   GUARDRAIL's DSL literals range over strings, numbers and booleans
+   (Fig. 2 of the paper); relational data additionally needs an explicit
+   null. We keep a single closed variant so columns can be heterogeneous
+   at parse time and dictionary-encoded afterwards. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+let null = Null
+let bool b = Bool b
+let int i = Int i
+let float f = Float f
+let string s = String s
+
+let is_null = function Null -> true | Bool _ | Int _ | Float _ | String _ -> false
+
+(* Total order: Null < Bool < Int/Float (numeric, compared by value) < String.
+   Int and Float compare numerically so that [Int 1] = [Float 1.0]; this is
+   what SQL comparison semantics and dictionary encoding both want. *)
+let compare a b =
+  let rank = function
+    | Null -> 0
+    | Bool _ -> 1
+    | Int _ | Float _ -> 2
+    | String _ -> 3
+  in
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | (Null | Bool _ | Int _ | Float _ | String _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Bool b -> if b then 1 else 2
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+
+let to_string = function
+  | Null -> ""
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else string_of_float f
+  | String s -> s
+
+let pp ppf v =
+  match v with
+  | Null -> Fmt.string ppf "NULL"
+  | String s -> Fmt.pf ppf "%S" s
+  | Bool _ | Int _ | Float _ -> Fmt.string ppf (to_string v)
+
+(* Parse a raw CSV field with mild type sniffing. The empty string and the
+   conventional NA spellings become [Null]. *)
+let of_raw s =
+  match s with
+  | "" | "NA" | "N/A" | "NaN" | "nan" | "null" | "NULL" -> Null
+  | "true" | "True" | "TRUE" -> Bool true
+  | "false" | "False" | "FALSE" -> Bool false
+  | _ ->
+    (match int_of_string_opt s with
+     | Some i -> Int i
+     | None ->
+       (match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> String s))
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Bool b -> Some (if b then 1.0 else 0.0)
+  | Null | String _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | Bool b -> Some (if b then 1 else 0)
+  | Null | Float _ | String _ -> None

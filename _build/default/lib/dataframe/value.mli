@@ -1,0 +1,42 @@
+(** Cell values for relational data.
+
+    A single closed variant covering nulls, booleans, integers, floats and
+    strings. Integers and floats compare numerically, so [Int 1] and
+    [Float 1.0] are equal under {!equal}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+val null : t
+val bool : bool -> t
+val int : int -> t
+val float : float -> t
+val string : string -> t
+
+val is_null : t -> bool
+
+(** Total order: [Null < Bool < numeric < String]; numerics compare by
+    value across [Int]/[Float]. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** Consistent with {!equal}: equal values hash equally (ints hash as their
+    float image). *)
+val hash : t -> int
+
+(** Round-trippable textual form; [Null] prints as the empty string. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Parse a raw CSV field with type sniffing. Empty string and common NA
+    spellings parse to [Null]. *)
+val of_raw : string -> t
+
+val to_float : t -> float option
+val to_int : t -> int option

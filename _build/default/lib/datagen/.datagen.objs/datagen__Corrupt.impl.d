@@ -1,0 +1,1 @@
+lib/datagen/corrupt.ml: Array Dataframe List Netlib Option Spec Stat

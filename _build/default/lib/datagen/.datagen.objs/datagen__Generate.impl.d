@@ -1,0 +1,1 @@
+lib/datagen/generate.ml: Array Dataframe List Netlib Option Pgm Printf Spec Stat

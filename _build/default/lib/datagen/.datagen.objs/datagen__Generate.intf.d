@@ -1,0 +1,1 @@
+lib/datagen/generate.mli: Dataframe Netlib Spec

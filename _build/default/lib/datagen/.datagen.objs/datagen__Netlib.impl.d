@@ -1,0 +1,1 @@
+lib/datagen/netlib.ml: Array List Pgm Printf Spec Stat

@@ -1,0 +1,1 @@
+lib/datagen/netlib.mli: Pgm Spec

@@ -1,0 +1,1 @@
+lib/datagen/spec.ml: Fmt List Printf

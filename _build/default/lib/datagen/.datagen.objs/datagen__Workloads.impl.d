@@ -1,0 +1,1 @@
+lib/datagen/workloads.ml: Array Dataframe List Netlib Printf Spec String

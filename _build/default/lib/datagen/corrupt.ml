@@ -1,0 +1,77 @@
+(* Error injection (paper §8, Setup).
+
+   Cells of eligible columns are replaced by a *different* random value
+   from the column's observed domain. The paper injects at a fixed 1% row
+   rate, "slightly higher for datasets with fewer rows, capped at 30
+   errors"; [error_count] reproduces that rule. The injector returns the
+   ground-truth error mask detection is scored against (Table 3). *)
+
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+
+type injection = {
+  corrupted : Frame.t;
+  mask : bool array;                  (* per-row: was an error injected? *)
+  cells : (int * int) list;           (* (row, column) of each error *)
+}
+
+let error_count n_rows =
+  let one_percent = n_rows / 100 in
+  if one_percent >= 30 then one_percent else min 30 (max 1 (n_rows / 10))
+
+(* Replace the cell with a different value drawn from the column's
+   dictionary (requires at least two distinct values). *)
+let corrupt_cell rng frame row col =
+  let column = Frame.column frame col in
+  let card = Dataframe.Column.cardinality column in
+  if card < 2 then None
+  else begin
+    let current = Dataframe.Column.code column row in
+    let pick = Stat.Rng.int rng (card - 1) in
+    let code = if pick >= current then pick + 1 else pick in
+    Some (Dataframe.Column.value_of_code column code)
+  end
+
+let inject ?(seed = 42) ?n_errors ~columns frame =
+  let n = Frame.nrows frame in
+  let columns = Array.of_list columns in
+  if Array.length columns = 0 then invalid_arg "Corrupt.inject: no columns";
+  let rng = Stat.Rng.create seed in
+  let k = min n (Option.value ~default:(error_count n) n_errors) in
+  let rows = Array.init n (fun i -> i) in
+  Stat.Rng.shuffle_in_place rng rows;
+  let mask = Array.make n false in
+  let cells = ref [] in
+  let frame_ref = ref frame in
+  let placed = ref 0 in
+  let idx = ref 0 in
+  while !placed < k && !idx < n do
+    let row = rows.(!idx) in
+    incr idx;
+    let col = columns.(Stat.Rng.int rng (Array.length columns)) in
+    match corrupt_cell rng !frame_ref row col with
+    | Some v ->
+      frame_ref := Frame.set !frame_ref row col v;
+      mask.(row) <- true;
+      cells := (row, col) :: !cells;
+      incr placed
+    | None -> ()
+  done;
+  { corrupted = !frame_ref; mask; cells = List.rev !cells }
+
+(* Inject only into constrained attributes — the §8.2 protocol that
+   isolates detectable errors. *)
+let inject_constrained ?seed ?n_errors (b : Netlib.built) frame =
+  let columns =
+    List.map (fun i -> Frame.index frame b.Netlib.names.(i)) b.Netlib.constrained
+  in
+  inject ?seed ?n_errors ~columns frame
+
+(* Inject into any non-label attribute (Table 3 protocol). *)
+let inject_any ?seed ?n_errors (b : Netlib.built) frame =
+  let columns =
+    List.filter
+      (fun c -> c <> Frame.index frame b.Netlib.spec.Spec.label)
+      (List.init (Frame.ncols frame) (fun i -> i))
+  in
+  inject ?seed ?n_errors ~columns frame

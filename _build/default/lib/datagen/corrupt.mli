@@ -1,0 +1,24 @@
+(** Error injection with ground-truth masks (paper §8 setup). *)
+
+type injection = {
+  corrupted : Dataframe.Frame.t;
+  mask : bool array;          (** per-row: was an error injected? *)
+  cells : (int * int) list;   (** (row, column) of each injected error *)
+}
+
+(** The paper's rule: 1% of rows, slightly higher for small datasets,
+    capped at 30. *)
+val error_count : int -> int
+
+(** Inject [n_errors] (default {!error_count}) single-cell errors into the
+    given columns; raises [Invalid_argument] on an empty column list. *)
+val inject :
+  ?seed:int -> ?n_errors:int -> columns:int list -> Dataframe.Frame.t -> injection
+
+(** Restrict to constrained attributes (§8.2 protocol). *)
+val inject_constrained :
+  ?seed:int -> ?n_errors:int -> Netlib.built -> Dataframe.Frame.t -> injection
+
+(** Any non-label attribute (Table 3 protocol). *)
+val inject_any :
+  ?seed:int -> ?n_errors:int -> Netlib.built -> Dataframe.Frame.t -> injection

@@ -1,0 +1,40 @@
+(* Materialize a dataset: forward-sample its ground-truth network into a
+   dataframe of string-valued categorical columns. *)
+
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+
+(* Map a node's sampled value index to a printable value. Labels use the
+   spec's label vocabulary (cycled if the network card exceeds it). *)
+let render (b : Netlib.built) node_idx v =
+  if node_idx = b.Netlib.label_idx then begin
+    let vocab = Array.of_list b.Netlib.spec.Spec.label_values in
+    Value.String vocab.(v mod Array.length vocab)
+  end
+  else Value.String (Printf.sprintf "v%d" v)
+
+let frame_of_samples (b : Netlib.built) samples =
+  let n_nodes = Pgm.Bayes_net.node_count b.Netlib.net in
+  let cols =
+    List.init n_nodes (fun i -> Dataframe.Schema.categorical b.Netlib.names.(i))
+  in
+  let schema = Dataframe.Schema.make cols in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun sample -> Array.mapi (fun i v -> render b i v) sample)
+         samples)
+  in
+  Frame.of_rows schema rows
+
+(* Sample [n_rows] (or the spec's row count) with the given seed. *)
+let dataset ?n_rows ?(seed_offset = 0) (spec : Spec.t) =
+  let b = Netlib.build spec in
+  let n = Option.value ~default:spec.Spec.n_rows n_rows in
+  let rng = Stat.Rng.create (spec.Spec.seed + 7 + seed_offset) in
+  let samples = Pgm.Bayes_net.sample_many b.Netlib.net rng n in
+  (b, frame_of_samples b samples)
+
+(* Smaller replicas used by unit tests and quick experiments. *)
+let small_dataset ?(n_rows = 2000) spec =
+  dataset ~n_rows:(min n_rows spec.Spec.n_rows) spec

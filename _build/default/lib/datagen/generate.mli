@@ -1,0 +1,16 @@
+(** Materialize datasets by forward-sampling their ground-truth
+    networks. *)
+
+(** Value rendering: label values use the spec's vocabulary, other nodes
+    print as ["v<i>"]. *)
+val render : Netlib.built -> int -> int -> Dataframe.Value.t
+
+val frame_of_samples : Netlib.built -> int array array -> Dataframe.Frame.t
+
+(** Sample the spec's row count (override with [n_rows]); deterministic in
+    the spec seed plus [seed_offset]. *)
+val dataset :
+  ?n_rows:int -> ?seed_offset:int -> Spec.t -> Netlib.built * Dataframe.Frame.t
+
+(** Capped-size replica for unit tests. *)
+val small_dataset : ?n_rows:int -> Spec.t -> Netlib.built * Dataframe.Frame.t

@@ -1,0 +1,19 @@
+(** Ground-truth Bayesian networks for the 12 evaluation datasets. *)
+
+type built = {
+  spec : Spec.t;
+  net : Pgm.Bayes_net.t;
+  names : string array;     (** node order; label last *)
+  label_idx : int;
+  constrained : int list;   (** non-label attributes with parents *)
+  groups : int list list;   (** constraint groups (attribute indices) *)
+}
+
+(** Deterministic integer mixer used for constraint functions. *)
+val mix : int -> int -> int list -> int
+
+val value_names : int -> string list
+
+val build : Spec.t -> built
+
+val ground_truth_dag : built -> Pgm.Dag.t

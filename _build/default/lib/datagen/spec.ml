@@ -1,0 +1,101 @@
+(* Specifications of the 12 evaluation datasets (paper Table 2).
+
+   The originals are UCI / OpenML / Kaggle / bnlearn downloads; this repo
+   is sealed, so each dataset is re-created synthetically by sampling a
+   ground-truth Bayesian network with the same attribute count, row count
+   and qualitative character (see DESIGN.md, "Substitutions"). The knobs
+   below reproduce the failure regimes §8 discusses:
+
+     - [noise]      exogenous corruption of the constraint functions; high
+                    noise + few rows (#4 Diabetes) starves the statistical
+                    signal, which is where the paper reports GUARDRAIL's
+                    weakest result;
+     - [high_card]  number of high-cardinality attributes (e.g. #8 Jungle
+                    Chess board positions): these break the identity
+                    sampler (Table 8) and push FDX toward degeneracy;
+     - [duplicate_attr] a perfectly collinear attribute pair (#3 Cylinder
+                    Bands process parameters): makes FDX's Gram matrix
+                    singular — the paper's ill-conditioned inversion;
+     - wide datasets (#3, #11) blow up TANE/CTANE's candidate lattice. *)
+
+type t = {
+  id : int;
+  name : string;
+  category : string;
+  n_attrs : int;            (* including the label *)
+  n_rows : int;
+  label : string;
+  label_values : string list;
+  noise : float;            (* exogenous noise on constraint functions *)
+  label_noise : float;      (* noise on the label's generating function *)
+  n_chains : int;           (* 3-node constraint chains a -> b -> c *)
+  n_colliders : int;        (* 2-parent constraint functions (v-structures) *)
+  high_card : int;          (* attributes with large domains *)
+  duplicate_attr : bool;    (* add a zero-noise copy attribute *)
+  seed : int;
+}
+
+let all =
+  [
+    { id = 1; name = "Adult"; category = "Demographic"; n_attrs = 15;
+      n_rows = 48842; label = "income"; label_values = [ "<=50K"; ">50K" ];
+      noise = 0.008; label_noise = 0.10; n_chains = 3; n_colliders = 1;
+      high_card = 0; duplicate_attr = false; seed = 1101 };
+    { id = 2; name = "Lung Cancer"; category = "Medical"; n_attrs = 5;
+      n_rows = 20000; label = "dysp"; label_values = [ "no"; "yes" ];
+      noise = 0.004; label_noise = 0.05; n_chains = 1; n_colliders = 1;
+      high_card = 0; duplicate_attr = false; seed = 1202 };
+    { id = 3; name = "Cylinder Bands"; category = "Manufacturing"; n_attrs = 40;
+      n_rows = 540; label = "band_type"; label_values = [ "band"; "noband" ];
+      noise = 0.01; label_noise = 0.12; n_chains = 5; n_colliders = 2;
+      high_card = 1; duplicate_attr = true; seed = 1303 };
+    { id = 4; name = "Diabetes"; category = "Medical"; n_attrs = 9;
+      n_rows = 520; label = "class"; label_values = [ "neg"; "pos" ];
+      noise = 0.18; label_noise = 0.18; n_chains = 1; n_colliders = 1;
+      high_card = 0; duplicate_attr = false; seed = 1404 };
+    { id = 5; name = "Contraceptive Method Choice"; category = "Demographic";
+      n_attrs = 10; n_rows = 1473; label = "method";
+      label_values = [ "none"; "short"; "long" ];
+      noise = 0.10; label_noise = 0.08; n_chains = 1; n_colliders = 1;
+      high_card = 1; duplicate_attr = false; seed = 1505 };
+    { id = 6; name = "Blood Transfusion Service Center"; category = "Medical";
+      n_attrs = 4; n_rows = 748; label = "donated";
+      label_values = [ "no"; "yes" ];
+      noise = 0.005; label_noise = 0.10; n_chains = 1; n_colliders = 0;
+      high_card = 0; duplicate_attr = false; seed = 1606 };
+    { id = 7; name = "Steel Plates Faults"; category = "Manufacturing";
+      n_attrs = 28; n_rows = 1941; label = "fault";
+      label_values = [ "none"; "scratch"; "bump" ];
+      noise = 0.10; label_noise = 0.12; n_chains = 4; n_colliders = 1;
+      high_card = 0; duplicate_attr = false; seed = 1707 };
+    { id = 8; name = "Jungle Chess"; category = "Game"; n_attrs = 7;
+      n_rows = 44819; label = "outcome"; label_values = [ "w"; "d"; "l" ];
+      noise = 0.01; label_noise = 0.10; n_chains = 1; n_colliders = 1;
+      high_card = 3; duplicate_attr = false; seed = 1808 };
+    { id = 9; name = "Telco Customer Churn"; category = "Business";
+      n_attrs = 21; n_rows = 7043; label = "churn";
+      label_values = [ "no"; "yes" ];
+      noise = 0.006; label_noise = 0.10; n_chains = 4; n_colliders = 2;
+      high_card = 0; duplicate_attr = false; seed = 1909 };
+    { id = 10; name = "Bank Marketing"; category = "Business"; n_attrs = 17;
+      n_rows = 45211; label = "subscribed"; label_values = [ "no"; "yes" ];
+      noise = 0.012; label_noise = 0.14; n_chains = 3; n_colliders = 1;
+      high_card = 1; duplicate_attr = false; seed = 2010 };
+    { id = 11; name = "Phishing Websites"; category = "Security"; n_attrs = 31;
+      n_rows = 11055; label = "phishing"; label_values = [ "no"; "yes" ];
+      noise = 0.01; label_noise = 0.08; n_chains = 5; n_colliders = 2;
+      high_card = 0; duplicate_attr = false; seed = 2111 };
+    { id = 12; name = "Hotel Reservations"; category = "Business"; n_attrs = 18;
+      n_rows = 36275; label = "canceled"; label_values = [ "no"; "yes" ];
+      noise = 0.008; label_noise = 0.12; n_chains = 3; n_colliders = 2;
+      high_card = 0; duplicate_attr = false; seed = 2212 };
+  ]
+
+let by_id id =
+  match List.find_opt (fun s -> s.id = id) all with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Spec.by_id: no dataset %d" id)
+
+let pp ppf s =
+  Fmt.pf ppf "#%d %s (%s): %d attrs, %d rows" s.id s.name s.category s.n_attrs
+    s.n_rows

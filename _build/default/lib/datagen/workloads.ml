@@ -1,0 +1,86 @@
+(* The ML-integrated SQL workload: four queries per dataset, 48 in total
+   (paper §8.2). The shapes mirror the paper's examples — label-rate
+   aggregation with CASE WHEN, grouped prediction averages, filtered
+   counts — parameterized by each dataset's own attributes and values. *)
+
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+
+type query = { id : string; sql : string }
+
+let sq s = "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+
+(* Most frequent value of a column, as a SQL string literal. *)
+let modal_literal frame col_name =
+  let col = Frame.column_by_name frame col_name in
+  match Dataframe.Column.mode col with
+  | Some v -> sq (Value.to_string v)
+  | None -> "''"
+
+(* Pick grouping/filter attributes. Following the paper's query shapes,
+   errors should reach the result through the *model*, so we prefer
+   unconstrained low-cardinality attributes (grouping by a constrained
+   attribute would make the result move when the guardrail rewrites the
+   group key itself). *)
+let pick_attrs (b : Netlib.built) frame =
+  let label = b.Netlib.spec.Spec.label in
+  let card name = Dataframe.Column.cardinality (Frame.column_by_name frame name) in
+  let constrained_names =
+    List.map (fun i -> b.Netlib.names.(i)) b.Netlib.constrained
+  in
+  let all_non_label = List.filter (fun n -> n <> label) (Frame.names frame) in
+  let free_low_card =
+    List.filter
+      (fun n -> (not (List.mem n constrained_names)) && card n <= 8)
+      all_non_label
+  in
+  let any_low_card = List.filter (fun n -> card n <= 8) all_non_label in
+  let pool =
+    match free_low_card with
+    | _ :: _ -> free_low_card
+    | [] -> (match any_low_card with _ :: _ -> any_low_card | [] -> all_non_label)
+  in
+  let attr_a = List.hd pool in
+  let attr_b =
+    match List.filter (fun n -> n <> attr_a) pool with
+    | b :: _ -> b
+    | [] ->
+      (match List.filter (fun n -> n <> attr_a) all_non_label with
+       | b :: _ -> b
+       | [] -> attr_a)
+  in
+  (attr_a, attr_b)
+
+(* Four queries for one dataset, derived from its generated frame. *)
+let for_dataset (b : Netlib.built) frame =
+  let label = b.Netlib.spec.Spec.label in
+  let positive = sq (List.nth b.Netlib.spec.Spec.label_values
+                       (List.length b.Netlib.spec.Spec.label_values - 1)) in
+  let attr_a, attr_b = pick_attrs b frame in
+  let val_a = modal_literal frame attr_a in
+  let val_b = modal_literal frame attr_b in
+  let ds = b.Netlib.spec.Spec.id in
+  [
+    { id = Printf.sprintf "q%d_1" ds;
+      sql =
+        Printf.sprintf
+          "SELECT PREDICT(%s) AS pred, COUNT(*) AS n FROM t GROUP BY PREDICT(%s);"
+          label label };
+    { id = Printf.sprintf "q%d_2" ds;
+      sql =
+        Printf.sprintf
+          "SELECT AVG(CASE WHEN PREDICT(%s) = %s THEN 1 ELSE 0 END) AS rate \
+           FROM t WHERE %s = %s;"
+          label positive attr_a val_a };
+    { id = Printf.sprintf "q%d_3" ds;
+      sql =
+        Printf.sprintf
+          "SELECT %s, AVG(CASE WHEN PREDICT(%s) = %s THEN 1 ELSE 0 END) AS rate \
+           FROM t GROUP BY %s;"
+          attr_a label positive attr_a };
+    { id = Printf.sprintf "q%d_4" ds;
+      sql =
+        Printf.sprintf
+          "SELECT COUNT(*) AS n FROM t WHERE PREDICT(%s) = %s AND %s = %s;"
+          label positive attr_b val_b };
+  ]

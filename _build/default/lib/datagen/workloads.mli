@@ -1,0 +1,7 @@
+(** The ML-integrated SQL workload: four queries per dataset (48 total,
+    paper §8.2). *)
+
+type query = { id : string; sql : string }
+
+(** Four queries for one dataset, parameterized by its generated frame. *)
+val for_dataset : Netlib.built -> Dataframe.Frame.t -> query list

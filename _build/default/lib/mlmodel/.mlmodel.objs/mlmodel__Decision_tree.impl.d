@@ -1,0 +1,1 @@
+lib/mlmodel/decision_tree.ml: Array List

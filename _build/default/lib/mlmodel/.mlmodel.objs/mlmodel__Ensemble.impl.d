@@ -1,0 +1,1 @@
+lib/mlmodel/ensemble.ml: Array Dataframe Decision_tree Features Float List Naive_bayes

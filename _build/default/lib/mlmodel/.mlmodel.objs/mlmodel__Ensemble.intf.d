@@ -1,0 +1,1 @@
+lib/mlmodel/ensemble.mli: Dataframe Decision_tree

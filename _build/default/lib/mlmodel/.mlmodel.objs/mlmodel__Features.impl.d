@@ -1,0 +1,1 @@
+lib/mlmodel/features.ml: Array Dataframe Hashtbl List

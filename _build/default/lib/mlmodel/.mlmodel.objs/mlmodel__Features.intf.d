@@ -1,0 +1,1 @@
+lib/mlmodel/features.mli: Dataframe

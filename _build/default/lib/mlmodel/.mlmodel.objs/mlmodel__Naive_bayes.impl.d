@@ -1,0 +1,1 @@
+lib/mlmodel/naive_bayes.ml: Array

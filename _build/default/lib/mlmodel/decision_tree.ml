@@ -1,0 +1,127 @@
+(* CART-style decision tree on categorical features.
+
+   Splits are equality tests "feature j = value v" chosen by Gini
+   impurity reduction; growth stops at [max_depth], [min_leaf] or purity.
+   Equality splits keep the tree honest on dictionary-coded data and make
+   it sensitive to single-attribute corruptions — exactly the sensitivity
+   the guardrail experiments measure. *)
+
+type node =
+  | Leaf of int                                   (* label code *)
+  | Split of { feature : int; value : int; if_eq : node; if_ne : node }
+
+type t = { root : node; n_labels : int }
+
+type params = { max_depth : int; min_leaf : int }
+
+let default_params = { max_depth = 8; min_leaf = 4 }
+
+let gini hist total =
+  if total = 0 then 0.0
+  else begin
+    let t = float_of_int total in
+    let s = ref 0.0 in
+    Array.iter
+      (fun c ->
+        let p = float_of_int c /. t in
+        s := !s +. (p *. p))
+      hist;
+    1.0 -. !s
+  end
+
+let majority hist =
+  let best = ref 0 in
+  Array.iteri (fun y c -> if c > hist.(!best) then best := y) hist;
+  !best
+
+let histogram n_labels ys rows =
+  let hist = Array.make n_labels 0 in
+  List.iter
+    (fun i -> if ys.(i) >= 0 then hist.(ys.(i)) <- hist.(ys.(i)) + 1)
+    rows;
+  hist
+
+let train ?(params = default_params) ~cards ~n_labels xs ys =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Decision_tree.train: empty training set";
+  let d = Array.length cards in
+  let rec grow rows depth =
+    let hist = histogram n_labels ys rows in
+    let total = List.length rows in
+    let label = majority hist in
+    let impurity = gini hist total in
+    if depth >= params.max_depth || total <= params.min_leaf || impurity = 0.0
+    then Leaf label
+    else begin
+      (* best equality split *)
+      let best = ref None in
+      for j = 0 to d - 1 do
+        (* candidate values present in this node *)
+        let value_hist = Array.make cards.(j) 0 in
+        List.iter
+          (fun i ->
+            let v = xs.(i).(j) in
+            if v >= 0 && v < cards.(j) then value_hist.(v) <- value_hist.(v) + 1)
+          rows;
+        for v = 0 to cards.(j) - 1 do
+          if value_hist.(v) > 0 && value_hist.(v) < total then begin
+            let eq_hist = Array.make n_labels 0 in
+            let ne_hist = Array.make n_labels 0 in
+            List.iter
+              (fun i ->
+                if ys.(i) >= 0 then begin
+                  if xs.(i).(j) = v then eq_hist.(ys.(i)) <- eq_hist.(ys.(i)) + 1
+                  else ne_hist.(ys.(i)) <- ne_hist.(ys.(i)) + 1
+                end)
+              rows;
+            let n_eq = Array.fold_left ( + ) 0 eq_hist in
+            let n_ne = Array.fold_left ( + ) 0 ne_hist in
+            if n_eq >= params.min_leaf / 2 && n_ne >= params.min_leaf / 2 then begin
+              let weighted =
+                (float_of_int n_eq *. gini eq_hist n_eq
+                +. float_of_int n_ne *. gini ne_hist n_ne)
+                /. float_of_int (n_eq + n_ne)
+              in
+              let gain = impurity -. weighted in
+              match !best with
+              | Some (g, _, _) when g >= gain -> ()
+              | _ -> if gain > 1e-9 then best := Some (gain, j, v)
+            end
+          end
+        done
+      done;
+      match !best with
+      | None -> Leaf label
+      | Some (_, j, v) ->
+        let eq_rows, ne_rows = List.partition (fun i -> xs.(i).(j) = v) rows in
+        Split
+          {
+            feature = j;
+            value = v;
+            if_eq = grow eq_rows (depth + 1);
+            if_ne = grow ne_rows (depth + 1);
+          }
+    end
+  in
+  let rows = List.init n (fun i -> i) in
+  { root = grow rows 0; n_labels }
+
+let rec eval node x =
+  match node with
+  | Leaf y -> y
+  | Split { feature; value; if_eq; if_ne } ->
+    if x.(feature) = value then eval if_eq x else eval if_ne x
+
+let predict t x = eval t.root x
+
+let rec depth_of = function
+  | Leaf _ -> 0
+  | Split { if_eq; if_ne; _ } -> 1 + max (depth_of if_eq) (depth_of if_ne)
+
+let depth t = depth_of t.root
+
+let rec size_of = function
+  | Leaf _ -> 1
+  | Split { if_eq; if_ne; _ } -> 1 + size_of if_eq + size_of if_ne
+
+let size t = size_of t.root

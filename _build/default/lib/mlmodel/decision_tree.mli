@@ -1,0 +1,17 @@
+(** CART-style decision tree on categorical features (Gini, equality
+    splits). *)
+
+type t
+
+type params = { max_depth : int; min_leaf : int }
+
+val default_params : params
+
+(** Raises [Invalid_argument] on an empty training set; labels coded [-1]
+    are skipped. *)
+val train :
+  ?params:params -> cards:int array -> n_labels:int -> int array array -> int array -> t
+
+val predict : t -> int array -> int
+val depth : t -> int
+val size : t -> int

@@ -1,0 +1,66 @@
+(* The AutoML stand-in (paper §7 uses autogluon): train several model
+   families and predict by majority vote, with the naive-Bayes posterior
+   breaking ties. The public API works directly on dataframes. *)
+
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+
+type t = {
+  encoder : Features.t;
+  bayes : Naive_bayes.t;
+  tree : Decision_tree.t;
+  deep_tree : Decision_tree.t;
+}
+
+let train ?(tree_params = Decision_tree.default_params) frame ~label =
+  let encoder = Features.fit frame ~label in
+  let xs, ys = Features.encode encoder frame in
+  let cards = Array.init (Features.n_features encoder) (fun _ -> 0) in
+  (* cardinalities come from the encoder's dictionaries (plus unknown) *)
+  let cards =
+    Array.mapi (fun j _ -> Features.unknown_code encoder j + 1) cards
+  in
+  let n_labels = Features.n_labels encoder in
+  let bayes = Naive_bayes.train ~cards ~n_labels xs ys in
+  let tree = Decision_tree.train ~params:tree_params ~cards ~n_labels xs ys in
+  let deep_tree =
+    Decision_tree.train
+      ~params:{ tree_params with Decision_tree.max_depth = tree_params.Decision_tree.max_depth + 4 }
+      ~cards ~n_labels xs ys
+  in
+  { encoder; bayes; tree; deep_tree }
+
+let predict_code t x =
+  let votes =
+    [ Naive_bayes.predict t.bayes x;
+      Decision_tree.predict t.tree x;
+      Decision_tree.predict t.deep_tree x ]
+  in
+  let n_labels = Features.n_labels t.encoder in
+  let hist = Array.make n_labels 0 in
+  List.iter (fun y -> hist.(y) <- hist.(y) + 1) votes;
+  let best = ref 0 in
+  Array.iteri (fun y c -> if c > hist.(!best) then best := y) hist;
+  if hist.(!best) > 1 then !best else Naive_bayes.predict t.bayes x
+
+(* Predict the label value of one row of a frame with the same column
+   names (the label column may be absent or stale; it is ignored). *)
+let predict_row t frame row =
+  let x = Features.encode_row t.encoder frame row in
+  Features.label_value t.encoder (predict_code t x)
+
+let predict_frame t frame =
+  Array.init (Frame.nrows frame) (fun i -> predict_row t frame i)
+
+(* Accuracy against the frame's label column. *)
+let accuracy t frame ~label =
+  let n = Frame.nrows frame in
+  if n = 0 then Float.nan
+  else begin
+    let correct = ref 0 in
+    for i = 0 to n - 1 do
+      if Value.equal (predict_row t frame i) (Frame.get_by_name frame i label)
+      then incr correct
+    done;
+    float_of_int !correct /. float_of_int n
+  end

@@ -1,0 +1,83 @@
+(* Feature extraction: dataframe rows -> integer feature vectors.
+
+   The encoder is fitted on the training split (dictionary per feature
+   column) and maps unseen test-time values to a reserved "unknown" code,
+   so models never see out-of-range inputs. *)
+
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+
+type t = {
+  feature_cols : string list;            (* by name: survives re-ordering *)
+  label_col : string;
+  dicts : (Value.t, int) Hashtbl.t array; (* per feature column *)
+  cards : int array;                      (* including the unknown code *)
+  label_dict : (Value.t, int) Hashtbl.t;
+  label_values : Value.t array;           (* label code -> value *)
+}
+
+let unknown_code t j = t.cards.(j) - 1
+
+let fit frame ~label =
+  let feature_cols =
+    List.filter (fun n -> n <> label) (Frame.names frame)
+  in
+  let fit_dict name =
+    let col = Frame.column_by_name frame name in
+    let dict = Hashtbl.create 64 in
+    Array.iteri
+      (fun code v -> Hashtbl.replace dict v code)
+      (Dataframe.Column.dict col);
+    dict
+  in
+  let dicts = Array.of_list (List.map fit_dict feature_cols) in
+  let cards =
+    Array.of_list
+      (List.map
+         (fun n ->
+           Dataframe.Column.cardinality (Frame.column_by_name frame n) + 1)
+         feature_cols)
+  in
+  let label_col_data = Frame.column_by_name frame label in
+  let label_dict = Hashtbl.create 16 in
+  Array.iteri
+    (fun code v -> Hashtbl.replace label_dict v code)
+    (Dataframe.Column.dict label_col_data);
+  {
+    feature_cols;
+    label_col = label;
+    dicts;
+    cards;
+    label_dict;
+    label_values = Array.copy (Dataframe.Column.dict label_col_data);
+  }
+
+let n_features t = Array.length t.dicts
+let n_labels t = Array.length t.label_values
+let label_value t code = t.label_values.(code)
+
+let label_code t v = Hashtbl.find_opt t.label_dict v
+
+(* Encode one row of any frame sharing the column names. *)
+let encode_row t frame row =
+  Array.of_list
+    (List.mapi
+       (fun j name ->
+         let v = Frame.get_by_name frame row name in
+         match Hashtbl.find_opt t.dicts.(j) v with
+         | Some c -> c
+         | None -> unknown_code t j)
+       t.feature_cols)
+
+(* Encode a whole frame: feature matrix plus label codes (labels absent
+   from the training dictionary map to -1). *)
+let encode t frame =
+  let n = Frame.nrows frame in
+  let xs = Array.init n (fun i -> encode_row t frame i) in
+  let ys =
+    Array.init n (fun i ->
+        match Hashtbl.find_opt t.label_dict (Frame.get_by_name frame i t.label_col) with
+        | Some c -> c
+        | None -> -1)
+  in
+  (xs, ys)

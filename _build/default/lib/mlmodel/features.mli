@@ -1,0 +1,18 @@
+(** Feature extraction: dataframe rows → integer feature vectors. Fitted on
+    a training split; unseen test-time values map to a reserved unknown
+    code. *)
+
+type t
+
+val fit : Dataframe.Frame.t -> label:string -> t
+val n_features : t -> int
+val n_labels : t -> int
+val label_value : t -> int -> Dataframe.Value.t
+val label_code : t -> Dataframe.Value.t -> int option
+val unknown_code : t -> int -> int
+
+(** Encode one row of any frame sharing the column names. *)
+val encode_row : t -> Dataframe.Frame.t -> int -> int array
+
+(** Feature matrix plus label codes (unknown labels become [-1]). *)
+val encode : t -> Dataframe.Frame.t -> int array array * int array

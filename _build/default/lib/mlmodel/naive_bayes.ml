@@ -1,0 +1,59 @@
+(* Categorical naive Bayes with Laplace smoothing.
+
+   P(y | x) ∝ P(y) * Π_j P(x_j | y); all factors are estimated by smoothed
+   counting over integer-coded features. *)
+
+type t = {
+  n_labels : int;
+  cards : int array;                 (* feature cardinalities *)
+  log_prior : float array;
+  log_likelihood : float array array array;  (* feature -> value -> label *)
+}
+
+let train ~cards ~n_labels xs ys =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Naive_bayes.train: empty training set";
+  let d = Array.length cards in
+  let label_counts = Array.make n_labels 0 in
+  let counts =
+    Array.init d (fun j -> Array.make_matrix cards.(j) n_labels 0)
+  in
+  for i = 0 to n - 1 do
+    let y = ys.(i) in
+    if y >= 0 then begin
+      label_counts.(y) <- label_counts.(y) + 1;
+      Array.iteri (fun j v -> counts.(j).(v).(y) <- counts.(j).(v).(y) + 1) xs.(i)
+    end
+  done;
+  let total = Array.fold_left ( + ) 0 label_counts in
+  let log_prior =
+    Array.map
+      (fun c ->
+        log ((float_of_int c +. 1.0) /. (float_of_int total +. float_of_int n_labels)))
+      label_counts
+  in
+  let log_likelihood =
+    Array.init d (fun j ->
+        Array.init cards.(j) (fun v ->
+            Array.init n_labels (fun y ->
+                log
+                  ((float_of_int counts.(j).(v).(y) +. 1.0)
+                  /. (float_of_int label_counts.(y) +. float_of_int cards.(j))))))
+  in
+  { n_labels; cards; log_prior; log_likelihood }
+
+let log_scores t x =
+  Array.init t.n_labels (fun y ->
+      let s = ref t.log_prior.(y) in
+      Array.iteri
+        (fun j v ->
+          if v >= 0 && v < t.cards.(j) then
+            s := !s +. t.log_likelihood.(j).(v).(y))
+        x;
+      !s)
+
+let predict t x =
+  let scores = log_scores t x in
+  let best = ref 0 in
+  Array.iteri (fun y s -> if s > scores.(!best) then best := y) scores;
+  !best

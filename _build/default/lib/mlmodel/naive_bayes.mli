@@ -1,0 +1,10 @@
+(** Categorical naive Bayes with Laplace smoothing. *)
+
+type t
+
+(** [cards] are feature cardinalities; labels with code [-1] are skipped.
+    Raises [Invalid_argument] on an empty training set. *)
+val train : cards:int array -> n_labels:int -> int array array -> int array -> t
+
+val log_scores : t -> int array -> float array
+val predict : t -> int array -> int

@@ -1,0 +1,1 @@
+lib/pgm/bayes_net.ml: Array Dag List Printf Stat

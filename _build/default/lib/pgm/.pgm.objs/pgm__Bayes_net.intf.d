@@ -1,0 +1,1 @@
+lib/pgm/bayes_net.mli: Dag Stat

@@ -1,0 +1,1 @@
+lib/pgm/count.ml: Float Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/pgm/dag.ml: Array Fmt Int List Queue Set Stdlib

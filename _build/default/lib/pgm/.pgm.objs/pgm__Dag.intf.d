@@ -1,0 +1,1 @@
+lib/pgm/dag.mli: Format Int Set

@@ -1,0 +1,1 @@
+lib/pgm/dsep.ml: Array Dag Int List Queue Set

@@ -1,0 +1,1 @@
+lib/pgm/dsep.mli: Dag

@@ -1,0 +1,1 @@
+lib/pgm/enumerate.ml: List Meek Pdag

@@ -1,0 +1,1 @@
+lib/pgm/enumerate.mli: Dag Pdag

@@ -1,0 +1,1 @@
+lib/pgm/meek.ml: List Pdag

@@ -1,0 +1,1 @@
+lib/pgm/meek.mli: Pdag

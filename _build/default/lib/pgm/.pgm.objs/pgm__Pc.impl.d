@@ -1,0 +1,1 @@
+lib/pgm/pc.ml: Hashtbl List Meek Option Pdag

@@ -1,0 +1,1 @@
+lib/pgm/pc.mli: Hashtbl Pdag

@@ -1,0 +1,1 @@
+lib/pgm/pdag.ml: Array Dag Fmt List

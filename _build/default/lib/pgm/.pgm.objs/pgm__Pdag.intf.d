@@ -1,0 +1,1 @@
+lib/pgm/pdag.mli: Dag Format

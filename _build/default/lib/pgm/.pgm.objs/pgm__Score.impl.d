@@ -1,0 +1,1 @@
+lib/pgm/score.ml: Array Dag Float Hashtbl Int List

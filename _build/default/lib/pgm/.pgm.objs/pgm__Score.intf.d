@@ -1,0 +1,1 @@
+lib/pgm/score.mli: Dag

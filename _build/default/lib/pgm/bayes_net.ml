@@ -1,0 +1,123 @@
+(* Discrete Bayesian networks with explicit CPTs and forward sampling.
+
+   This is the structural-equation-model substrate (paper Def. 4.3): every
+   node computes its value from its parents' values plus exogenous noise.
+   The data generators in lib/datagen build their ground-truth DGPs here,
+   which is what lets the evaluation measure detection quality against a
+   *known* generating process. *)
+
+type node = {
+  name : string;
+  card : int;                  (* domain size *)
+  parents : int list;          (* indices of parent nodes *)
+  cpt : float array array;     (* parent configuration -> distribution *)
+}
+
+type t = { nodes : node array; order : int list }
+
+let node_count t = Array.length t.nodes
+let node t i = t.nodes.(i)
+let name t i = t.nodes.(i).name
+let cardinality t i = t.nodes.(i).card
+
+(* Parent configuration index: mixed radix over parent values, most
+   significant parent first (the order in [parents]). *)
+let config_index t i values =
+  List.fold_left
+    (fun acc p -> (acc * t.nodes.(p).card) + values.(p))
+    0 t.nodes.(i).parents
+
+let config_count t i =
+  List.fold_left (fun acc p -> acc * t.nodes.(p).card) 1 t.nodes.(i).parents
+
+let validate nodes =
+  let n = Array.length nodes in
+  Array.iteri
+    (fun i nd ->
+      if nd.card < 1 then invalid_arg "Bayes_net: node cardinality < 1";
+      List.iter
+        (fun p ->
+          if p < 0 || p >= n then invalid_arg "Bayes_net: parent out of range";
+          if p = i then invalid_arg "Bayes_net: self parent")
+        nd.parents)
+    nodes;
+  let g =
+    Dag.of_edges n
+      (Array.to_list nodes
+      |> List.mapi (fun i nd -> List.map (fun p -> (p, i)) nd.parents)
+      |> List.concat)
+  in
+  match Dag.topological_sort g with
+  | None -> invalid_arg "Bayes_net: cyclic parent structure"
+  | Some order -> order
+
+let create nodes =
+  let nodes = Array.of_list nodes in
+  let order = validate nodes in
+  let t = { nodes; order } in
+  (* CPT shape check *)
+  Array.iteri
+    (fun i nd ->
+      let configs = config_count t i in
+      if Array.length nd.cpt <> configs then
+        invalid_arg
+          (Printf.sprintf "Bayes_net: node %s has %d CPT rows, expected %d"
+             nd.name (Array.length nd.cpt) configs);
+      Array.iter
+        (fun dist ->
+          if Array.length dist <> nd.card then
+            invalid_arg (Printf.sprintf "Bayes_net: bad CPT row arity at %s" nd.name))
+        nd.cpt)
+    nodes;
+  t
+
+let to_dag t =
+  let n = node_count t in
+  Dag.of_edges n
+    (Array.to_list t.nodes
+    |> List.mapi (fun i nd -> List.map (fun p -> (p, i)) nd.parents)
+    |> List.concat)
+
+(* Draw one joint sample as a value-index array. *)
+let sample t rng =
+  let values = Array.make (node_count t) 0 in
+  List.iter
+    (fun i ->
+      let nd = t.nodes.(i) in
+      let dist = nd.cpt.(config_index t i values) in
+      values.(i) <- Stat.Rng.categorical rng dist)
+    t.order;
+  values
+
+let sample_many t rng k = Array.init k (fun _ -> sample t rng)
+
+(* CPT helper: a deterministic function of the parents flipped to a uniform
+   random other value with probability [noise]. [f] maps the parent value
+   list (in [parents] order) to the output value index. *)
+let noisy_function_cpt ~card ~parent_cards ~noise f =
+  let configs = List.fold_left ( * ) 1 parent_cards in
+  Array.init configs (fun cfg ->
+      (* decode cfg into parent values, most significant first *)
+      let rec decode cfg = function
+        | [] -> []
+        | [ _ ] -> [ cfg ]
+        | _ :: rest ->
+          let tail_size = List.fold_left ( * ) 1 rest in
+          (cfg / tail_size) :: decode (cfg mod tail_size) rest
+      in
+      let parent_values = decode cfg parent_cards in
+      let target = f parent_values in
+      if target < 0 || target >= card then
+        invalid_arg "noisy_function_cpt: function value out of range";
+      Array.init card (fun v ->
+          if card = 1 then 1.0
+          else if v = target then 1.0 -. noise
+          else noise /. float_of_int (card - 1)))
+
+(* CPT helper: marginal distribution for root nodes. *)
+let root_cpt dist = [| dist |]
+
+(* CPT helper: uniform distribution regardless of parents. *)
+let uniform_cpt ~card ~parent_cards =
+  let configs = List.fold_left ( * ) 1 parent_cards in
+  Array.init configs (fun _ -> Array.make card (1.0 /. float_of_int card))

@@ -1,0 +1,44 @@
+(** Discrete Bayesian networks with explicit CPTs and forward sampling —
+    the structural-equation-model substrate of the reproduction. *)
+
+type node = {
+  name : string;
+  card : int;                  (** domain size *)
+  parents : int list;          (** indices of parent nodes *)
+  cpt : float array array;     (** parent configuration → distribution *)
+}
+
+type t
+
+(** Validates parent ranges, acyclicity and CPT shapes; raises
+    [Invalid_argument] otherwise. *)
+val create : node list -> t
+
+val node_count : t -> int
+val node : t -> int -> node
+val name : t -> int -> string
+val cardinality : t -> int -> int
+
+(** Mixed-radix parent-configuration index (most significant parent
+    first). *)
+val config_index : t -> int -> int array -> int
+
+val config_count : t -> int -> int
+val to_dag : t -> Dag.t
+
+(** One joint sample (value index per node, in node order). *)
+val sample : t -> Stat.Rng.t -> int array
+
+val sample_many : t -> Stat.Rng.t -> int -> int array array
+
+(** CPT of a deterministic function of the parents, flipped to a random
+    other value with probability [noise]. *)
+val noisy_function_cpt :
+  card:int ->
+  parent_cards:int list ->
+  noise:float ->
+  (int list -> int) ->
+  float array array
+
+val root_cpt : float array -> float array array
+val uniform_cpt : card:int -> parent_cards:int list -> float array array

@@ -1,0 +1,43 @@
+(* Counting labelled DAGs: Robinson's recurrence
+
+     a(n) = sum_{k=1..n} (-1)^{k+1} C(n, k) 2^{k(n-k)} a(n-k),  a(0) = 1.
+
+   Used for the "search space without MEC" column of Table 7: the number
+   of candidate structures an unguided synthesizer would have to consider.
+   Values explode (a(40) ~ 10^276), so we compute in floating point; exact
+   integers are irrelevant at these magnitudes. *)
+
+let binomial n k =
+  let k = min k (n - k) in
+  let rec go acc i =
+    if i > k then acc
+    else go (acc *. float_of_int (n - k + i) /. float_of_int i) (i + 1)
+  in
+  if k < 0 then 0.0 else go 1.0 1
+
+let labelled_dags =
+  let cache = Hashtbl.create 64 in
+  let rec a n =
+    if n <= 0 then 1.0
+    else
+      match Hashtbl.find_opt cache n with
+      | Some v -> v
+      | None ->
+        let total = ref 0.0 in
+        for k = 1 to n do
+          let sign = if k mod 2 = 1 then 1.0 else -1.0 in
+          let term =
+            sign *. binomial n k
+            *. Float.pow 2.0 (float_of_int (k * (n - k)))
+            *. a (n - k)
+          in
+          total := !total +. term
+        done;
+        Hashtbl.add cache n !total;
+        !total
+  in
+  a
+
+(* Pretty scientific form like "2.20e13" for table rendering. *)
+let scientific v =
+  if v < 1e6 then Printf.sprintf "%.0f" v else Printf.sprintf "%.2e" v

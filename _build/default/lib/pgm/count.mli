@@ -1,0 +1,9 @@
+(** Counting labelled DAGs (Robinson's recurrence), in floating point. *)
+
+val binomial : int -> int -> float
+
+(** Number of labelled DAGs on [n] nodes. *)
+val labelled_dags : int -> float
+
+(** Render like ["2.20e13"]; plain integers below 10⁶. *)
+val scientific : float -> string

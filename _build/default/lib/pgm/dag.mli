@@ -1,0 +1,38 @@
+(** Directed acyclic graphs over nodes [0 .. n-1]. The structure is not
+    forced acyclic on construction; use {!is_acyclic} /
+    {!topological_sort}. *)
+
+type t
+
+val create : int -> t
+val size : t -> int
+val parents : t -> int -> int list
+val parent_set : t -> int -> Set.Make(Int).t
+val children : t -> int -> int list
+val has_edge : t -> int -> int -> bool
+
+(** Functional edge insertion; raises [Invalid_argument] on self loops or
+    out-of-range nodes. *)
+val add_edge : t -> int -> int -> t
+
+val remove_edge : t -> int -> int -> t
+val of_edges : int -> (int * int) list -> t
+val edges : t -> (int * int) list
+val edge_count : t -> int
+
+(** Kahn's algorithm; [None] when the graph has a directed cycle. *)
+val topological_sort : t -> int list option
+
+val is_acyclic : t -> bool
+
+(** Directed reachability. *)
+val reaches : t -> int -> int -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Unordered v-structures [u -> v <- w] with non-adjacent spouses, as
+    sorted [(min u w, v, max u w)] triples. *)
+val v_structures : t -> (int * int * int) list
+
+val pp : Format.formatter -> t -> unit

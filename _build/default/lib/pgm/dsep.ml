@@ -1,0 +1,65 @@
+(* d-separation via the Bayes-ball / active-path reachability algorithm.
+
+   Used as an exact conditional-independence oracle in tests (PC must
+   recover the CPDAG of a known DAG under a d-separation oracle) and to
+   validate the GNT theory of paper §4.3. *)
+
+module Int_set = Set.Make (Int)
+
+(* Is every path between x and y blocked by z in g? Standard reachability
+   over (node, direction) states: direction is how we arrived at the node
+   (along an incoming edge -> Down, along an outgoing edge -> Up). *)
+let d_separated g x y z =
+  let zset = Int_set.of_list z in
+  let n = Dag.size g in
+  (* ancestors of z (inclusive), needed for collider activation *)
+  let anc_z = Array.make n false in
+  let rec mark v =
+    if not anc_z.(v) then begin
+      anc_z.(v) <- true;
+      List.iter mark (Dag.parents g v)
+    end
+  in
+  Int_set.iter mark zset;
+  (* BFS over (node, came_from_child) states *)
+  let visited_up = Array.make n false in
+  let visited_down = Array.make n false in
+  let queue = Queue.create () in
+  (* start from x travelling in both directions *)
+  Queue.add (x, `Up) queue;
+  let reached = ref false in
+  while not (Queue.is_empty queue) && not !reached do
+    let v, dir = Queue.pop queue in
+    let seen =
+      match dir with `Up -> visited_up.(v) | `Down -> visited_down.(v)
+    in
+    if not seen then begin
+      (match dir with
+       | `Up -> visited_up.(v) <- true
+       | `Down -> visited_down.(v) <- true);
+      if v = y && v <> x then reached := true
+      else begin
+        let in_z = Int_set.mem v zset in
+        match dir with
+        | `Up ->
+          (* arrived from a child (or start): if not in z, pass to parents
+             (still Up) and to children (Down) *)
+          if not in_z then begin
+            List.iter (fun p -> Queue.add (p, `Up) queue) (Dag.parents g v);
+            List.iter (fun c -> Queue.add (c, `Down) queue) (Dag.children g v)
+          end
+        | `Down ->
+          (* arrived from a parent: if not in z, continue to children;
+             if v is an (ancestor of an) observed node, bounce to parents
+             (collider activation) *)
+          if not in_z then
+            List.iter (fun c -> Queue.add (c, `Down) queue) (Dag.children g v);
+          if anc_z.(v) then
+            List.iter (fun p -> Queue.add (p, `Up) queue) (Dag.parents g v)
+      end
+    end
+  done;
+  not !reached
+
+(* Exact CI oracle for the PC algorithm. *)
+let oracle g = fun i j cond -> d_separated g i j cond

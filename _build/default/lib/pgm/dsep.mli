@@ -1,0 +1,7 @@
+(** d-separation (Bayes-ball reachability). *)
+
+(** Is every path between [x] and [y] blocked by the conditioning set? *)
+val d_separated : Dag.t -> int -> int -> int list -> bool
+
+(** Exact conditional-independence oracle for {!Pc}. *)
+val oracle : Dag.t -> int -> int -> int list -> bool

@@ -1,0 +1,73 @@
+(* Enumerate the DAGs of a Markov equivalence class.
+
+   The paper (Alg. 2) enumerates all DAGs within the MEC learned by
+   structure discovery; the authors adapted a Julia PDAG-enumeration
+   package for this. We implement consistent-extension enumeration
+   directly:
+
+     - pick an undirected edge u - v of the CPDAG;
+     - try u -> v and v -> u; an orientation is admissible when it
+       (a) creates no directed cycle and (b) creates no *new* v-structure
+       (a new collider x -> v <- u with x non-adjacent to u);
+     - after each choice, close under Meek's rules, which forces all
+       orientations implied by the choice;
+     - recurse until no undirected edge remains.
+
+   Meek closure guarantees every emitted DAG has exactly the v-structures
+   of the CPDAG, i.e. is a member of the MEC, and that each member is
+   produced exactly once (each recursion step splits on the orientation of
+   one fixed edge). [max_dags] implements the paper's "maximal enumeration
+   of DAGs" cut-off. *)
+
+let creates_new_collider g u v =
+  (* would orienting u -> v create a collider x -> v <- u with x
+     non-adjacent to u? *)
+  List.exists (fun x -> x <> u && not (Pdag.adjacent g x u)) (Pdag.parents g v)
+
+let creates_cycle g u v =
+  (* orienting u -> v closes a cycle iff a directed path v ~> u exists *)
+  Pdag.directed_reaches g v u
+
+let admissible g u v = not (creates_new_collider g u v) && not (creates_cycle g u v)
+
+exception Limit_reached
+
+(* All consistent DAG extensions, up to [max_dags]. Returns the list and a
+   flag saying whether the enumeration was truncated. *)
+let consistent_extensions ?(max_dags = 10_000) cpdag =
+  let out = ref [] in
+  let count = ref 0 in
+  let emit g =
+    match Pdag.to_dag g with
+    | Some dag ->
+      out := dag :: !out;
+      incr count;
+      if !count >= max_dags then raise Limit_reached
+    | None -> ()
+  in
+  let rec go g =
+    match Pdag.undirected_edges g with
+    | [] -> emit g
+    | (u, v) :: _ ->
+      List.iter
+        (fun (a, b) ->
+          if admissible g a b then begin
+            let g' = Pdag.copy g in
+            Pdag.orient g' a b;
+            ignore (Meek.close g');
+            go g'
+          end)
+        [ (u, v); (v, u) ]
+  in
+  let truncated =
+    try
+      go (Meek.close (Pdag.copy cpdag));
+      false
+    with Limit_reached -> true
+  in
+  (List.rev !out, truncated)
+
+(* Count only (same traversal, no DAG retention). *)
+let count_extensions ?max_dags cpdag =
+  let dags, truncated = consistent_extensions ?max_dags cpdag in
+  (List.length dags, truncated)

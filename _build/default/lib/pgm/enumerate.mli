@@ -1,0 +1,15 @@
+(** Enumerate the DAGs of a Markov equivalence class given its CPDAG. *)
+
+(** Would orienting [u -> v] create a new unshielded collider? *)
+val creates_new_collider : Pdag.t -> int -> int -> bool
+
+(** Would orienting [u -> v] close a directed cycle? *)
+val creates_cycle : Pdag.t -> int -> int -> bool
+
+val admissible : Pdag.t -> int -> int -> bool
+
+(** All consistent DAG extensions, capped at [max_dags] (default 10000);
+    the flag reports truncation. *)
+val consistent_extensions : ?max_dags:int -> Pdag.t -> Dag.t list * bool
+
+val count_extensions : ?max_dags:int -> Pdag.t -> int * bool

@@ -1,0 +1,115 @@
+(* Meek's orientation rules (Meek 1995).
+
+   Given a PDAG whose v-structures are already oriented, repeatedly apply
+   R1-R4 until fixpoint. The result is the maximally oriented graph — for
+   PC output, the CPDAG of the Markov equivalence class.
+
+     R1: a -> b, b - c, a and c non-adjacent        =>  b -> c
+     R2: a -> b -> c, a - c                         =>  a -> c
+     R3: a - b, a - c, a - d, c -> b, d -> b,
+         c and d non-adjacent                       =>  a -> b
+     R4: a - b, a - c, c -> d, d -> b,
+         b and d adjacent or a and d adjacent (we
+         use the standard form: a - d, c -> d,
+         d -> b, a - b, a - c, b and c non-adjacent) => a -> b
+*)
+
+let rule1 g =
+  let n = Pdag.size g in
+  let changed = ref false in
+  for b = 0 to n - 1 do
+    List.iter
+      (fun a ->
+        (* a -> b *)
+        List.iter
+          (fun c ->
+            if c <> a && not (Pdag.adjacent g a c) then begin
+              Pdag.orient g b c;
+              changed := true
+            end)
+          (Pdag.undirected_neighbors g b))
+      (Pdag.parents g b)
+  done;
+  !changed
+
+let rule2 g =
+  let n = Pdag.size g in
+  let changed = ref false in
+  for a = 0 to n - 1 do
+    List.iter
+      (fun c ->
+        (* a - c; look for a -> b -> c *)
+        let exists_chain =
+          List.exists (fun b -> Pdag.has_directed g b c) (Pdag.children g a)
+        in
+        if exists_chain then begin
+          Pdag.orient g a c;
+          changed := true
+        end)
+      (Pdag.undirected_neighbors g a)
+  done;
+  !changed
+
+let rule3 g =
+  let n = Pdag.size g in
+  let changed = ref false in
+  for a = 0 to n - 1 do
+    List.iter
+      (fun b ->
+        (* a - b; look for c, d with a - c, a - d, c -> b, d -> b,
+           c and d non-adjacent *)
+        let candidates =
+          List.filter (fun x -> Pdag.has_directed g x b) (Pdag.undirected_neighbors g a)
+        in
+        let rec pairs = function
+          | [] -> false
+          | c :: rest ->
+            List.exists (fun d -> not (Pdag.adjacent g c d)) rest || pairs rest
+        in
+        if pairs candidates then begin
+          Pdag.orient g a b;
+          changed := true
+        end)
+      (Pdag.undirected_neighbors g a)
+  done;
+  !changed
+
+let rule4 g =
+  let n = Pdag.size g in
+  let changed = ref false in
+  for a = 0 to n - 1 do
+    List.iter
+      (fun b ->
+        (* a - b; look for c, d: a - c (or adjacent), c -> d, d -> b, with
+           b and c non-adjacent and a adjacent to d *)
+        let found =
+          List.exists
+            (fun d ->
+              Pdag.has_directed g d b && Pdag.adjacent g a d
+              && List.exists
+                   (fun c ->
+                     Pdag.has_directed g c d
+                     && Pdag.adjacent g a c
+                     && not (Pdag.adjacent g b c))
+                   (Pdag.parents g d))
+            (Pdag.parents g b)
+        in
+        if found then begin
+          Pdag.orient g a b;
+          changed := true
+        end)
+      (Pdag.undirected_neighbors g a)
+  done;
+  !changed
+
+(* Apply R1-R4 until no rule fires. Mutates [g]. *)
+let close g =
+  let continue = ref true in
+  while !continue do
+    let c1 = rule1 g in
+    let c2 = rule2 g in
+    let c3 = rule3 g in
+    let c4 = rule4 g in
+    continue := c1 || c2 || c3 || c4
+  done;
+  g

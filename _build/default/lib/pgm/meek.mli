@@ -1,0 +1,9 @@
+(** Meek's orientation rules (Meek 1995). *)
+
+val rule1 : Pdag.t -> bool
+val rule2 : Pdag.t -> bool
+val rule3 : Pdag.t -> bool
+val rule4 : Pdag.t -> bool
+
+(** Apply R1–R4 until fixpoint. Mutates and returns the argument. *)
+val close : Pdag.t -> Pdag.t

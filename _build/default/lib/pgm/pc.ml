@@ -1,0 +1,99 @@
+(* The PC algorithm (Spirtes-Glymour-Scheines).
+
+   Input: a conditional-independence oracle over variables 0 .. n-1.
+   Output: the CPDAG of the Markov equivalence class.
+
+   Phases:
+     1. skeleton  - start from the complete graph; for growing conditioning
+                    sizes l, remove the edge i-j if some S of size l inside
+                    adj(i)\{j} (or adj(j)\{i}) renders i and j independent;
+                    remember S as sepset(i, j).
+     2. colliders - for every unshielded triple i - k - j, orient i->k<-j
+                    when k is not in sepset(i, j).
+     3. Meek      - propagate with rules R1-R4.
+
+   The oracle [indep i j cond] answers "is a_i independent of a_j given
+   cond?". The data-driven oracle lives in lib/stat; tests also use exact
+   d-separation oracles from Dsep. *)
+
+type sepsets = (int * int, int list) Hashtbl.t
+
+let sepset_key i j = (min i j, max i j)
+
+let find_sepset sepsets i j = Hashtbl.find_opt sepsets (sepset_key i j)
+
+(* All subsets of size [k] of [items]. *)
+let rec subsets_of_size k items =
+  if k = 0 then [ [] ]
+  else
+    match items with
+    | [] -> []
+    | x :: rest ->
+      let with_x = List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest) in
+      with_x @ subsets_of_size k rest
+
+let skeleton ~n ?(max_cond = 3) indep =
+  let g = Pdag.complete n in
+  let sepsets : sepsets = Hashtbl.create 64 in
+  let level = ref 0 in
+  let continue = ref true in
+  while !continue && !level <= max_cond do
+    let l = !level in
+    (* any node with enough neighbours to test at this level? *)
+    let worth_continuing = ref false in
+    let edges = Pdag.undirected_edges g in
+    List.iter
+      (fun (i, j) ->
+        if Pdag.has_undirected g i j then begin
+          let adj_i = List.filter (fun x -> x <> j) (Pdag.neighbors g i) in
+          let adj_j = List.filter (fun x -> x <> i) (Pdag.neighbors g j) in
+          if List.length adj_i > l || List.length adj_j > l then
+            worth_continuing := true;
+          let candidates =
+            subsets_of_size l adj_i
+            @ (if l > 0 then subsets_of_size l adj_j else [])
+          in
+          let rec try_sets = function
+            | [] -> ()
+            | s :: rest ->
+              if indep i j s then begin
+                Pdag.remove_edge g i j;
+                Hashtbl.replace sepsets (sepset_key i j) s
+              end
+              else try_sets rest
+          in
+          try_sets candidates
+        end)
+      edges;
+    continue := !worth_continuing;
+    incr level
+  done;
+  (g, sepsets)
+
+(* Orient unshielded colliders. *)
+let orient_v_structures g sepsets =
+  let n = Pdag.size g in
+  for k = 0 to n - 1 do
+    let nbrs = Pdag.undirected_neighbors g k in
+    List.iteri
+      (fun a i ->
+        List.iteri
+          (fun b j ->
+            if b > a && not (Pdag.adjacent g i j) then begin
+              let sep = Option.value ~default:[] (find_sepset sepsets i j) in
+              if not (List.mem k sep) then begin
+                (* i -> k <- j, but never re-orient an edge a previous
+                   collider already directed *)
+                if Pdag.has_undirected g i k then Pdag.orient g i k;
+                if Pdag.has_undirected g j k then Pdag.orient g j k
+              end
+            end)
+          nbrs)
+      nbrs
+  done
+
+let cpdag ~n ?max_cond indep =
+  let g, sepsets = skeleton ~n ?max_cond indep in
+  orient_v_structures g sepsets;
+  ignore (Meek.close g);
+  (g, sepsets)

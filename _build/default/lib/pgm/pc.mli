@@ -1,0 +1,22 @@
+(** The PC structure-learning algorithm. *)
+
+type sepsets = (int * int, int list) Hashtbl.t
+
+val sepset_key : int -> int -> int * int
+val find_sepset : sepsets -> int -> int -> int list option
+
+(** All subsets of the given size, preserving element order. *)
+val subsets_of_size : int -> 'a list -> 'a list list
+
+(** Skeleton phase: [indep i j cond] is the conditional-independence
+    oracle. [max_cond] bounds the conditioning-set size. *)
+val skeleton :
+  n:int -> ?max_cond:int -> (int -> int -> int list -> bool) -> Pdag.t * sepsets
+
+(** Orient unshielded colliders given separating sets. Mutates the graph. *)
+val orient_v_structures : Pdag.t -> sepsets -> unit
+
+(** Full PC: skeleton, v-structures, Meek closure. Returns the CPDAG and
+    the separating sets. *)
+val cpdag :
+  n:int -> ?max_cond:int -> (int -> int -> int list -> bool) -> Pdag.t * sepsets

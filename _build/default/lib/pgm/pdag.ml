@@ -1,0 +1,142 @@
+(* Partially directed graphs: the output representation of the PC
+   algorithm (a CPDAG summarising a Markov equivalence class).
+
+   Edges are either directed (u -> v) or undirected (u - v). The structure
+   is mutable for the orientation phases; callers clone before branching. *)
+
+type t = {
+  n : int;
+  directed : bool array array;   (* directed.(u).(v) : u -> v *)
+  undirected : bool array array; (* symmetric *)
+}
+
+let create n =
+  { n;
+    directed = Array.make_matrix n n false;
+    undirected = Array.make_matrix n n false }
+
+let size t = t.n
+
+let copy t =
+  { n = t.n;
+    directed = Array.map Array.copy t.directed;
+    undirected = Array.map Array.copy t.undirected }
+
+let has_directed t u v = t.directed.(u).(v)
+let has_undirected t u v = t.undirected.(u).(v)
+let adjacent t u v = t.directed.(u).(v) || t.directed.(v).(u) || t.undirected.(u).(v)
+
+let add_undirected t u v =
+  if u = v then invalid_arg "Pdag.add_undirected: self loop";
+  t.undirected.(u).(v) <- true;
+  t.undirected.(v).(u) <- true
+
+let remove_edge t u v =
+  t.undirected.(u).(v) <- false;
+  t.undirected.(v).(u) <- false;
+  t.directed.(u).(v) <- false;
+  t.directed.(v).(u) <- false
+
+(* Turn the edge between u and v (in whatever state) into u -> v. *)
+let orient t u v =
+  t.undirected.(u).(v) <- false;
+  t.undirected.(v).(u) <- false;
+  t.directed.(v).(u) <- false;
+  t.directed.(u).(v) <- true
+
+let complete n =
+  let t = create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      add_undirected t u v
+    done
+  done;
+  t
+
+let neighbors t v =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    if adjacent t u v then acc := u :: !acc
+  done;
+  !acc
+
+let undirected_neighbors t v =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    if t.undirected.(u).(v) then acc := u :: !acc
+  done;
+  !acc
+
+let parents t v =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    if t.directed.(u).(v) then acc := u :: !acc
+  done;
+  !acc
+
+let children t v =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    if t.directed.(v).(u) then acc := u :: !acc
+  done;
+  !acc
+
+let directed_edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    for v = t.n - 1 downto 0 do
+      if t.directed.(u).(v) then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let undirected_edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    for v = u - 1 downto 0 do
+      if t.undirected.(u).(v) then acc := (v, u) :: !acc
+    done
+  done;
+  !acc
+
+let fully_directed t = undirected_edges t = []
+
+(* View as a DAG; fails when undirected edges remain or a cycle exists. *)
+let to_dag t =
+  if not (fully_directed t) then None
+  else begin
+    let g = Dag.of_edges t.n (directed_edges t) in
+    if Dag.is_acyclic g then Some g else None
+  end
+
+let of_dag g =
+  let n = Dag.size g in
+  let t = create n in
+  List.iter (fun (u, v) -> t.directed.(u).(v) <- true) (Dag.edges g);
+  t
+
+(* Is there a (partially) directed path from u to v using only directed
+   edges? Used for cycle avoidance during orientation. *)
+let directed_reaches t u v =
+  let visited = Array.make t.n false in
+  let rec go x =
+    if x = v then true
+    else if visited.(x) then false
+    else begin
+      visited.(x) <- true;
+      List.exists go (children t x)
+    end
+  in
+  go u
+
+let equal a b =
+  a.n = b.n
+  && a.directed = b.directed
+  && a.undirected = b.undirected
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>pdag (%d nodes):@,%a%a@]" t.n
+    Fmt.(list ~sep:cut (fun ppf (u, v) -> Fmt.pf ppf "  %d -> %d" u v))
+    (directed_edges t)
+    Fmt.(list ~sep:cut (fun ppf (u, v) -> Fmt.pf ppf "  %d -- %d" u v))
+    (undirected_edges t)

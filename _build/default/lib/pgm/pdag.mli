@@ -1,0 +1,46 @@
+(** Partially directed graphs (CPDAG representation). Mutable: clone with
+    {!copy} before branching. *)
+
+type t
+
+val create : int -> t
+val size : t -> int
+val copy : t -> t
+
+val has_directed : t -> int -> int -> bool
+val has_undirected : t -> int -> int -> bool
+val adjacent : t -> int -> int -> bool
+
+(** Raises [Invalid_argument] on self loops. *)
+val add_undirected : t -> int -> int -> unit
+
+(** Remove any edge (directed or not) between two nodes. *)
+val remove_edge : t -> int -> int -> unit
+
+(** Turn the edge between [u] and [v] into [u -> v]. *)
+val orient : t -> int -> int -> unit
+
+(** Complete undirected graph on [n] nodes (PC's starting point). *)
+val complete : int -> t
+
+val neighbors : t -> int -> int list
+val undirected_neighbors : t -> int -> int list
+val parents : t -> int -> int list
+val children : t -> int -> int list
+val directed_edges : t -> (int * int) list
+
+(** Each undirected edge once, as [(min, max)]. *)
+val undirected_edges : t -> (int * int) list
+
+val fully_directed : t -> bool
+
+(** [Some dag] when fully directed and acyclic. *)
+val to_dag : t -> Dag.t option
+
+val of_dag : Dag.t -> t
+
+(** Reachability along directed edges only. *)
+val directed_reaches : t -> int -> int -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

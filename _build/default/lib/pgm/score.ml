@@ -1,0 +1,166 @@
+(* Score-based structure learning: greedy hill-climbing over DAGs with the
+   BIC score on discrete data.
+
+   An alternative to constraint-based PC for the sketch-learning phase:
+   score-based search returns a single DAG rather than a Markov
+   equivalence class, trading the MEC's honesty about edge directions for
+   robustness on small samples. The bench harness compares both
+   (experiment "structure"). *)
+
+type data = {
+  columns : int array array;  (* integer-coded, one array per variable *)
+  cards : int array;
+  n : int;
+}
+
+let data_of ~cards columns =
+  let cards = Array.of_list cards in
+  let columns = Array.of_list columns in
+  if Array.length cards <> Array.length columns then
+    invalid_arg "Score.data_of: cards/columns mismatch";
+  let n = if Array.length columns = 0 then 0 else Array.length columns.(0) in
+  Array.iter
+    (fun c -> if Array.length c <> n then invalid_arg "Score.data_of: ragged")
+    columns;
+  { columns; cards; n }
+
+(* BIC score of variable [v] given a parent set: log-likelihood of the
+   conditional multinomial minus (log n / 2) * free parameters. *)
+let family_score data v parents =
+  let n = data.n in
+  if n = 0 then 0.0
+  else begin
+    let card = data.cards.(v) in
+    let parent_cards = List.map (fun p -> data.cards.(p)) parents in
+    let parent_cols = List.map (fun p -> data.columns.(p)) parents in
+    let xv = data.columns.(v) in
+    (* histogram per parent configuration (sparse) *)
+    let tbl : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+    let config i =
+      List.fold_left2
+        (fun acc col c -> (acc * c) + col.(i))
+        0 parent_cols parent_cards
+    in
+    for i = 0 to n - 1 do
+      let key = config i in
+      let hist =
+        match Hashtbl.find_opt tbl key with
+        | Some h -> h
+        | None ->
+          let h = Array.make card 0 in
+          Hashtbl.add tbl key h;
+          h
+      in
+      hist.(xv.(i)) <- hist.(xv.(i)) + 1
+    done;
+    let loglik = ref 0.0 in
+    Hashtbl.iter
+      (fun _ hist ->
+        let total = float_of_int (Array.fold_left ( + ) 0 hist) in
+        Array.iter
+          (fun c ->
+            if c > 0 then
+              loglik := !loglik +. (float_of_int c *. log (float_of_int c /. total)))
+          hist)
+      tbl;
+    let configs = List.fold_left ( * ) 1 parent_cards in
+    let free_params = float_of_int (configs * (card - 1)) in
+    !loglik -. (0.5 *. log (float_of_int n) *. free_params)
+  end
+
+let total_score data dag =
+  let n_vars = Array.length data.cards in
+  let s = ref 0.0 in
+  for v = 0 to n_vars - 1 do
+    s := !s +. family_score data v (Dag.parents dag v)
+  done;
+  !s
+
+type move = Add of int * int | Remove of int * int | Reverse of int * int
+
+let apply_move dag = function
+  | Add (u, v) -> Dag.add_edge dag u v
+  | Remove (u, v) -> Dag.remove_edge dag u v
+  | Reverse (u, v) -> Dag.add_edge (Dag.remove_edge dag u v) v u
+
+(* Greedy hill climbing: repeatedly take the single-edge move with the
+   best score improvement until no move improves. [max_parents] bounds
+   in-degree (and hence CPT size); [max_iters] is a safety stop. *)
+let hill_climb ?(max_parents = 3) ?(max_iters = 500) data =
+  let n_vars = Array.length data.cards in
+  let dag = ref (Dag.create n_vars) in
+  (* cache family scores per (v, parents) *)
+  let cache : (int * int list, float) Hashtbl.t = Hashtbl.create 256 in
+  let fam v parents =
+    let key = (v, parents) in
+    match Hashtbl.find_opt cache key with
+    | Some s -> s
+    | None ->
+      let s = family_score data v parents in
+      Hashtbl.add cache key s;
+      s
+  in
+  let rec delta dag = function
+    | Add (u, v) ->
+      let old_parents = Dag.parents dag v in
+      if List.length old_parents >= max_parents then Float.neg_infinity
+      else
+        fam v (List.sort_uniq Int.compare (u :: old_parents)) -. fam v old_parents
+    | Remove (u, v) ->
+      let old_parents = Dag.parents dag v in
+      fam v (List.filter (fun x -> x <> u) old_parents) -. fam v old_parents
+    | Reverse (u, v) ->
+      let d_remove = delta_remove dag u v in
+      let parents_u = Dag.parents dag u in
+      if List.length parents_u >= max_parents then Float.neg_infinity
+      else
+        d_remove
+        +. fam u (List.sort_uniq Int.compare (v :: parents_u))
+        -. fam u parents_u
+  and delta_remove dag u v =
+    let old_parents = Dag.parents dag v in
+    fam v (List.filter (fun x -> x <> u) old_parents) -. fam v old_parents
+  in
+  let improved = ref true in
+  let iters = ref 0 in
+  while !improved && !iters < max_iters do
+    incr iters;
+    improved := false;
+    let best = ref None in
+    for u = 0 to n_vars - 1 do
+      for v = 0 to n_vars - 1 do
+        if u <> v then begin
+          let candidates =
+            if Dag.has_edge !dag u v then [ Remove (u, v); Reverse (u, v) ]
+            else if Dag.has_edge !dag v u then []
+            else [ Add (u, v) ]
+          in
+          List.iter
+            (fun m ->
+              let d = delta !dag m in
+              if d > 1e-9 then begin
+                (* acyclicity check only for promising moves *)
+                let ok =
+                  match m with
+                  | Add (u, v) -> not (Dag.reaches !dag v u)
+                  | Remove _ -> true
+                  | Reverse (u, v) ->
+                    let without = Dag.remove_edge !dag u v in
+                    not (Dag.reaches without u v)
+                in
+                if ok then
+                  match !best with
+                  | Some (d', _) when d' >= d -> ()
+                  | _ -> best := Some (d, m)
+              end)
+            candidates
+        end
+      done
+    done;
+    match !best with
+    | Some (_, m) ->
+      dag := apply_move !dag m;
+      improved := true
+    | None -> ()
+  done;
+  !dag

@@ -1,0 +1,20 @@
+(** Score-based structure learning: greedy hill-climbing over DAGs with
+    the BIC score on discrete data. *)
+
+type data
+
+(** Raises [Invalid_argument] on ragged input. *)
+val data_of : cards:int list -> int array list -> data
+
+(** BIC family score of one variable given a parent set. *)
+val family_score : data -> int -> int list -> float
+
+val total_score : data -> Dag.t -> float
+
+type move = Add of int * int | Remove of int * int | Reverse of int * int
+
+val apply_move : Dag.t -> move -> Dag.t
+
+(** Greedy hill climbing from the empty graph; [max_parents] bounds
+    in-degree. *)
+val hill_climb : ?max_parents:int -> ?max_iters:int -> data -> Dag.t

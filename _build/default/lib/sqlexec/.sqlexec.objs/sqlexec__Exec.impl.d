@@ -1,0 +1,1 @@
+lib/sqlexec/exec.ml: Array Dataframe Fmt Guardrail Hashtbl List Mlmodel Option Parser Plan Printf Sql_ast Unix

@@ -1,0 +1,1 @@
+lib/sqlexec/exec.mli: Dataframe Format Guardrail Mlmodel

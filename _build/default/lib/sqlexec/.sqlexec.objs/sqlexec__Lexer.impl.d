@@ -1,0 +1,1 @@
+lib/sqlexec/lexer.ml: Buffer List Printf String

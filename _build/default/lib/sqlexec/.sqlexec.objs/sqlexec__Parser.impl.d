@@ -1,0 +1,1 @@
+lib/sqlexec/parser.ml: Dataframe Lexer List Option Printf Sql_ast

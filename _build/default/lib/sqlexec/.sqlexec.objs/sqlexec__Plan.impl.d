@@ -1,0 +1,1 @@
+lib/sqlexec/plan.ml: List Printf Sql_ast String

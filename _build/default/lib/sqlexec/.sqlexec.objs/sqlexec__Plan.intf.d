@@ -1,0 +1,1 @@
+lib/sqlexec/plan.mli: Sql_ast

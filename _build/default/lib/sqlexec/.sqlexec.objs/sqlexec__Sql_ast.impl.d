@@ -1,0 +1,1 @@
+lib/sqlexec/sql_ast.ml: Dataframe List

@@ -1,0 +1,431 @@
+(* Executor for ML-integrated SQL queries.
+
+   Mirrors the paper's §7 prototype: rows flow through the plan's
+   pre-filter, then — when the query calls PREDICT() — each surviving row
+   is first vetted by the guardrail (with one of the four handling
+   strategies) and only then handed to the ML backend; predictions replace
+   the PREDICT() expressions and the rest of the query (post-filter,
+   grouping, aggregation) runs as usual. Guardrail time and inference time
+   are metered separately (Table 6). *)
+
+open Sql_ast
+
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+
+exception Runtime_error of string
+
+type context = {
+  tables : (string, Frame.t) Hashtbl.t;
+  models : (string, Mlmodel.Ensemble.t) Hashtbl.t;  (* keyed by target name *)
+  mutable guard : (Guardrail.Dsl.prog * Guardrail.Validator.strategy) option;
+}
+
+type stats = {
+  rows_scanned : int;
+  rows_predicted : int;
+  violations : int;
+  guardrail_s : float;
+  inference_s : float;
+}
+
+type result = {
+  columns : string list;
+  rows : Value.t array list;
+  stats : stats;
+}
+
+let create () =
+  { tables = Hashtbl.create 8; models = Hashtbl.create 8; guard = None }
+
+let register_table ctx name frame = Hashtbl.replace ctx.tables name frame
+
+let register_model ctx ~target model = Hashtbl.replace ctx.models target model
+
+let set_guard ctx ?(strategy = Guardrail.Validator.Rectify) prog =
+  ctx.guard <- Some (prog, strategy)
+
+let clear_guard ctx = ctx.guard <- None
+
+(* Row environment: materialized (possibly repaired) values plus the
+   prediction per target. *)
+type env = {
+  schema : Dataframe.Schema.t;
+  values : Value.t array;
+  predictions : (string * Value.t) list;
+}
+
+let truthy = function Value.Bool b -> b | Value.Null -> false | _ -> false
+
+let numeric v =
+  match Value.to_float v with
+  | Some f -> f
+  | None -> raise (Runtime_error (Fmt.str "non-numeric value %a" Value.pp v))
+
+let rec eval env = function
+  | Lit v -> v
+  | Col name ->
+    (match Dataframe.Schema.index_opt env.schema name with
+     | Some i -> env.values.(i)
+     | None -> raise (Runtime_error (Printf.sprintf "unknown column %S" name)))
+  | Predict target ->
+    (match List.assoc_opt target env.predictions with
+     | Some v -> v
+     | None -> raise (Runtime_error (Printf.sprintf "no prediction for %S" target)))
+  | Cmp (op, a, b) ->
+    let va = eval env a and vb = eval env b in
+    if Value.is_null va || Value.is_null vb then Value.Bool false
+    else begin
+      let c = Value.compare va vb in
+      Value.Bool
+        (match op with
+         | Eq -> c = 0
+         | Neq -> c <> 0
+         | Lt -> c < 0
+         | Le -> c <= 0
+         | Gt -> c > 0
+         | Ge -> c >= 0)
+    end
+  | Arith (op, a, b) ->
+    let va = eval env a and vb = eval env b in
+    if Value.is_null va || Value.is_null vb then Value.Null
+    else begin
+      let x = numeric va and y = numeric vb in
+      match op with
+      | Add -> Value.Float (x +. y)
+      | Sub -> Value.Float (x -. y)
+      | Mul -> Value.Float (x *. y)
+      | Div -> if y = 0.0 then Value.Null else Value.Float (x /. y)
+    end
+  | And (a, b) -> Value.Bool (truthy (eval env a) && truthy (eval env b))
+  | Or (a, b) -> Value.Bool (truthy (eval env a) || truthy (eval env b))
+  | Not e -> Value.Bool (not (truthy (eval env e)))
+  | Case (whens, else_) ->
+    let rec go = function
+      | (cond, v) :: rest -> if truthy (eval env cond) then eval env v else go rest
+      | [] -> (match else_ with Some e -> eval env e | None -> Value.Null)
+    in
+    go whens
+  | Agg _ -> raise (Runtime_error "aggregate outside aggregation context")
+
+(* Aggregate evaluation over a group of environments. Aggregates may be
+   nested inside arithmetic; group-key expressions evaluate on the group's
+   representative row. *)
+let rec eval_agg group (group_keys : (expr * Value.t) list) e =
+  match e with
+  | Agg (fn, arg) ->
+    let values =
+      match arg with
+      | None -> List.map (fun _ -> Value.Int 1) group
+      | Some a -> List.map (fun env -> eval env a) group
+    in
+    let numerics =
+      List.filter_map (fun v -> if Value.is_null v then None else Value.to_float v) values
+    in
+    (match fn with
+     | Count ->
+       (match arg with
+        | None -> Value.Int (List.length group)
+        | Some _ ->
+          Value.Int (List.length (List.filter (fun v -> not (Value.is_null v)) values)))
+     | Sum -> Value.Float (List.fold_left ( +. ) 0.0 numerics)
+     | Avg ->
+       (match numerics with
+        | [] -> Value.Null
+        | _ ->
+          Value.Float
+            (List.fold_left ( +. ) 0.0 numerics /. float_of_int (List.length numerics)))
+     | Min ->
+       (match List.filter (fun v -> not (Value.is_null v)) values with
+        | [] -> Value.Null
+        | v :: rest -> List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v rest)
+     | Max ->
+       (match List.filter (fun v -> not (Value.is_null v)) values with
+        | [] -> Value.Null
+        | v :: rest -> List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v rest))
+  | _ ->
+    (* group key? evaluate on the representative row *)
+    (match List.find_opt (fun (k, _) -> k = e) group_keys with
+     | Some (_, v) -> v
+     | None ->
+       (match e with
+        | Lit v -> v
+        | Cmp (op, a, b) ->
+          let env0 = List.hd group in
+          ignore env0;
+          eval_binary group group_keys (fun x y -> Cmp (op, Lit x, Lit y)) a b
+        | Arith (op, a, b) ->
+          eval_binary group group_keys (fun x y -> Arith (op, Lit x, Lit y)) a b
+        | Case _ | Col _ | Predict _ | And _ | Or _ | Not _ ->
+          (* fall back: evaluate on the representative row *)
+          (match group with
+           | env :: _ -> eval env e
+           | [] -> Value.Null)
+        | Agg _ -> assert false))
+
+and eval_binary group group_keys rebuild a b =
+  let va = eval_agg group group_keys a in
+  let vb = eval_agg group group_keys b in
+  match group with
+  | env :: _ -> eval env (rebuild va vb)
+  | [] -> Value.Null
+
+let find_table ctx name =
+  match Hashtbl.find_opt ctx.tables name with
+  | Some f -> f
+  | None -> raise (Runtime_error (Printf.sprintf "unknown table %S" name))
+
+let find_model ctx target =
+  match Hashtbl.find_opt ctx.models target with
+  | Some m -> m
+  | None -> raise (Runtime_error (Printf.sprintf "no model registered for %S" target))
+
+let now () = Unix.gettimeofday ()
+
+(* Build a one-row frame so the ensemble's encoder can read named
+   columns. *)
+let predict_value model schema values =
+  let frame = Frame.of_rows schema [ values ] in
+  Mlmodel.Ensemble.predict_row model frame 0
+
+let run ctx sql =
+  let q = Parser.query sql in
+  let plan = Plan.of_query q in
+  let frame = find_table ctx plan.Plan.table in
+  let schema = Frame.schema frame in
+  let n = Frame.nrows frame in
+  (* the guard program is re-bound by column name to the queried table's
+     schema (tables and views may order or extend columns differently) and
+     compiled once per query *)
+  let guard =
+    match ctx.guard with
+    | None -> None
+    | Some (prog, strategy) ->
+      (try
+         Some (Guardrail.Validator.compile (Guardrail.Validator.rebind prog schema), strategy)
+       with Invalid_argument msg ->
+         raise
+           (Runtime_error
+              (Printf.sprintf "guard does not fit table %S: %s" plan.Plan.table msg)))
+  in
+  let guardrail_s = ref 0.0 in
+  let inference_s = ref 0.0 in
+  let violations = ref 0 in
+  let rows_predicted = ref 0 in
+  (* scan + pre-filter *)
+  let envs = ref [] in
+  for i = n - 1 downto 0 do
+    let values = Frame.row frame i in
+    let env0 = { schema; values; predictions = [] } in
+    let keep =
+      List.for_all (fun e -> truthy (eval env0 e)) plan.Plan.pre_filter
+    in
+    if keep then envs := env0 :: !envs
+  done;
+  (* prediction with guardrail interception *)
+  let envs =
+    if not plan.Plan.uses_predict then !envs
+    else begin
+      List.map
+        (fun env ->
+          incr rows_predicted;
+          let values =
+            match guard with
+            | None -> env.values
+            | Some (compiled, strategy) ->
+              let t0 = now () in
+              let vs =
+                Guardrail.Validator.check_values_compiled compiled env.values
+              in
+              let repaired =
+                match strategy, vs with
+                | _, [] -> env.values
+                | Guardrail.Validator.Ignore, _ -> env.values
+                | Guardrail.Validator.Raise, v :: _ ->
+                  raise
+                    (Guardrail.Validator.Violation_error
+                       (Guardrail.Validator.describe schema v))
+                | Guardrail.Validator.Coerce, vs ->
+                  let out = Array.copy env.values in
+                  List.iter
+                    (fun (v : Guardrail.Validator.violation) ->
+                      out.(v.Guardrail.Validator.stmt.Guardrail.Dsl.on) <- Value.Null)
+                    vs;
+                  out
+                | Guardrail.Validator.Rectify, vs ->
+                  let out = Array.copy env.values in
+                  List.iter
+                    (fun (v : Guardrail.Validator.violation) ->
+                      out.(v.Guardrail.Validator.stmt.Guardrail.Dsl.on) <-
+                        v.Guardrail.Validator.expected)
+                    vs;
+                  out
+              in
+              violations := !violations + List.length vs;
+              guardrail_s := !guardrail_s +. (now () -. t0);
+              repaired
+          in
+          let t1 = now () in
+          let predictions =
+            List.map
+              (fun target ->
+                (target, predict_value (find_model ctx target) schema values))
+              plan.Plan.predict_targets
+          in
+          inference_s := !inference_s +. (now () -. t1);
+          { env with values; predictions })
+        !envs
+    end
+  in
+  (* post-filter *)
+  let envs =
+    List.filter
+      (fun env -> List.for_all (fun e -> truthy (eval env e)) plan.Plan.post_filter)
+      envs
+  in
+  let columns = List.mapi Plan.output_name plan.Plan.select in
+  (* rows paired with their ORDER BY key values *)
+  let keyed_rows =
+    if plan.Plan.is_aggregate then begin
+      (* group *)
+      let groups : (Value.t list, env list) Hashtbl.t = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun env ->
+          let key = List.map (fun e -> eval env e) plan.Plan.group_by in
+          if not (Hashtbl.mem groups key) then order := key :: !order;
+          Hashtbl.replace groups key
+            (env :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+        envs;
+      (* deterministic group order so results align across runs *)
+      let compare_keys a b =
+        let rec go = function
+          | x :: xs, y :: ys ->
+            let c = Value.compare x y in
+            if c <> 0 then c else go (xs, ys)
+          | [], [] -> 0
+          | [], _ -> -1
+          | _, [] -> 1
+        in
+        go (a, b)
+      in
+      let keys = List.sort compare_keys (List.rev !order) in
+      let keys = if plan.Plan.group_by = [] && keys = [] then [ [] ] else keys in
+      List.map
+        (fun key ->
+          let group = List.rev (Option.value ~default:[] (Hashtbl.find_opt groups key)) in
+          let group_keys = List.combine plan.Plan.group_by key in
+          let row =
+            Array.of_list
+              (List.map
+                 (fun (item : select_item) -> eval_agg group group_keys item.expr)
+                 plan.Plan.select)
+          in
+          let order_values =
+            List.map (fun (e, _) -> eval_agg group group_keys e) plan.Plan.order_by
+          in
+          (row, order_values))
+        keys
+    end
+    else
+      List.map
+        (fun env ->
+          let row =
+            Array.of_list
+              (List.map (fun (item : select_item) -> eval env item.expr) plan.Plan.select)
+          in
+          let order_values =
+            List.map (fun (e, _) -> eval env e) plan.Plan.order_by
+          in
+          (row, order_values))
+        envs
+  in
+  (* ORDER BY: lexicographic over the order expressions with per-key
+     direction; stable sort keeps scan order for ties *)
+  let keyed_rows =
+    if plan.Plan.order_by = [] then keyed_rows
+    else begin
+      let directions = List.map snd plan.Plan.order_by in
+      let compare_rows (_, a) (_, b) =
+        let rec go vals_a vals_b dirs =
+          match vals_a, vals_b, dirs with
+          | [], [], _ -> 0
+          | va :: ra, vb :: rb, asc :: rd ->
+            let c = Value.compare va vb in
+            if c <> 0 then (if asc then c else -c) else go ra rb rd
+          | _ -> 0
+        in
+        go a b directions
+      in
+      List.stable_sort compare_rows keyed_rows
+    end
+  in
+  let keyed_rows =
+    match plan.Plan.limit with
+    | Some k ->
+      List.filteri (fun i _ -> i < k) keyed_rows
+    | None -> keyed_rows
+  in
+  let rows = List.map fst keyed_rows in
+  {
+    columns;
+    rows;
+    stats =
+      {
+        rows_scanned = n;
+        rows_predicted = !rows_predicted;
+        violations = !violations;
+        guardrail_s = !guardrail_s;
+        inference_s = !inference_s;
+      };
+  }
+
+(* Materialize a result as a frame: the paper's prototype has no native
+   JOIN; joins are pre-computed into materialized views and queried as
+   tables. Column kinds are sniffed from the cells. *)
+let frame_of_result (r : result) =
+  let numeric_col j =
+    List.for_all
+      (fun row ->
+        match row.(j) with
+        | Value.Int _ | Value.Float _ | Value.Null -> true
+        | Value.Bool _ | Value.String _ -> false)
+      r.rows
+    && r.rows <> []
+  in
+  let cols =
+    List.mapi
+      (fun j name ->
+        if numeric_col j then Dataframe.Schema.numeric name
+        else Dataframe.Schema.categorical name)
+      r.columns
+  in
+  Frame.of_rows (Dataframe.Schema.make cols) r.rows
+
+(* Run a query now and register its result as a queryable table. *)
+let register_view ctx name sql =
+  let r = run ctx sql in
+  register_table ctx name (frame_of_result r);
+  r
+
+(* Numeric vector view of a result (row-major over numeric cells), used by
+   the Fig. 6 relative-error metric. *)
+let numeric_vector r =
+  let acc = ref [] in
+  List.iter
+    (fun row ->
+      Array.iter
+        (fun v -> match Value.to_float v with Some f -> acc := f :: !acc | None -> ())
+        row)
+    r.rows;
+  Array.of_list (List.rev !acc)
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v>%a@," Fmt.(list ~sep:(any " | ") string) r.columns;
+  List.iter
+    (fun row ->
+      Fmt.pf ppf "%a@,"
+        Fmt.(list ~sep:(any " | ") string)
+        (Array.to_list (Array.map Value.to_string row)))
+    r.rows;
+  Fmt.pf ppf "@]"

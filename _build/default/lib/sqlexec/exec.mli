@@ -1,0 +1,47 @@
+(** Executor for ML-integrated SQL queries with guardrail interception. *)
+
+exception Runtime_error of string
+
+type context
+
+type stats = {
+  rows_scanned : int;
+  rows_predicted : int;
+  violations : int;
+  guardrail_s : float;
+  inference_s : float;
+}
+
+type result = {
+  columns : string list;
+  rows : Dataframe.Value.t array list;
+  stats : stats;
+}
+
+val create : unit -> context
+val register_table : context -> string -> Dataframe.Frame.t -> unit
+val register_model : context -> target:string -> Mlmodel.Ensemble.t -> unit
+
+(** Install a guardrail applied to every row before prediction (default
+    strategy: [Rectify]). *)
+val set_guard :
+  context -> ?strategy:Guardrail.Validator.strategy -> Guardrail.Dsl.prog -> unit
+
+val clear_guard : context -> unit
+
+(** Parse, plan (with predicate pushdown) and execute. Raises
+    {!Runtime_error}, {!Parser.Error}, {!Lexer.Error} or
+    [Guardrail.Validator.Violation_error] (raise strategy). *)
+val run : context -> string -> result
+
+(** Materialize a result as a frame (column kinds sniffed). *)
+val frame_of_result : result -> Dataframe.Frame.t
+
+(** Run a query now and register its result as a queryable table — the
+    prototype's materialized-view substitute for JOIN (§7). *)
+val register_view : context -> string -> string -> result
+
+(** Row-major vector of the numeric cells of a result (Fig. 6 metric). *)
+val numeric_vector : result -> float array
+
+val pp_result : Format.formatter -> result -> unit

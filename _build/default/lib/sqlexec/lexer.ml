@@ -1,0 +1,120 @@
+(* SQL tokenizer. Keywords are case-insensitive; identifiers may be
+   double-quoted, string literals are single-quoted with '' escapes. *)
+
+exception Error of { pos : int; message : string }
+
+type token =
+  | Ident of string
+  | Str of string
+  | Int_lit of int
+  | Float_lit of float
+  | Kw of string        (* uppercased keyword *)
+  | Sym of string       (* punctuation / operators *)
+  | Eof
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "AS"; "AND"; "OR"; "NOT";
+    "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "AVG"; "SUM"; "COUNT"; "MIN";
+    "MAX"; "PREDICT"; "NULL"; "TRUE"; "FALSE"; "ORDER"; "ASC"; "DESC"; "LIMIT" ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let push t pos = out := (t, pos) :: !out in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && (is_digit s.[!i] || s.[!i] = '.') do
+        incr i
+      done;
+      let text = String.sub s start (!i - start) in
+      (match int_of_string_opt text with
+       | Some v -> push (Int_lit v) start
+       | None ->
+         (match float_of_string_opt text with
+          | Some v -> push (Float_lit v) start
+          | None -> raise (Error { pos = start; message = "bad number " ^ text })))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      let text = String.sub s start (!i - start) in
+      let upper = String.uppercase_ascii text in
+      if List.mem upper keywords then push (Kw upper) start
+      else push (Ident text) start
+    end
+    else if c = '\'' then begin
+      let start = !i in
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then raise (Error { pos = start; message = "unterminated string" });
+        if s.[!i] = '\'' then
+          if !i + 1 < n && s.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      push (Str (Buffer.contents buf)) start
+    end
+    else if c = '"' then begin
+      let start = !i in
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then raise (Error { pos = start; message = "unterminated identifier" });
+        if s.[!i] = '"' then
+          if !i + 1 < n && s.[!i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      push (Ident (Buffer.contents buf)) start
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "<>" | "<=" | ">=" | "!=" | "==" ->
+        push (Sym two) !i;
+        i := !i + 2
+      | _ ->
+        (match c with
+         | '=' | '<' | '>' | '+' | '-' | '*' | '/' | '(' | ')' | ',' | ';' ->
+           push (Sym (String.make 1 c)) !i;
+           incr i
+         | _ ->
+           raise (Error { pos = !i; message = Printf.sprintf "unexpected %C" c }))
+    end
+  done;
+  push Eof n;
+  List.rev !out

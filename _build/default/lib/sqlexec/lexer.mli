@@ -1,0 +1,17 @@
+(** SQL tokenizer: case-insensitive keywords, single-quoted strings with
+    [''] escapes, double-quoted identifiers. *)
+
+exception Error of { pos : int; message : string }
+
+type token =
+  | Ident of string
+  | Str of string
+  | Int_lit of int
+  | Float_lit of float
+  | Kw of string   (** uppercased keyword *)
+  | Sym of string  (** punctuation / operators *)
+  | Eof
+
+(** Token stream with source positions; raises {!Error} on malformed
+    input. Always ends with [Eof]. *)
+val tokenize : string -> (token * int) list

@@ -1,0 +1,285 @@
+(* Recursive-descent parser for the SQL subset. Precedence (loose to
+   tight): OR, AND, NOT, comparison, additive, multiplicative, primary. *)
+
+open Sql_ast
+
+exception Error of { pos : int; message : string }
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> (Lexer.Eof, 0)
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let error pos message = raise (Error { pos; message })
+
+let expect_sym st sym =
+  match peek st with
+  | Lexer.Sym s, _ when s = sym -> advance st
+  | _, p -> error p (Printf.sprintf "expected %S" sym)
+
+let expect_kw st kw =
+  match peek st with
+  | Lexer.Kw k, _ when k = kw -> advance st
+  | _, p -> error p (Printf.sprintf "expected %s" kw)
+
+let agg_of_kw = function
+  | "AVG" -> Some Avg
+  | "SUM" -> Some Sum
+  | "COUNT" -> Some Count
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | _ -> None
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  match peek st with
+  | Lexer.Kw "OR", _ ->
+    advance st;
+    Or (left, parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_not st in
+  match peek st with
+  | Lexer.Kw "AND", _ ->
+    advance st;
+    And (left, parse_and st)
+  | _ -> left
+
+and parse_not st =
+  match peek st with
+  | Lexer.Kw "NOT", _ ->
+    advance st;
+    Not (parse_not st)
+  | _ -> parse_cmp st
+
+and parse_cmp st =
+  let left = parse_add st in
+  match peek st with
+  | Lexer.Sym "=", _ | Lexer.Sym "==", _ ->
+    advance st;
+    Cmp (Eq, left, parse_add st)
+  | Lexer.Sym "<>", _ | Lexer.Sym "!=", _ ->
+    advance st;
+    Cmp (Neq, left, parse_add st)
+  | Lexer.Sym "<", _ ->
+    advance st;
+    Cmp (Lt, left, parse_add st)
+  | Lexer.Sym "<=", _ ->
+    advance st;
+    Cmp (Le, left, parse_add st)
+  | Lexer.Sym ">", _ ->
+    advance st;
+    Cmp (Gt, left, parse_add st)
+  | Lexer.Sym ">=", _ ->
+    advance st;
+    Cmp (Ge, left, parse_add st)
+  | _ -> left
+
+and parse_add st =
+  let rec loop left =
+    match peek st with
+    | Lexer.Sym "+", _ ->
+      advance st;
+      loop (Arith (Add, left, parse_mul st))
+    | Lexer.Sym "-", _ ->
+      advance st;
+      loop (Arith (Sub, left, parse_mul st))
+    | _ -> left
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop left =
+    match peek st with
+    | Lexer.Sym "*", _ ->
+      advance st;
+      loop (Arith (Mul, left, parse_primary st))
+    | Lexer.Sym "/", _ ->
+      advance st;
+      loop (Arith (Div, left, parse_primary st))
+    | _ -> left
+  in
+  loop (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Int_lit v, _ ->
+    advance st;
+    Lit (Dataframe.Value.Int v)
+  | Lexer.Float_lit v, _ ->
+    advance st;
+    Lit (Dataframe.Value.Float v)
+  | Lexer.Str s, _ ->
+    advance st;
+    Lit (Dataframe.Value.String s)
+  | Lexer.Kw "NULL", _ ->
+    advance st;
+    Lit Dataframe.Value.Null
+  | Lexer.Kw "TRUE", _ ->
+    advance st;
+    Lit (Dataframe.Value.Bool true)
+  | Lexer.Kw "FALSE", _ ->
+    advance st;
+    Lit (Dataframe.Value.Bool false)
+  | Lexer.Sym "(", _ ->
+    advance st;
+    let e = parse_expr st in
+    expect_sym st ")";
+    e
+  | Lexer.Kw "CASE", _ ->
+    advance st;
+    let rec whens acc =
+      match peek st with
+      | Lexer.Kw "WHEN", _ ->
+        advance st;
+        let cond = parse_expr st in
+        expect_kw st "THEN";
+        let v = parse_expr st in
+        whens ((cond, v) :: acc)
+      | Lexer.Kw "ELSE", _ ->
+        advance st;
+        let e = parse_expr st in
+        expect_kw st "END";
+        Case (List.rev acc, Some e)
+      | Lexer.Kw "END", _ ->
+        advance st;
+        Case (List.rev acc, None)
+      | _, p -> error p "expected WHEN, ELSE or END"
+    in
+    whens []
+  | Lexer.Kw "PREDICT", _ ->
+    advance st;
+    expect_sym st "(";
+    let target =
+      match peek st with
+      | Lexer.Ident name, _ ->
+        advance st;
+        name
+      | _, p -> error p "expected target name in PREDICT()"
+    in
+    expect_sym st ")";
+    Predict target
+  | Lexer.Kw kw, p when agg_of_kw kw <> None ->
+    advance st;
+    let fn = Option.get (agg_of_kw kw) in
+    expect_sym st "(";
+    (match peek st with
+     | Lexer.Sym "*", _ ->
+       advance st;
+       expect_sym st ")";
+       if fn <> Count then error p "only COUNT accepts *";
+       Agg (Count, None)
+     | _ ->
+       let e = parse_expr st in
+       expect_sym st ")";
+       Agg (fn, Some e))
+  | Lexer.Ident name, _ ->
+    advance st;
+    Col name
+  | _, p -> error p "expected expression"
+
+let parse_select_item st =
+  let expr = parse_expr st in
+  match peek st with
+  | Lexer.Kw "AS", _ -> begin
+    advance st;
+    match peek st with
+    | Lexer.Ident alias, _ ->
+      advance st;
+      { expr; alias = Some alias }
+    | _, p -> error p "expected alias after AS"
+  end
+  | _ -> { expr; alias = None }
+
+let query text =
+  let st = { toks = Lexer.tokenize text } in
+  expect_kw st "SELECT";
+  let rec items acc =
+    let item = parse_select_item st in
+    match peek st with
+    | Lexer.Sym ",", _ ->
+      advance st;
+      items (item :: acc)
+    | _ -> List.rev (item :: acc)
+  in
+  let select = items [] in
+  expect_kw st "FROM";
+  let from =
+    match peek st with
+    | Lexer.Ident name, _ ->
+      advance st;
+      name
+    | _, p -> error p "expected table name"
+  in
+  let where =
+    match peek st with
+    | Lexer.Kw "WHERE", _ ->
+      advance st;
+      Some (parse_expr st)
+    | _ -> None
+  in
+  let group_by =
+    match peek st with
+    | Lexer.Kw "GROUP", _ ->
+      advance st;
+      expect_kw st "BY";
+      let rec keys acc =
+        let e = parse_expr st in
+        match peek st with
+        | Lexer.Sym ",", _ ->
+          advance st;
+          keys (e :: acc)
+        | _ -> List.rev (e :: acc)
+      in
+      keys []
+    | _ -> []
+  in
+  let order_by =
+    match peek st with
+    | Lexer.Kw "ORDER", _ ->
+      advance st;
+      expect_kw st "BY";
+      let rec keys acc =
+        let e = parse_expr st in
+        let asc =
+          match peek st with
+          | Lexer.Kw "ASC", _ ->
+            advance st;
+            true
+          | Lexer.Kw "DESC", _ ->
+            advance st;
+            false
+          | _ -> true
+        in
+        let acc = (e, asc) :: acc in
+        match peek st with
+        | Lexer.Sym ",", _ ->
+          advance st;
+          keys acc
+        | _ -> List.rev acc
+      in
+      keys []
+    | _ -> []
+  in
+  let limit =
+    match peek st with
+    | Lexer.Kw "LIMIT", _ -> begin
+      advance st;
+      match peek st with
+      | Lexer.Int_lit n, _ ->
+        advance st;
+        Some n
+      | _, p -> error p "expected row count after LIMIT"
+    end
+    | _ -> None
+  in
+  (match peek st with
+   | Lexer.Sym ";", _ -> advance st
+   | _ -> ());
+  (match peek st with
+   | Lexer.Eof, _ -> ()
+   | _, p -> error p "trailing input after query");
+  { select; from; where; group_by; order_by; limit }

@@ -1,0 +1,7 @@
+(** Recursive-descent parser for the SQL subset (SELECT / WHERE /
+    GROUP BY / ORDER BY / LIMIT, aggregates, CASE WHEN, PREDICT). *)
+
+exception Error of { pos : int; message : string }
+
+(** Parse one query; raises {!Error} or {!Lexer.Error}. *)
+val query : string -> Sql_ast.query

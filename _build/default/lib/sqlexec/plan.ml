@@ -1,0 +1,90 @@
+(* Logical planning with predicate pushdown (paper §7 lists it among the
+   executor's standard optimizations).
+
+   The pipeline is Scan -> PreFilter -> Predict -> PostFilter ->
+   Aggregate/Project. WHERE conjuncts that do not mention PREDICT() are
+   pushed below the (expensive) prediction operator, so the model — and
+   the guardrail — only run on rows that survive the cheap predicates. *)
+
+open Sql_ast
+
+type t = {
+  table : string;
+  pre_filter : expr list;    (* conjuncts evaluated before prediction *)
+  post_filter : expr list;   (* conjuncts that need PREDICT() *)
+  uses_predict : bool;
+  predict_targets : string list;
+  group_by : expr list;
+  select : select_item list;
+  is_aggregate : bool;
+  order_by : (expr * bool) list;
+  limit : int option;
+}
+
+let rec predict_targets_of = function
+  | Predict t -> [ t ]
+  | Lit _ | Col _ -> []
+  | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) ->
+    predict_targets_of a @ predict_targets_of b
+  | Not e -> predict_targets_of e
+  | Case (whens, else_) ->
+    List.concat_map (fun (c, v) -> predict_targets_of c @ predict_targets_of v) whens
+    @ (match else_ with Some e -> predict_targets_of e | None -> [])
+  | Agg (_, Some e) -> predict_targets_of e
+  | Agg (_, None) -> []
+
+let of_query (q : query) =
+  let where_conjuncts =
+    match q.where with Some w -> conjuncts w | None -> []
+  in
+  let pre_filter, post_filter =
+    List.partition (fun e -> not (contains_predict e)) where_conjuncts
+  in
+  let targets =
+    List.sort_uniq String.compare
+      (List.concat_map (fun item -> predict_targets_of item.expr) q.select
+      @ List.concat_map predict_targets_of where_conjuncts
+      @ List.concat_map predict_targets_of q.group_by)
+  in
+  let is_aggregate =
+    q.group_by <> [] || List.exists (fun item -> contains_agg item.expr) q.select
+  in
+  {
+    table = q.from;
+    pre_filter;
+    post_filter;
+    uses_predict = targets <> [];
+    predict_targets = targets;
+    group_by = q.group_by;
+    select = q.select;
+    is_aggregate;
+    order_by =
+      (* ORDER BY may reference select aliases; substitute the aliased
+         expression *)
+      List.map
+        (fun (e, asc) ->
+          match e with
+          | Col name ->
+            (match
+               List.find_opt (fun item -> item.alias = Some name) q.select
+             with
+             | Some item -> (item.expr, asc)
+             | None -> (e, asc))
+          | _ -> (e, asc))
+        q.order_by;
+    limit = q.limit;
+  }
+
+let output_name i (item : select_item) =
+  match item.alias with
+  | Some a -> a
+  | None ->
+    (match item.expr with
+     | Col c -> c
+     | Predict t -> t ^ "_pred"
+     | Agg (Avg, _) -> Printf.sprintf "avg_%d" i
+     | Agg (Sum, _) -> Printf.sprintf "sum_%d" i
+     | Agg (Count, _) -> Printf.sprintf "count_%d" i
+     | Agg (Min, _) -> Printf.sprintf "min_%d" i
+     | Agg (Max, _) -> Printf.sprintf "max_%d" i
+     | _ -> Printf.sprintf "expr_%d" i)

@@ -1,0 +1,25 @@
+(** Logical planning with predicate pushdown: WHERE conjuncts that do not
+    mention [PREDICT()] run before the (expensive) prediction operator. *)
+
+type t = {
+  table : string;
+  pre_filter : Sql_ast.expr list;   (** conjuncts evaluated before prediction *)
+  post_filter : Sql_ast.expr list;  (** conjuncts that need PREDICT() *)
+  uses_predict : bool;
+  predict_targets : string list;
+  group_by : Sql_ast.expr list;
+  select : Sql_ast.select_item list;
+  is_aggregate : bool;
+  order_by : (Sql_ast.expr * bool) list;
+  limit : int option;
+}
+
+val predict_targets_of : Sql_ast.expr -> string list
+
+(** Build a plan; ORDER BY references to select aliases are substituted
+    with the aliased expressions. *)
+val of_query : Sql_ast.query -> t
+
+(** Output column name of the i-th select item (alias, column name, or a
+    generated name). *)
+val output_name : int -> Sql_ast.select_item -> string

@@ -1,0 +1,76 @@
+(* AST of the SQL subset supported by the executor (paper §7): SELECT
+   with expressions, WHERE, GROUP BY, aggregates, CASE WHEN, and the
+   ML-integration point PREDICT(target) that the guardrail intercepts. *)
+
+type cmp_op = Eq | Neq | Lt | Le | Gt | Ge
+
+type arith_op = Add | Sub | Mul | Div
+
+type agg_fn = Avg | Sum | Count | Min | Max
+
+type expr =
+  | Lit of Dataframe.Value.t
+  | Col of string
+  | Cmp of cmp_op * expr * expr
+  | Arith of arith_op * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Case of (expr * expr) list * expr option   (* WHEN cond THEN v ... ELSE v *)
+  | Predict of string                          (* PREDICT(target) *)
+  | Agg of agg_fn * expr option                (* COUNT star has no argument *)
+
+type select_item = { expr : expr; alias : string option }
+
+type query = {
+  select : select_item list;
+  from : string;
+  where : expr option;
+  group_by : expr list;
+  order_by : (expr * bool) list;  (* expression, ascending? *)
+  limit : int option;
+}
+
+let rec contains_predict = function
+  | Predict _ -> true
+  | Lit _ | Col _ -> false
+  | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) ->
+    contains_predict a || contains_predict b
+  | Not e -> contains_predict e
+  | Case (whens, else_) ->
+    List.exists (fun (c, v) -> contains_predict c || contains_predict v) whens
+    || (match else_ with Some e -> contains_predict e | None -> false)
+  | Agg (_, Some e) -> contains_predict e
+  | Agg (_, None) -> false
+
+let rec contains_agg = function
+  | Agg _ -> true
+  | Lit _ | Col _ | Predict _ -> false
+  | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) ->
+    contains_agg a || contains_agg b
+  | Not e -> contains_agg e
+  | Case (whens, else_) ->
+    List.exists (fun (c, v) -> contains_agg c || contains_agg v) whens
+    || (match else_ with Some e -> contains_agg e | None -> false)
+
+(* Split a WHERE expression into its top-level conjuncts. *)
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let rec conjoin = function
+  | [] -> None
+  | [ e ] -> Some e
+  | e :: rest -> (match conjoin rest with Some r -> Some (And (e, r)) | None -> Some e)
+
+(* Columns referenced by an expression. *)
+let rec columns = function
+  | Col c -> [ c ]
+  | Lit _ | Predict _ -> []
+  | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) -> columns a @ columns b
+  | Not e -> columns e
+  | Case (whens, else_) ->
+    List.concat_map (fun (c, v) -> columns c @ columns v) whens
+    @ (match else_ with Some e -> columns e | None -> [])
+  | Agg (_, Some e) -> columns e
+  | Agg (_, None) -> []

@@ -1,0 +1,1 @@
+lib/stat/descriptive.ml: Array Float

@@ -1,0 +1,1 @@
+lib/stat/independence.ml: Array Contingency List Special

@@ -1,0 +1,1 @@
+lib/stat/linalg.ml: Array Float Fmt

@@ -1,0 +1,1 @@
+lib/stat/linalg.mli: Format

@@ -1,0 +1,1 @@
+lib/stat/rng.ml: Array Int64

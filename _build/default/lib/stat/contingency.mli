@@ -1,0 +1,30 @@
+(** Contingency tables over integer-coded columns. *)
+
+type table = { counts : int array array; kx : int; ky : int; total : int }
+
+val get : table -> int -> int -> int
+val row_marginals : table -> int array
+val col_marginals : table -> int array
+
+(** Two-way table of code arrays with the given cardinalities; raises
+    [Invalid_argument] on length mismatch. *)
+val two_way : kx:int -> ky:int -> int array -> int array -> table
+
+(** Per-row stratum ids of a conditioning set (mixed radix), or [None] when
+    the stratum count would exceed [max_strata]. *)
+val strata :
+  max_strata:int -> int array list -> int list -> int -> (int array * int) option
+
+(** One two-way table per non-empty stratum of the conditioning set, or
+    [None] when the stratum space exceeds [max_strata] or the total cell
+    allocation exceeds [max_cells] (default 4e6). *)
+val conditional :
+  kx:int ->
+  ky:int ->
+  max_strata:int ->
+  ?max_cells:int ->
+  int array ->
+  int array ->
+  int array list ->
+  int list ->
+  table list option

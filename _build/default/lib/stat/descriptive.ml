@@ -1,0 +1,50 @@
+(* Descriptive statistics used by the query-error experiments (Fig. 6):
+   L1 distances, relative errors and min-max normalization. *)
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then Float.nan
+  else begin
+    let m = mean xs in
+    let s = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    s /. float_of_int (n - 1)
+  end
+
+let std xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Descriptive.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+(* Min-max normalize into [0, 1]; constant arrays normalize to all zeros. *)
+let normalize xs =
+  let lo, hi = min_max xs in
+  let range = hi -. lo in
+  if range = 0.0 then Array.map (fun _ -> 0.0) xs
+  else Array.map (fun x -> (x -. lo) /. range) xs
+
+let l1_distance a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Descriptive.l1_distance: length mismatch";
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. Float.abs (a.(i) -. b.(i))
+  done;
+  !s
+
+let l1_norm a = Array.fold_left (fun acc x -> acc +. Float.abs x) 0.0 a
+
+(* Relative L1 error of [observed] against [reference]; the paper's Fig. 6
+   metric. A zero-norm reference with nonzero error reports infinity. *)
+let relative_error ~reference ~observed =
+  let d = l1_distance reference observed in
+  let n = l1_norm reference in
+  if n = 0.0 then (if d = 0.0 then 0.0 else Float.infinity) else d /. n

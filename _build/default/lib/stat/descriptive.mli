@@ -1,0 +1,18 @@
+(** Descriptive statistics for the query-error experiments. *)
+
+val mean : float array -> float
+val variance : float array -> float
+val std : float array -> float
+
+(** Raises [Invalid_argument] on an empty array. *)
+val min_max : float array -> float * float
+
+(** Min-max normalize into [0, 1]; constant input maps to all zeros. *)
+val normalize : float array -> float array
+
+val l1_distance : float array -> float array -> float
+val l1_norm : float array -> float
+
+(** Relative L1 error of [observed] against [reference]; infinity when the
+    reference has zero norm but the error does not. *)
+val relative_error : reference:float array -> observed:float array -> float

@@ -1,0 +1,42 @@
+(** Conditional-independence tests on categorical data. *)
+
+type statistic = Chi_square | G_test
+
+type result = { stat : float; df : int; p_value : float; independent : bool }
+
+(** Cramér's-V-style effect size of a summed statistic. *)
+val effect_size : kx:int -> ky:int -> n:int -> float -> float
+
+(** Unconditional chi-square / G test of a two-way table. Degenerate tables
+    (no two non-empty rows and columns) report independence with p = 1.
+    [min_effect] is a Cramér's V floor guarding against negligible but
+    statistically significant dependence on large samples. *)
+val test_two_way :
+  ?kind:statistic -> ?min_effect:float -> alpha:float -> Contingency.table -> result
+
+(** Stratified conditional-independence test of [xs ⊥ ys | cond]. When the
+    conditioning stratum space exceeds [max_strata] or carries no signal,
+    reports independence (the PC algorithm then drops the edge) — the
+    failure mode of the identity sampler in Table 8 of the paper.
+    [stat_scale] deflates the statistic before the significance and effect
+    checks — a design-effect correction for non-iid (e.g. circular-shift)
+    samples. *)
+val ci_test :
+  ?kind:statistic ->
+  ?max_strata:int ->
+  ?min_effect:float ->
+  ?stat_scale:float ->
+  alpha:float ->
+  kx:int ->
+  ky:int ->
+  int array ->
+  int array ->
+  int array list ->
+  int list ->
+  result
+
+(** Cramér's V effect size in [0, 1]. *)
+val cramers_v : Contingency.table -> float
+
+(** Mutual information (nats) of a two-way table. *)
+val mutual_information : Contingency.table -> float

@@ -1,0 +1,152 @@
+(* Small dense linear algebra kit: just enough for the FDX baseline
+   (covariance estimation, ridge-regularized least squares) without an
+   external dependency. Matrices are row-major float arrays. *)
+
+type mat = { rows : int; cols : int; data : float array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  let data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) in
+  { rows; cols; data }
+
+let dims m = (m.rows, m.cols)
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+let copy m = { m with data = Array.copy m.data }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let matmul a b =
+  if a.cols <> b.rows then invalid_arg "Linalg.matmul: dimension mismatch";
+  let c = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          set c i j (get c i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  c
+
+let matvec a x =
+  if a.cols <> Array.length x then invalid_arg "Linalg.matvec: dimension mismatch";
+  Array.init a.rows (fun i ->
+      let s = ref 0.0 in
+      for j = 0 to a.cols - 1 do
+        s := !s +. (get a i j *. x.(j))
+      done;
+      !s)
+
+exception Singular
+
+(* Gauss-Jordan elimination with partial pivoting. Solves A * X = B for X,
+   destroying working copies. Raises [Singular] when no pivot exceeds the
+   tolerance. *)
+let solve a b =
+  if a.rows <> a.cols then invalid_arg "Linalg.solve: matrix not square";
+  if a.rows <> b.rows then invalid_arg "Linalg.solve: rhs mismatch";
+  let n = a.rows in
+  let m = copy a in
+  let x = copy b in
+  for col = 0 to n - 1 do
+    (* pivot *)
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs (get m r col) > Float.abs (get m !pivot col) then pivot := r
+    done;
+    if Float.abs (get m !pivot col) < 1e-12 then raise Singular;
+    if !pivot <> col then begin
+      for j = 0 to n - 1 do
+        let t = get m col j in
+        set m col j (get m !pivot j);
+        set m !pivot j t
+      done;
+      for j = 0 to x.cols - 1 do
+        let t = get x col j in
+        set x col j (get x !pivot j);
+        set x !pivot j t
+      done
+    end;
+    let inv = 1.0 /. get m col col in
+    for j = 0 to n - 1 do
+      set m col j (get m col j *. inv)
+    done;
+    for j = 0 to x.cols - 1 do
+      set x col j (get x col j *. inv)
+    done;
+    for r = 0 to n - 1 do
+      if r <> col then begin
+        let f = get m r col in
+        if f <> 0.0 then begin
+          for j = 0 to n - 1 do
+            set m r j (get m r j -. (f *. get m col j))
+          done;
+          for j = 0 to x.cols - 1 do
+            set x r j (get x r j -. (f *. get x col j))
+          done
+        end
+      end
+    done
+  done;
+  x
+
+let inverse a = solve a (identity a.rows)
+
+(* Ridge regression: argmin_w ||X w - y||^2 + lambda ||w||^2, returned as a
+   coefficient vector. X is n-by-p, y length n. *)
+let ridge ~lambda x y =
+  let xt = transpose x in
+  let xtx = matmul xt x in
+  let p = xtx.rows in
+  for i = 0 to p - 1 do
+    set xtx i i (get xtx i i +. lambda)
+  done;
+  let xty = matvec xt y in
+  let rhs = init p 1 (fun i _ -> xty.(i)) in
+  let w = solve xtx rhs in
+  Array.init p (fun i -> get w i 0)
+
+(* Sample covariance matrix of columns of X (n-by-p), unbiased. *)
+let covariance x =
+  let n, p = dims x in
+  if n < 2 then invalid_arg "Linalg.covariance: need at least 2 samples";
+  let mean = Array.make p 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to p - 1 do
+      mean.(j) <- mean.(j) +. get x i j
+    done
+  done;
+  Array.iteri (fun j s -> mean.(j) <- s /. float_of_int n) mean;
+  let c = create p p in
+  for i = 0 to n - 1 do
+    for j = 0 to p - 1 do
+      let dj = get x i j -. mean.(j) in
+      for k = j to p - 1 do
+        let dk = get x i k -. mean.(k) in
+        set c j k (get c j k +. (dj *. dk))
+      done
+    done
+  done;
+  for j = 0 to p - 1 do
+    for k = j to p - 1 do
+      let v = get c j k /. float_of_int (n - 1) in
+      set c j k v;
+      set c k j v
+    done
+  done;
+  c
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      Fmt.pf ppf "%8.4f " (get m i j)
+    done;
+    Fmt.pf ppf "@,"
+  done;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,33 @@
+(** Small dense linear algebra kit (row-major float matrices). *)
+
+type mat
+
+exception Singular
+
+val create : int -> int -> mat
+val init : int -> int -> (int -> int -> float) -> mat
+val dims : mat -> int * int
+val get : mat -> int -> int -> float
+val set : mat -> int -> int -> float -> unit
+val copy : mat -> mat
+val identity : int -> mat
+val transpose : mat -> mat
+
+(** Raises [Invalid_argument] on dimension mismatch. *)
+val matmul : mat -> mat -> mat
+
+val matvec : mat -> float array -> float array
+
+(** Gauss-Jordan with partial pivoting; raises {!Singular} on singular
+    systems, [Invalid_argument] on shape mismatch. *)
+val solve : mat -> mat -> mat
+
+val inverse : mat -> mat
+
+(** Ridge regression coefficients: argmin ||Xw - y||² + λ||w||². *)
+val ridge : lambda:float -> mat -> float array -> float array
+
+(** Unbiased sample covariance of the columns of an n×p sample matrix. *)
+val covariance : mat -> mat
+
+val pp : Format.formatter -> mat -> unit

@@ -1,0 +1,93 @@
+(* Binary-classification metrics used throughout the evaluation:
+   F1 and MCC for error detection (Table 3), precision/recall for
+   mis-prediction analysis (Table 5), and Spearman rank correlation for
+   the error/mis-prediction association (§5). *)
+
+type confusion = { tp : int; fp : int; tn : int; fn : int }
+
+let confusion ~predicted ~actual =
+  let n = Array.length predicted in
+  if Array.length actual <> n then invalid_arg "Metrics.confusion: length mismatch";
+  let tp = ref 0 and fp = ref 0 and tn = ref 0 and fn = ref 0 in
+  for i = 0 to n - 1 do
+    match predicted.(i), actual.(i) with
+    | true, true -> incr tp
+    | true, false -> incr fp
+    | false, true -> incr fn
+    | false, false -> incr tn
+  done;
+  { tp = !tp; fp = !fp; tn = !tn; fn = !fn }
+
+let precision c =
+  let d = c.tp + c.fp in
+  if d = 0 then Float.nan else float_of_int c.tp /. float_of_int d
+
+let recall c =
+  let d = c.tp + c.fn in
+  if d = 0 then Float.nan else float_of_int c.tp /. float_of_int d
+
+let f1 c =
+  let p = precision c and r = recall c in
+  if Float.is_nan p || Float.is_nan r || p +. r = 0.0 then Float.nan
+  else 2.0 *. p *. r /. (p +. r)
+
+(* Matthews correlation coefficient; NaN when any marginal is empty, which
+   is also how the paper reports degenerate cells in Table 3. *)
+let mcc c =
+  let tp = float_of_int c.tp
+  and fp = float_of_int c.fp
+  and tn = float_of_int c.tn
+  and fn = float_of_int c.fn in
+  let denom = (tp +. fp) *. (tp +. fn) *. (tn +. fp) *. (tn +. fn) in
+  if denom <= 0.0 then Float.nan
+  else ((tp *. tn) -. (fp *. fn)) /. sqrt denom
+
+(* Fractional ranks with ties sharing the average rank. *)
+let ranks xs =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> Float.compare xs.(a) xs.(b)) idx;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j) /. 2.0 +. 1.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Metrics.pearson: length mismatch";
+  if n < 2 then Float.nan
+  else begin
+    let fn = float_of_int n in
+    let mean a = Array.fold_left ( +. ) 0.0 a /. fn in
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then Float.nan
+    else !sxy /. sqrt (!sxx *. !syy)
+  end
+
+(* Spearman rank correlation with a t-distribution-free large-sample
+   p-value (normal approximation on sqrt(n-1) * rho). *)
+let spearman xs ys =
+  let rho = pearson (ranks xs) (ranks ys) in
+  let n = Array.length xs in
+  let p =
+    if Float.is_nan rho || n < 3 then Float.nan
+    else Special.normal_sf_two_sided (rho *. sqrt (float_of_int (n - 1)))
+  in
+  (rho, p)

@@ -1,0 +1,24 @@
+(** Binary-classification metrics and rank correlation. *)
+
+type confusion = { tp : int; fp : int; tn : int; fn : int }
+
+(** Raises [Invalid_argument] on length mismatch. *)
+val confusion : predicted:bool array -> actual:bool array -> confusion
+
+(** NaN when undefined (empty denominator), matching how the paper reports
+    degenerate cells. *)
+val precision : confusion -> float
+
+val recall : confusion -> float
+val f1 : confusion -> float
+
+(** Matthews correlation coefficient; NaN when a marginal is empty. *)
+val mcc : confusion -> float
+
+(** Fractional ranks; ties share the average rank. *)
+val ranks : float array -> float array
+
+val pearson : float array -> float array -> float
+
+(** Spearman's rho and a large-sample two-sided p-value. *)
+val spearman : float array -> float array -> float * float

@@ -1,0 +1,24 @@
+(** Deterministic PRNG: splitmix64 seeding + xoshiro256** stream. *)
+
+type t
+
+val create : int -> t
+
+val next_int64 : t -> int64
+
+(** Uniform int in [0, bound); raises [Invalid_argument] if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Derive an independent child generator. *)
+val split : t -> t
+
+(** Sample an index proportional to unnormalized non-negative weights;
+    raises [Invalid_argument] when they sum to zero. *)
+val categorical : t -> float array -> int
+
+val shuffle_in_place : t -> 'a array -> unit

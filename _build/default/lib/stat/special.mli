@@ -1,0 +1,20 @@
+(** Special functions for p-value computation. *)
+
+(** Log of the gamma function (Lanczos approximation); raises
+    [Invalid_argument] for non-positive input. *)
+val log_gamma : float -> float
+
+(** Regularized lower incomplete gamma P(a, x). *)
+val gamma_p : float -> float -> float
+
+(** Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x). *)
+val gamma_q : float -> float -> float
+
+(** Chi-square survival function with [df] degrees of freedom. *)
+val chi2_sf : df:int -> float -> float
+
+(** Error function (Abramowitz–Stegun 7.1.26, |err| < 1.5e-7). *)
+val erf : float -> float
+
+(** Two-sided standard-normal tail probability of [z]. *)
+val normal_sf_two_sided : float -> float

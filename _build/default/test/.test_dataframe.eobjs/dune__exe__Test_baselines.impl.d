@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Dataframe Datagen Gen Guardrail Hashtbl List Option Printf QCheck QCheck_alcotest Stat

@@ -1,0 +1,1 @@
+test/test_dataframe.ml: Alcotest Array Dataframe Gen Int List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Baselines Dataframe Datagen Guardrail Int List Pgm Printf QCheck QCheck_alcotest Sqlexec Stat

@@ -1,0 +1,1 @@
+test/test_guardrail.ml: Alcotest Array Dataframe Guardrail Hashtbl List Option Pgm Printf QCheck QCheck_alcotest Stat String

@@ -1,0 +1,1 @@
+test/test_mlmodel.ml: Alcotest Array Dataframe Float List Mlmodel QCheck QCheck_alcotest Stat

@@ -1,0 +1,1 @@
+test/test_pgm.ml: Alcotest Array List Pgm QCheck QCheck_alcotest Stat

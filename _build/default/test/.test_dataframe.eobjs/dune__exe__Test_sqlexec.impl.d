@@ -1,0 +1,1 @@
+test/test_sqlexec.ml: Alcotest Array Dataframe Guardrail List Mlmodel Printf QCheck QCheck_alcotest Sqlexec Stat

@@ -1,0 +1,495 @@
+(* Tests for the FD-discovery and synthesis baselines: partitions, TANE,
+   CTANE, FDX and the OptSMT-style solver. *)
+
+module Value = Dataframe.Value
+module Schema = Dataframe.Schema
+module Frame = Dataframe.Frame
+module Fd = Baselines.Fd
+module Partition = Baselines.Partition
+module Tane = Baselines.Tane
+module Ctane = Baselines.Ctane
+module Fdx = Baselines.Fdx
+module Optsmt = Baselines.Optsmt
+
+let s v = Value.String v
+
+(* zip -> city -> state, plus a free column *)
+let fd_frame () =
+  let schema =
+    Schema.make
+      [ Schema.categorical "zip"; Schema.categorical "city";
+        Schema.categorical "state"; Schema.categorical "free" ]
+  in
+  let base =
+    [
+      [| s "94704"; s "Berkeley"; s "CA"; s "p" |];
+      [| s "94612"; s "Oakland"; s "CA"; s "q" |];
+      [| s "89501"; s "Reno"; s "NV"; s "p" |];
+      [| s "69001"; s "Lyon"; s "ARA"; s "q" |];
+      [| s "94704"; s "Berkeley"; s "CA"; s "q" |];
+      [| s "89501"; s "Reno"; s "NV"; s "q" |];
+    ]
+  in
+  (* vary "free" so it determines nothing *)
+  let rng = Stat.Rng.create 10 in
+  let rows =
+    List.concat
+      (List.init 30 (fun _ ->
+           List.map
+             (fun row ->
+               let r = Array.copy row in
+               r.(3) <- s (string_of_int (Stat.Rng.int rng 5));
+               r)
+             base))
+  in
+  Frame.of_rows schema rows
+
+(* ------------------------------------------------------------------ *)
+(* Fd *)
+
+let test_fd_make_validation () =
+  Alcotest.(check bool) "empty lhs" true
+    (try ignore (Fd.make ~lhs:[] ~rhs:1); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rhs in lhs" true
+    (try ignore (Fd.make ~lhs:[ 1 ] ~rhs:1); false with Invalid_argument _ -> true)
+
+let test_fd_violation_count () =
+  let frame = fd_frame () in
+  Alcotest.(check int) "zip -> city holds" 0
+    (Fd.violation_count frame (Fd.make ~lhs:[ 0 ] ~rhs:1));
+  Alcotest.(check bool) "free -> city violated" true
+    (Fd.violation_count frame (Fd.make ~lhs:[ 3 ] ~rhs:1) > 0);
+  Alcotest.(check bool) "holds api" true
+    (Fd.holds frame (Fd.make ~lhs:[ 0 ] ~rhs:1))
+
+let test_fd_detector () =
+  let frame = fd_frame () in
+  let det = Fd.compile frame (Fd.make ~lhs:[ 0 ] ~rhs:1) in
+  let corrupted = Frame.set frame 0 1 (s "gibbon") in
+  let flags = Fd.detect [ det ] corrupted in
+  Alcotest.(check bool) "corruption flagged" true flags.(0);
+  Alcotest.(check bool) "clean not flagged" false flags.(1)
+
+let test_fd_detector_unseen_lhs () =
+  let frame = fd_frame () in
+  let det = Fd.compile frame (Fd.make ~lhs:[ 0 ] ~rhs:1) in
+  (* a row with an unseen zip is not flagged: no evidence *)
+  let schema = Frame.schema frame in
+  let test_frame =
+    Frame.of_rows schema [ [| s "00000"; s "Nowhere"; s "XX"; s "p" |] ]
+  in
+  let flags = Fd.detect [ det ] test_frame in
+  Alcotest.(check bool) "unseen lhs not flagged" false flags.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Partition *)
+
+let test_partition_basic () =
+  let codes = [| 0; 0; 1; 1; 1; 2 |] in
+  let p = Partition.of_codes 6 codes in
+  (* class {5} is stripped *)
+  Alcotest.(check int) "stripped classes" 2 (Partition.class_count p);
+  Alcotest.(check int) "elements" 5 (Partition.element_count p)
+
+let test_partition_product () =
+  let a = Partition.of_codes 6 [| 0; 0; 0; 1; 1; 1 |] in
+  let b = Partition.of_codes 6 [| 0; 0; 1; 1; 0; 0 |] in
+  let p = Partition.product a b in
+  (* combined classes: {0,1}, {4,5}; singletons {2}, {3} stripped *)
+  Alcotest.(check int) "classes" 2 (Partition.class_count p);
+  Alcotest.(check int) "elements" 4 (Partition.element_count p)
+
+let test_partition_fd_error () =
+  let frame = fd_frame () in
+  let zip = Partition.of_column (Frame.column frame 0) in
+  let city = Partition.of_column (Frame.column frame 1) in
+  let zip_city = Partition.product zip city in
+  Alcotest.(check int) "zip -> city error 0" 0 (Partition.fd_error zip zip_city);
+  Alcotest.(check bool) "refines" true (Partition.refines zip zip_city);
+  let free = Partition.of_column (Frame.column frame 3) in
+  let free_city = Partition.product free city in
+  Alcotest.(check bool) "free -> city error > 0" true
+    (Partition.fd_error free free_city > 0)
+
+(* ------------------------------------------------------------------ *)
+(* TANE *)
+
+let test_tane_discovers_fds () =
+  let frame = fd_frame () in
+  let fds = Tane.discover frame in
+  let has lhs rhs = List.exists (Fd.equal (Fd.make ~lhs ~rhs)) fds in
+  Alcotest.(check bool) "zip -> city" true (has [ 0 ] 1);
+  Alcotest.(check bool) "zip -> state" true (has [ 0 ] 2);
+  Alcotest.(check bool) "city -> state" true (has [ 1 ] 2);
+  Alcotest.(check bool) "free determines nothing" false
+    (List.exists (fun (fd : Fd.t) -> fd.Fd.lhs = [ 3 ]) fds)
+
+let test_tane_minimality () =
+  let frame = fd_frame () in
+  let fds = Tane.discover frame in
+  (* since zip -> city holds, {zip, free} -> city must not be emitted *)
+  Alcotest.(check bool) "no superset lhs" false
+    (List.exists (fun (fd : Fd.t) -> fd.Fd.lhs = [ 0; 3 ] && fd.Fd.rhs = 1) fds)
+
+let test_tane_budget () =
+  (* 26 attributes of random data: the level-2 lattice exceeds a tiny
+     budget *)
+  let rng = Stat.Rng.create 77 in
+  let schema =
+    Schema.make (List.init 26 (fun i -> Schema.categorical (Printf.sprintf "a%d" i)))
+  in
+  let rows =
+    List.init 50 (fun _ ->
+        Array.init 26 (fun _ -> s (string_of_int (Stat.Rng.int rng 3))))
+  in
+  let frame = Frame.of_rows schema rows in
+  Alcotest.(check bool) "budget exceeded" true
+    (try
+       ignore
+         (Tane.discover
+            ~config:{ Tane.default_config with Tane.max_candidates = 100 }
+            frame);
+       false
+     with Tane.Out_of_budget _ -> true)
+
+let test_tane_next_level () =
+  let next = Tane.next_level [ [ 1 ]; [ 2 ]; [ 3 ] ] in
+  Alcotest.(check int) "singleton join" 3 (List.length next);
+  let next2 = Tane.next_level [ [ 1; 2 ]; [ 1; 3 ]; [ 2; 3 ] ] in
+  Alcotest.(check (list (list int))) "prefix join" [ [ 1; 2; 3 ] ] next2
+
+(* ------------------------------------------------------------------ *)
+(* CTANE *)
+
+let test_ctane_discovers_rules () =
+  let frame = fd_frame () in
+  let rules = Ctane.discover frame in
+  Alcotest.(check bool) "some rules found" true (rules <> []);
+  (* a constant CFD for zip=94704 -> city=Berkeley must exist *)
+  Alcotest.(check bool) "berkeley rule" true
+    (List.exists
+       (fun (r : Ctane.rule) ->
+         r.Ctane.lhs = [ 0 ]
+         && r.Ctane.pattern = [ s "94704" ]
+         && Value.equal r.Ctane.value (s "Berkeley"))
+       rules)
+
+let test_ctane_detect () =
+  let frame = fd_frame () in
+  let rules = Ctane.discover frame in
+  let corrupted = Frame.set frame 0 1 (s "gibbon") in
+  let flags = Ctane.detect rules corrupted in
+  Alcotest.(check bool) "corruption flagged" true flags.(0)
+
+let test_ctane_overfits_noise () =
+  (* CTANE happily emits rules on independent data when support allows:
+     the overfitting behaviour Table 3 punishes *)
+  let rng = Stat.Rng.create 31 in
+  let schema = Schema.make [ Schema.categorical "a"; Schema.categorical "b" ] in
+  let rows =
+    List.init 300 (fun _ ->
+        [| s (string_of_int (Stat.Rng.int rng 2));
+           s (string_of_int (Stat.Rng.int rng 2)) |])
+  in
+  let frame = Frame.of_rows schema rows in
+  let rules =
+    Ctane.discover
+      ~config:{ Ctane.default_config with Ctane.epsilon = 0.6; min_support = 3 }
+      frame
+  in
+  Alcotest.(check bool) "rules on noise at loose epsilon" true (rules <> [])
+
+let test_ctane_budget () =
+  let frame = fd_frame () in
+  Alcotest.(check bool) "rule budget" true
+    (try
+       ignore
+         (Ctane.discover
+            ~config:{ Ctane.default_config with Ctane.max_rules = 1 }
+            frame);
+       false
+     with Ctane.Out_of_budget _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* FDX *)
+
+let test_fdx_discovers_structure () =
+  let frame = fd_frame () in
+  let fds = Fdx.discover ~config:{ Fdx.default_config with Fdx.strict = false } frame in
+  (* FDX should link zip/city/state; direction may vary, but the free
+     column must stay unlinked *)
+  Alcotest.(check bool) "found dependencies" true (fds <> []);
+  Alcotest.(check bool) "free column unlinked" false
+    (List.exists
+       (fun (fd : Fd.t) -> fd.Fd.rhs = 3 || List.mem 3 fd.Fd.lhs)
+       fds)
+
+let test_fdx_singular_on_duplicates () =
+  (* duplicated column makes the Gram matrix singular in strict mode *)
+  let schema =
+    Schema.make
+      [ Schema.categorical "a"; Schema.categorical "a_copy"; Schema.categorical "b" ]
+  in
+  let rng = Stat.Rng.create 8 in
+  let rows =
+    List.init 400 (fun _ ->
+        let a = string_of_int (Stat.Rng.int rng 4) in
+        [| s a; s a; s (string_of_int (Stat.Rng.int rng 3)) |])
+  in
+  let frame = Frame.of_rows schema rows in
+  Alcotest.(check bool) "strict mode raises" true
+    (try
+       ignore (Fdx.discover frame);
+       false
+     with Fdx.Ill_conditioned _ -> true);
+  (* ridge mode survives *)
+  let fds = Fdx.discover ~config:{ Fdx.default_config with Fdx.strict = false } frame in
+  ignore fds
+
+(* ------------------------------------------------------------------ *)
+(* Conformance (numeric fences) *)
+
+let numeric_frame () =
+  let schema =
+    Schema.make [ Schema.categorical "id"; Schema.numeric "amount" ]
+  in
+  let rows =
+    List.init 100 (fun i ->
+        [| s (string_of_int i); Value.Int (100 + (i mod 10)) |])
+  in
+  Frame.of_rows schema rows
+
+let test_conformance_learn_and_detect () =
+  let frame = numeric_frame () in
+  let t = Baselines.Conformance.learn frame in
+  Alcotest.(check int) "one numeric bound" 1 (List.length t.Baselines.Conformance.bounds);
+  (* in-range rows pass *)
+  Alcotest.(check bool) "clean rows pass" true
+    (Array.for_all not (Baselines.Conformance.detect t frame));
+  (* an outlier is flagged *)
+  let outlier = Frame.set frame 3 1 (Value.Int 100000) in
+  let flags = Baselines.Conformance.detect t outlier in
+  Alcotest.(check bool) "outlier flagged" true flags.(3);
+  Alcotest.(check bool) "others unflagged" false flags.(4)
+
+let test_conformance_quantile () =
+  let sorted = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Baselines.Conformance.quantile sorted 0.5);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Baselines.Conformance.quantile sorted 0.0);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Baselines.Conformance.quantile sorted 1.0)
+
+let test_conformance_combined () =
+  (* numeric fence catches the numeric outlier; guardrail catches the
+     categorical violation; combined catches both *)
+  let schema =
+    Schema.make
+      [ Schema.categorical "zip"; Schema.categorical "city"; Schema.numeric "pop" ]
+  in
+  let rows =
+    List.init 80 (fun i ->
+        let zip = if i mod 2 = 0 then "94704" else "89501" in
+        let city = if i mod 2 = 0 then "Berkeley" else "Reno" in
+        [| s zip; s city; Value.Int (1000 + i) |])
+  in
+  let frame = Frame.of_rows schema rows in
+  let fences = Baselines.Conformance.learn frame in
+  let program =
+    Guardrail.Parse.prog schema
+      "GIVEN zip ON city HAVING IF zip = \"94704\" THEN city <- Berkeley; IF zip = \"89501\" THEN city <- Reno;"
+  in
+  let corrupted = Frame.set frame 0 1 (s "gibbon") in
+  let corrupted = Frame.set corrupted 1 2 (Value.Int 9_999_999) in
+  let flags =
+    Baselines.Conformance.detect_with_guardrail fences program corrupted
+  in
+  Alcotest.(check bool) "categorical violation" true flags.(0);
+  Alcotest.(check bool) "numeric violation" true flags.(1);
+  Alcotest.(check bool) "clean row" false flags.(2)
+
+(* ------------------------------------------------------------------ *)
+(* CORDS *)
+
+let test_cords_strength () =
+  let frame = fd_frame () in
+  (* zip -> city is functional: strength 1 *)
+  Alcotest.(check (float 1e-9)) "functional pair" 1.0
+    (Baselines.Cords.strength frame 0 1);
+  (* free column determines nothing: strength < 1 *)
+  Alcotest.(check bool) "non-functional pair" true
+    (Baselines.Cords.strength frame 3 1 < 1.0)
+
+let test_cords_discovers () =
+  let frame = fd_frame () in
+  let fds = Baselines.Cords.discover frame in
+  let has lhs rhs = List.exists (Fd.equal (Fd.make ~lhs ~rhs)) fds in
+  Alcotest.(check bool) "zip -> city" true (has [ 0 ] 1);
+  Alcotest.(check bool) "city -> state" true (has [ 1 ] 2);
+  (* the Section 6 critique: CORDS cannot prune the transitive zip -> state *)
+  Alcotest.(check bool) "keeps transitive zip -> state" true (has [ 0 ] 2);
+  Alcotest.(check bool) "free stays unlinked" false
+    (List.exists (fun (fd : Fd.t) -> fd.Fd.lhs = [ 3 ]) fds)
+
+let test_cords_sampling_deterministic () =
+  let frame = fd_frame () in
+  let a = Baselines.Cords.discover frame in
+  let b = Baselines.Cords.discover frame in
+  Alcotest.(check int) "deterministic" (List.length a) (List.length b)
+
+(* ------------------------------------------------------------------ *)
+(* OptSMT *)
+
+let test_optsmt_solves_tiny () =
+  let frame = fd_frame () in
+  match Optsmt.solve ~max_lhs:1 ~budget_s:30.0 frame with
+  | Optsmt.Solved { program; explored; clauses } ->
+    Alcotest.(check bool) "explored candidates" true (explored > 0);
+    Alcotest.(check bool) "clause count positive" true (clauses > 0);
+    (* the exact search finds the zip -> city statement *)
+    Alcotest.(check bool) "finds zip -> city" true
+      (List.exists
+         (fun (st : Guardrail.Dsl.stmt) ->
+           st.Guardrail.Dsl.given = [ 0 ] && st.Guardrail.Dsl.on = 1)
+         program.Guardrail.Dsl.stmts)
+  | Optsmt.Budget_exceeded _ -> Alcotest.fail "tiny instance should solve"
+
+let test_optsmt_budget () =
+  (* large dataset + tiny budget: must give up, like nuZ at 24h *)
+  let spec = Datagen.Spec.by_id 8 in
+  let _, frame = Datagen.Generate.dataset ~n_rows:20000 spec in
+  match Optsmt.solve ~max_lhs:2 ~budget_s:0.05 frame with
+  | Optsmt.Budget_exceeded { clauses; _ } ->
+    Alcotest.(check bool) "clause blow-up" true (clauses > 100_000)
+  | Optsmt.Solved _ -> Alcotest.fail "expected budget exhaustion"
+
+let test_optsmt_clause_estimate_grows () =
+  let small = fd_frame () in
+  let spec = Datagen.Spec.by_id 1 in
+  let _, big = Datagen.Generate.dataset ~n_rows:2000 spec in
+  Alcotest.(check bool) "more data, more clauses" true
+    (Optsmt.clause_estimate big > Optsmt.clause_estimate small)
+
+(* ------------------------------------------------------------------ *)
+(* Agreement between detectors on the shared example *)
+
+let test_detectors_agree_on_planted_error () =
+  let frame = fd_frame () in
+  let corrupted = Frame.set frame 2 1 (s "zzz") in
+  let tane_fds = Tane.discover frame in
+  let tane_flags =
+    Fd.detect (List.map (Fd.compile frame) tane_fds) corrupted
+  in
+  let ctane_flags = Ctane.detect (Ctane.discover frame) corrupted in
+  Alcotest.(check bool) "TANE catches it" true tane_flags.(2);
+  Alcotest.(check bool) "CTANE catches it" true ctane_flags.(2)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let qcheck_partition_product_commutes =
+  QCheck.Test.make ~name:"partition product is commutative in error" ~count:60
+    QCheck.(pair (list_of_size (Gen.return 30) (int_bound 3))
+              (list_of_size (Gen.return 30) (int_bound 3)))
+    (fun (xs, ys) ->
+      let a = Partition.of_codes 30 (Array.of_list xs) in
+      let b = Partition.of_codes 30 (Array.of_list ys) in
+      let ab = Partition.product a b in
+      let ba = Partition.product b a in
+      Partition.class_count ab = Partition.class_count ba
+      && Partition.element_count ab = Partition.element_count ba)
+
+let qcheck_fd_error_zero_iff_refines =
+  QCheck.Test.make ~name:"fd_error 0 iff product adds no splits" ~count:60
+    QCheck.(list_of_size (Gen.return 24) (pair (int_bound 2) (int_bound 2)))
+    (fun pairs ->
+      let xs = Array.of_list (List.map fst pairs) in
+      let ys = Array.of_list (List.map snd pairs) in
+      let px = Partition.of_codes 24 xs in
+      let pxy =
+        Partition.product px (Partition.of_codes 24 ys)
+      in
+      let err = Partition.fd_error px pxy in
+      (* recompute the reference error directly *)
+      let tbl = Hashtbl.create 16 in
+      Array.iteri
+        (fun i x ->
+          let k = x in
+          let inner =
+            match Hashtbl.find_opt tbl k with
+            | Some t -> t
+            | None ->
+              let t = Hashtbl.create 4 in
+              Hashtbl.add tbl k t;
+              t
+          in
+          Hashtbl.replace inner ys.(i)
+            (1 + Option.value ~default:0 (Hashtbl.find_opt inner ys.(i))))
+        xs;
+      let expected =
+        Hashtbl.fold
+          (fun _ inner acc ->
+            let total = Hashtbl.fold (fun _ c a -> a + c) inner 0 in
+            let best = Hashtbl.fold (fun _ c a -> max a c) inner 0 in
+            if total >= 2 then acc + (total - best) else acc)
+          tbl 0
+      in
+      err = expected)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "fd",
+        [
+          Alcotest.test_case "validation" `Quick test_fd_make_validation;
+          Alcotest.test_case "violation count" `Quick test_fd_violation_count;
+          Alcotest.test_case "detector" `Quick test_fd_detector;
+          Alcotest.test_case "unseen lhs" `Quick test_fd_detector_unseen_lhs;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "stripping" `Quick test_partition_basic;
+          Alcotest.test_case "product" `Quick test_partition_product;
+          Alcotest.test_case "fd error" `Quick test_partition_fd_error;
+        ] );
+      ( "tane",
+        [
+          Alcotest.test_case "discovers FDs" `Quick test_tane_discovers_fds;
+          Alcotest.test_case "minimality" `Quick test_tane_minimality;
+          Alcotest.test_case "budget" `Quick test_tane_budget;
+          Alcotest.test_case "apriori join" `Quick test_tane_next_level;
+        ] );
+      ( "ctane",
+        [
+          Alcotest.test_case "discovers rules" `Quick test_ctane_discovers_rules;
+          Alcotest.test_case "detects" `Quick test_ctane_detect;
+          Alcotest.test_case "overfits noise" `Quick test_ctane_overfits_noise;
+          Alcotest.test_case "budget" `Quick test_ctane_budget;
+        ] );
+      ( "fdx",
+        [
+          Alcotest.test_case "discovers structure" `Quick test_fdx_discovers_structure;
+          Alcotest.test_case "singular on duplicates" `Quick test_fdx_singular_on_duplicates;
+        ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "learn and detect" `Quick test_conformance_learn_and_detect;
+          Alcotest.test_case "quantile" `Quick test_conformance_quantile;
+          Alcotest.test_case "combined detector" `Quick test_conformance_combined;
+        ] );
+      ( "cords",
+        [
+          Alcotest.test_case "strength" `Quick test_cords_strength;
+          Alcotest.test_case "discovers" `Quick test_cords_discovers;
+          Alcotest.test_case "deterministic" `Quick test_cords_sampling_deterministic;
+        ] );
+      ( "optsmt",
+        [
+          Alcotest.test_case "solves tiny" `Quick test_optsmt_solves_tiny;
+          Alcotest.test_case "budget exceeded" `Quick test_optsmt_budget;
+          Alcotest.test_case "clause growth" `Quick test_optsmt_clause_estimate_grows;
+        ] );
+      ( "cross",
+        [ Alcotest.test_case "detectors agree" `Quick test_detectors_agree_on_planted_error ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_partition_product_commutes; qcheck_fd_error_zero_iff_refines ] );
+    ]

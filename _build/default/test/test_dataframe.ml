@@ -1,0 +1,322 @@
+(* Unit and property tests for the dataframe substrate. *)
+
+module Value = Dataframe.Value
+module Schema = Dataframe.Schema
+module Column = Dataframe.Column
+module Frame = Dataframe.Frame
+module Csv = Dataframe.Csv
+module Split = Dataframe.Split
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_order () =
+  Alcotest.(check bool) "null < bool" true (Value.compare Value.Null (Value.Bool false) < 0);
+  Alcotest.(check bool) "bool < int" true (Value.compare (Value.Bool true) (Value.Int 0) < 0);
+  Alcotest.(check bool) "int < string" true (Value.compare (Value.Int 5) (Value.String "a") < 0);
+  Alcotest.(check int) "int = float numerically" 0
+    (Value.compare (Value.Int 1) (Value.Float 1.0));
+  Alcotest.(check bool) "int < float" true
+    (Value.compare (Value.Int 1) (Value.Float 1.5) < 0)
+
+let test_value_equal_hash () =
+  Alcotest.(check bool) "equal across int/float" true
+    (Value.equal (Value.Int 3) (Value.Float 3.0));
+  Alcotest.(check int) "hash consistent with equal"
+    (Value.hash (Value.Int 3)) (Value.hash (Value.Float 3.0))
+
+let test_value_parse () =
+  Alcotest.(check value) "int" (Value.Int 42) (Value.of_raw "42");
+  Alcotest.(check value) "float" (Value.Float 4.5) (Value.of_raw "4.5");
+  Alcotest.(check value) "bool" (Value.Bool true) (Value.of_raw "true");
+  Alcotest.(check value) "null" Value.Null (Value.of_raw "");
+  Alcotest.(check value) "na" Value.Null (Value.of_raw "N/A");
+  Alcotest.(check value) "string" (Value.String "abc") (Value.of_raw "abc")
+
+let test_value_to_float () =
+  Alcotest.(check (option (float 1e-9))) "int" (Some 3.0) (Value.to_float (Value.Int 3));
+  Alcotest.(check (option (float 1e-9))) "bool" (Some 1.0) (Value.to_float (Value.Bool true));
+  Alcotest.(check (option (float 1e-9))) "string" None (Value.to_float (Value.String "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Schema *)
+
+let test_schema_basic () =
+  let s = Schema.make [ Schema.categorical "a"; Schema.numeric "b" ] in
+  Alcotest.(check int) "arity" 2 (Schema.arity s);
+  Alcotest.(check int) "index a" 0 (Schema.index s "a");
+  Alcotest.(check int) "index b" 1 (Schema.index s "b");
+  Alcotest.(check bool) "mem" true (Schema.mem s "a");
+  Alcotest.(check (option int)) "absent" None (Schema.index_opt s "zzz")
+
+let test_schema_duplicate () =
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Schema.make: duplicate column \"a\"") (fun () ->
+      ignore (Schema.make [ Schema.categorical "a"; Schema.categorical "a" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Column *)
+
+let col_abc () =
+  Column.of_list
+    [ Value.String "a"; Value.String "b"; Value.String "a"; Value.String "c" ]
+
+let test_column_encoding () =
+  let c = col_abc () in
+  Alcotest.(check int) "length" 4 (Column.length c);
+  Alcotest.(check int) "cardinality" 3 (Column.cardinality c);
+  Alcotest.(check int) "same code for equal values" (Column.code c 0) (Column.code c 2);
+  Alcotest.(check value) "decode" (Value.String "b") (Column.get c 1)
+
+let test_column_set () =
+  let c = col_abc () in
+  let c' = Column.set c 1 (Value.String "zzz") in
+  Alcotest.(check value) "updated" (Value.String "zzz") (Column.get c' 1);
+  Alcotest.(check value) "original untouched" (Value.String "b") (Column.get c 1);
+  Alcotest.(check int) "dictionary grew" 4 (Column.cardinality c')
+
+let test_column_mode_counts () =
+  let c = col_abc () in
+  Alcotest.(check value) "mode" (Value.String "a") (Option.get (Column.mode c));
+  let counts = Column.counts c in
+  Alcotest.(check int) "count of a" 2 counts.(Column.code c 0)
+
+let test_column_select_take () =
+  let c = col_abc () in
+  let even = Column.select c (fun i -> i mod 2 = 0) in
+  Alcotest.(check int) "selected length" 2 (Column.length even);
+  Alcotest.(check value) "selected first" (Value.String "a") (Column.get even 0);
+  let gathered = Column.take c [| 3; 3; 0 |] in
+  Alcotest.(check int) "take length" 3 (Column.length gathered);
+  Alcotest.(check value) "take dup" (Value.String "c") (Column.get gathered 1)
+
+let test_column_append () =
+  let a = Column.of_list [ Value.Int 1; Value.Int 2 ] in
+  let b = Column.of_list [ Value.Int 2; Value.Int 9 ] in
+  let c = Column.append a b in
+  Alcotest.(check int) "length" 4 (Column.length c);
+  Alcotest.(check int) "shared code" (Column.code c 1) (Column.code c 2);
+  Alcotest.(check value) "new value" (Value.Int 9) (Column.get c 3)
+
+(* ------------------------------------------------------------------ *)
+(* Frame *)
+
+let small_frame () =
+  let schema =
+    Schema.make
+      [ Schema.categorical "city"; Schema.categorical "state"; Schema.numeric "pop" ]
+  in
+  Frame.of_rows schema
+    [
+      [| Value.String "berkeley"; Value.String "CA"; Value.Int 120 |];
+      [| Value.String "oakland"; Value.String "CA"; Value.Int 400 |];
+      [| Value.String "reno"; Value.String "NV"; Value.Int 250 |];
+    ]
+
+let test_frame_accessors () =
+  let f = small_frame () in
+  Alcotest.(check int) "nrows" 3 (Frame.nrows f);
+  Alcotest.(check int) "ncols" 3 (Frame.ncols f);
+  Alcotest.(check value) "get" (Value.String "CA") (Frame.get f 1 1);
+  Alcotest.(check value) "get_by_name" (Value.Int 250) (Frame.get_by_name f 2 "pop")
+
+let test_frame_filter () =
+  let f = small_frame () in
+  let ca =
+    Frame.filter f (fun f i -> Value.equal (Frame.get f i 1) (Value.String "CA"))
+  in
+  Alcotest.(check int) "filtered rows" 2 (Frame.nrows ca);
+  Alcotest.(check value) "row 1" (Value.String "oakland") (Frame.get ca 1 0)
+
+let test_frame_project () =
+  let f = small_frame () in
+  let p = Frame.project f [ "state"; "city" ] in
+  Alcotest.(check int) "cols" 2 (Frame.ncols p);
+  Alcotest.(check value) "reordered" (Value.String "CA") (Frame.get p 0 0)
+
+let test_frame_set () =
+  let f = small_frame () in
+  let f' = Frame.set f 0 0 (Value.String "albany") in
+  Alcotest.(check value) "updated" (Value.String "albany") (Frame.get f' 0 0);
+  Alcotest.(check value) "original" (Value.String "berkeley") (Frame.get f 0 0)
+
+let test_frame_append () =
+  let f = small_frame () in
+  let g = Frame.append f f in
+  Alcotest.(check int) "rows doubled" 6 (Frame.nrows g);
+  Alcotest.(check value) "second copy" (Value.String "reno") (Frame.get g 5 0)
+
+let test_frame_categorical_indices () =
+  let f = small_frame () in
+  Alcotest.(check (list int)) "categoricals" [ 0; 1 ] (Frame.categorical_indices f)
+
+let test_frame_code_matrix () =
+  let f = small_frame () in
+  let m = Frame.code_matrix f in
+  Alcotest.(check int) "columns" 3 (Array.length m);
+  Alcotest.(check int) "shared state code" m.(1).(0) m.(1).(1)
+
+(* ------------------------------------------------------------------ *)
+(* CSV *)
+
+let test_csv_roundtrip () =
+  let f = small_frame () in
+  let f' = Csv.of_string (Csv.to_string f) in
+  Alcotest.(check int) "rows" (Frame.nrows f) (Frame.nrows f');
+  Alcotest.(check (list string)) "names" (Frame.names f) (Frame.names f');
+  for i = 0 to Frame.nrows f - 1 do
+    for j = 0 to Frame.ncols f - 1 do
+      Alcotest.(check value) "cell" (Frame.get f i j) (Frame.get f' i j)
+    done
+  done
+
+let test_csv_quoting () =
+  let text = "a,b\n\"x,1\",\"he said \"\"hi\"\"\"\nplain,2\n" in
+  let f = Csv.of_string text in
+  Alcotest.(check value) "embedded comma" (Value.String "x,1") (Frame.get f 0 0);
+  Alcotest.(check value) "escaped quote" (Value.String "he said \"hi\"") (Frame.get f 0 1);
+  Alcotest.(check value) "number sniffed" (Value.Int 2) (Frame.get f 1 1)
+
+let test_csv_crlf () =
+  let f = Csv.of_string "a,b\r\n1,x\r\n2,y\r\n" in
+  Alcotest.(check int) "rows" 2 (Frame.nrows f);
+  Alcotest.(check value) "cell" (Value.String "y") (Frame.get f 1 1)
+
+let test_csv_ragged () =
+  Alcotest.(check bool) "ragged raises" true
+    (try
+       ignore (Csv.of_string "a,b\n1\n");
+       false
+     with Csv.Parse_error _ -> true)
+
+let test_csv_unterminated () =
+  Alcotest.(check bool) "unterminated raises" true
+    (try
+       ignore (Csv.parse_string "a,\"oops");
+       false
+     with Csv.Parse_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Split *)
+
+let test_split_deterministic () =
+  let p1 = Split.permutation ~seed:7 100 in
+  let p2 = Split.permutation ~seed:7 100 in
+  Alcotest.(check (array int)) "same seed same permutation" p1 p2;
+  let p3 = Split.permutation ~seed:8 100 in
+  Alcotest.(check bool) "different seed differs" true (p1 <> p3)
+
+let test_split_partition () =
+  let f = small_frame () in
+  let big = Frame.append (Frame.append f f) f in
+  let train, test = Split.train_test ~seed:3 ~train_fraction:0.67 big in
+  Alcotest.(check int) "total preserved" (Frame.nrows big)
+    (Frame.nrows train + Frame.nrows test);
+  Alcotest.(check bool) "both non-empty" true
+    (Frame.nrows train > 0 && Frame.nrows test > 0)
+
+let test_split_permutation_is_bijection () =
+  let p = Split.permutation ~seed:11 500 in
+  let seen = Array.make 500 false in
+  Array.iter (fun i -> seen.(i) <- true) p;
+  Alcotest.(check bool) "bijection" true (Array.for_all (fun b -> b) seen)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let qcheck_value_roundtrip =
+  QCheck.Test.make ~name:"value of_raw/to_string roundtrip on ints" ~count:200
+    QCheck.int (fun i ->
+      Value.equal (Value.Int i) (Value.of_raw (Value.to_string (Value.Int i))))
+
+let qcheck_column_encoding =
+  QCheck.Test.make ~name:"column decode inverts encode" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 50) small_int)
+    (fun xs ->
+      let values = List.map (fun i -> Value.Int i) xs in
+      let c = Column.of_list values in
+      List.for_all2 Value.equal values (Array.to_list (Column.to_values c)))
+
+let qcheck_column_cardinality =
+  QCheck.Test.make ~name:"column cardinality = distinct count" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 50) (int_bound 10))
+    (fun xs ->
+      let c = Column.of_list (List.map (fun i -> Value.Int i) xs) in
+      Column.cardinality c = List.length (List.sort_uniq Int.compare xs))
+
+let qcheck_csv_roundtrip =
+  QCheck.Test.make ~name:"csv roundtrip on random string frames" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 20) (pair (string_gen_of_size Gen.(1 -- 8) Gen.printable) small_int))
+    (fun rows ->
+      QCheck.assume (rows <> []);
+      let schema = Schema.make [ Schema.categorical "s"; Schema.categorical "n" ] in
+      let frame =
+        Frame.of_rows schema
+          (List.map (fun (s, n) -> [| Value.String s; Value.Int n |]) rows)
+      in
+      let back = Csv.of_string (Csv.to_string frame) in
+      Frame.nrows back = Frame.nrows frame
+      && List.for_all
+           (fun i ->
+             (* empty strings round-trip to Null; accept both *)
+             let orig = Frame.get frame i 0 in
+             let got = Frame.get back i 0 in
+             Value.equal orig got
+             || (Value.equal orig (Value.String "") && Value.is_null got)
+             || Value.equal got (Value.of_raw (Value.to_string orig)))
+           (List.init (Frame.nrows frame) (fun i -> i)))
+
+let () =
+  Alcotest.run "dataframe"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "ordering" `Quick test_value_order;
+          Alcotest.test_case "equal and hash" `Quick test_value_equal_hash;
+          Alcotest.test_case "parsing" `Quick test_value_parse;
+          Alcotest.test_case "to_float" `Quick test_value_to_float;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basic" `Quick test_schema_basic;
+          Alcotest.test_case "duplicate rejected" `Quick test_schema_duplicate;
+        ] );
+      ( "column",
+        [
+          Alcotest.test_case "encoding" `Quick test_column_encoding;
+          Alcotest.test_case "functional set" `Quick test_column_set;
+          Alcotest.test_case "mode and counts" `Quick test_column_mode_counts;
+          Alcotest.test_case "select and take" `Quick test_column_select_take;
+          Alcotest.test_case "append" `Quick test_column_append;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "accessors" `Quick test_frame_accessors;
+          Alcotest.test_case "filter" `Quick test_frame_filter;
+          Alcotest.test_case "project" `Quick test_frame_project;
+          Alcotest.test_case "set" `Quick test_frame_set;
+          Alcotest.test_case "append" `Quick test_frame_append;
+          Alcotest.test_case "categorical indices" `Quick test_frame_categorical_indices;
+          Alcotest.test_case "code matrix" `Quick test_frame_code_matrix;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "crlf" `Quick test_csv_crlf;
+          Alcotest.test_case "ragged rejected" `Quick test_csv_ragged;
+          Alcotest.test_case "unterminated rejected" `Quick test_csv_unterminated;
+        ] );
+      ( "split",
+        [
+          Alcotest.test_case "deterministic" `Quick test_split_deterministic;
+          Alcotest.test_case "partition" `Quick test_split_partition;
+          Alcotest.test_case "permutation bijection" `Quick test_split_permutation_is_bijection;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_value_roundtrip; qcheck_column_encoding;
+            qcheck_column_cardinality; qcheck_csv_roundtrip ] );
+    ]

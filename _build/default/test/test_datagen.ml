@@ -1,0 +1,325 @@
+(* Tests for the evaluation-data substrate: dataset specs, ground-truth
+   networks, generation, corruption and the SQL workload. *)
+
+module Value = Dataframe.Value
+module Frame = Dataframe.Frame
+module Spec = Datagen.Spec
+module Netlib = Datagen.Netlib
+module Generate = Datagen.Generate
+module Corrupt = Datagen.Corrupt
+module Workloads = Datagen.Workloads
+
+(* ------------------------------------------------------------------ *)
+(* Spec *)
+
+let test_spec_table2 () =
+  Alcotest.(check int) "12 datasets" 12 (List.length Spec.all);
+  (* attribute and row counts match the paper's Table 2 *)
+  let expect = [ (1, 15, 48842); (2, 5, 20000); (3, 40, 540); (4, 9, 520);
+                 (5, 10, 1473); (6, 4, 748); (7, 28, 1941); (8, 7, 44819);
+                 (9, 21, 7043); (10, 17, 45211); (11, 31, 11055); (12, 18, 36275) ]
+  in
+  List.iter
+    (fun (id, attrs, rows) ->
+      let s = Spec.by_id id in
+      Alcotest.(check int) (Printf.sprintf "#%d attrs" id) attrs s.Spec.n_attrs;
+      Alcotest.(check int) (Printf.sprintf "#%d rows" id) rows s.Spec.n_rows)
+    expect
+
+let test_spec_by_id_unknown () =
+  Alcotest.(check bool) "unknown id" true
+    (try ignore (Spec.by_id 99); false with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Netlib *)
+
+let test_netlib_shapes () =
+  List.iter
+    (fun spec ->
+      let b = Netlib.build spec in
+      Alcotest.(check int)
+        (Printf.sprintf "#%d node count" spec.Spec.id)
+        spec.Spec.n_attrs
+        (Pgm.Bayes_net.node_count b.Netlib.net);
+      Alcotest.(check string)
+        (Printf.sprintf "#%d label name" spec.Spec.id)
+        spec.Spec.label
+        b.Netlib.names.(b.Netlib.label_idx);
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d has constraints" spec.Spec.id)
+        true
+        (b.Netlib.constrained <> []))
+    Spec.all
+
+let test_netlib_cancer_structure () =
+  let b = Netlib.build (Spec.by_id 2) in
+  let g = Netlib.ground_truth_dag b in
+  (* pollution -> cancer <- smoker; cancer -> xray; cancer -> dysp *)
+  Alcotest.(check bool) "collider" true
+    (Pgm.Dag.has_edge g 0 2 && Pgm.Dag.has_edge g 1 2);
+  Alcotest.(check bool) "xray edge" true (Pgm.Dag.has_edge g 2 3);
+  Alcotest.(check bool) "dysp edge" true (Pgm.Dag.has_edge g 2 4)
+
+let test_netlib_duplicate_attr () =
+  (* dataset 3 carries a zero-noise copy pair for the FDX failure mode *)
+  let b = Netlib.build (Spec.by_id 3) in
+  let has_copy =
+    List.exists
+      (fun group ->
+        match group with
+        | [ a; c ] ->
+          let node = Pgm.Bayes_net.node b.Netlib.net c in
+          node.Pgm.Bayes_net.parents = [ a ]
+          && node.Pgm.Bayes_net.card = (Pgm.Bayes_net.node b.Netlib.net a).Pgm.Bayes_net.card
+        | _ -> false)
+      b.Netlib.groups
+  in
+  Alcotest.(check bool) "copy pair present" true has_copy
+
+let test_netlib_mix_deterministic () =
+  Alcotest.(check int) "mix is deterministic" (Netlib.mix 1 2 [ 3; 4 ])
+    (Netlib.mix 1 2 [ 3; 4 ]);
+  Alcotest.(check bool) "mix varies with input" true
+    (Netlib.mix 1 2 [ 3; 4 ] <> Netlib.mix 1 2 [ 4; 3 ])
+
+(* ------------------------------------------------------------------ *)
+(* Generate *)
+
+let test_generate_shapes () =
+  let spec = Spec.by_id 4 in
+  let b, frame = Generate.dataset spec in
+  Alcotest.(check int) "rows" spec.Spec.n_rows (Frame.nrows frame);
+  Alcotest.(check int) "cols" spec.Spec.n_attrs (Frame.ncols frame);
+  Alcotest.(check bool) "label column present" true
+    (List.mem spec.Spec.label (Frame.names frame));
+  ignore b
+
+let test_generate_deterministic () =
+  let spec = Spec.by_id 6 in
+  let _, f1 = Generate.dataset spec in
+  let _, f2 = Generate.dataset spec in
+  Alcotest.(check bool) "same seed, same data" true
+    (Frame.rows f1 = Frame.rows f2);
+  let _, f3 = Generate.dataset ~seed_offset:1 spec in
+  Alcotest.(check bool) "different offset differs" true (Frame.rows f1 <> Frame.rows f3)
+
+let test_generate_label_vocabulary () =
+  let spec = Spec.by_id 1 in
+  let _, frame = Generate.small_dataset ~n_rows:500 spec in
+  let label_col = Frame.column_by_name frame spec.Spec.label in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "label in vocabulary" true
+        (List.mem (Value.to_string v) spec.Spec.label_values))
+    (Dataframe.Column.to_values label_col)
+
+let test_generate_constraints_hold () =
+  (* on a low-noise dataset, constraint groups must be near-functional *)
+  let spec = Spec.by_id 1 in
+  let b, frame = Generate.small_dataset ~n_rows:4000 spec in
+  let g = Netlib.ground_truth_dag b in
+  List.iter
+    (fun child ->
+      let parents = Pgm.Dag.parents g child in
+      if parents <> [] && child <> b.Netlib.label_idx then begin
+        let fd = Baselines.Fd.make ~lhs:parents ~rhs:child in
+        let violations = Baselines.Fd.violation_count frame fd in
+        let rate = float_of_int violations /. float_of_int (Frame.nrows frame) in
+        Alcotest.(check bool)
+          (Printf.sprintf "constraint on %s near-functional (rate %.3f)"
+             b.Netlib.names.(child) rate)
+          true (rate < 3.0 *. spec.Spec.noise +. 0.02)
+      end)
+    (List.init (Frame.ncols frame) (fun i -> i))
+
+(* ------------------------------------------------------------------ *)
+(* Corrupt *)
+
+let test_error_count_rule () =
+  Alcotest.(check int) "large dataset 1%" 488 (Corrupt.error_count 48842);
+  Alcotest.(check int) "small dataset capped at 30" 30 (Corrupt.error_count 748);
+  Alcotest.(check int) "tiny dataset bounded by n/10" 20 (Corrupt.error_count 200)
+
+let test_inject_mask_consistency () =
+  let spec = Spec.by_id 6 in
+  let b, frame = Generate.dataset spec in
+  let inj = Corrupt.inject_constrained ~seed:5 b frame in
+  let masked = Array.to_list inj.Corrupt.mask |> List.filter (fun x -> x) in
+  Alcotest.(check int) "mask size = cells" (List.length inj.Corrupt.cells)
+    (List.length masked);
+  (* every recorded cell actually differs from the original *)
+  List.iter
+    (fun (row, col) ->
+      Alcotest.(check bool) "cell changed" false
+        (Value.equal (Frame.get frame row col)
+           (Frame.get inj.Corrupt.corrupted row col)))
+    inj.Corrupt.cells
+
+let test_inject_row_uniqueness () =
+  let spec = Spec.by_id 6 in
+  let b, frame = Generate.dataset spec in
+  let inj = Corrupt.inject_constrained ~seed:5 b frame in
+  let rows = List.map fst inj.Corrupt.cells in
+  Alcotest.(check int) "one error per row" (List.length rows)
+    (List.length (List.sort_uniq Int.compare rows))
+
+let test_inject_respects_columns () =
+  let spec = Spec.by_id 1 in
+  let b, frame = Generate.small_dataset ~n_rows:2000 spec in
+  let target_cols = [ 0; 1 ] in
+  let inj = Corrupt.inject ~seed:9 ~columns:target_cols frame in
+  List.iter
+    (fun (_, col) ->
+      Alcotest.(check bool) "column allowed" true (List.mem col target_cols))
+    inj.Corrupt.cells;
+  ignore b
+
+let test_inject_deterministic () =
+  let spec = Spec.by_id 6 in
+  let b, frame = Generate.dataset spec in
+  let i1 = Corrupt.inject_constrained ~seed:5 b frame in
+  let i2 = Corrupt.inject_constrained ~seed:5 b frame in
+  Alcotest.(check bool) "same cells" true (i1.Corrupt.cells = i2.Corrupt.cells)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads *)
+
+let test_workload_four_queries () =
+  let spec = Spec.by_id 5 in
+  let b, frame = Generate.small_dataset ~n_rows:500 spec in
+  let queries = Workloads.for_dataset b frame in
+  Alcotest.(check int) "four queries" 4 (List.length queries);
+  List.iter
+    (fun (q : Workloads.query) ->
+      (* every query must parse *)
+      ignore (Sqlexec.Parser.query q.Workloads.sql))
+    queries
+
+let test_workload_all_datasets_parse () =
+  List.iter
+    (fun spec ->
+      let b, frame = Generate.small_dataset ~n_rows:300 spec in
+      List.iter
+        (fun (q : Workloads.query) -> ignore (Sqlexec.Parser.query q.Workloads.sql))
+        (Workloads.for_dataset b frame))
+    Spec.all
+
+let test_workload_queries_reference_predict () =
+  let spec = Spec.by_id 9 in
+  let b, frame = Generate.small_dataset ~n_rows:300 spec in
+  List.iter
+    (fun (q : Workloads.query) ->
+      let parsed = Sqlexec.Parser.query q.Workloads.sql in
+      let plan = Sqlexec.Plan.of_query parsed in
+      Alcotest.(check bool) "ML-integrated" true plan.Sqlexec.Plan.uses_predict)
+    (Workloads.for_dataset b frame)
+
+(* ------------------------------------------------------------------ *)
+(* PC on generated data recovers ground-truth adjacencies *)
+
+let test_generated_data_supports_structure_learning () =
+  let spec = Spec.by_id 2 in
+  let b, frame = Generate.small_dataset ~n_rows:5000 spec in
+  let result = Guardrail.Synthesize.run frame in
+  let g = Netlib.ground_truth_dag b in
+  (* every synthesized statement's GIVEN/ON pair must be adjacent in the
+     ground truth (no hallucinated dependencies) *)
+  List.iter
+    (fun (st : Guardrail.Dsl.stmt) ->
+      List.iter
+        (fun given ->
+          Alcotest.(check bool) "edge exists in ground truth" true
+            (Pgm.Dag.has_edge g given st.Guardrail.Dsl.on
+            || Pgm.Dag.has_edge g st.Guardrail.Dsl.on given))
+        st.Guardrail.Dsl.given)
+    result.Guardrail.Synthesize.program.Guardrail.Dsl.stmts;
+  Alcotest.(check bool) "found some structure" true
+    (result.Guardrail.Synthesize.program.Guardrail.Dsl.stmts <> [])
+
+let test_table3_protocol () =
+  (* full pipeline regression: synthesize on clean train, detect on a
+     corrupted test split, expect material detection quality *)
+  let spec = Spec.by_id 6 in
+  let b, frame = Generate.dataset spec in
+  let train, test0 =
+    Dataframe.Split.train_test ~seed:3 ~train_fraction:0.5 frame
+  in
+  let inj = Corrupt.inject_any ~seed:4 b test0 in
+  let r = Guardrail.Synthesize.run train in
+  let prog =
+    Guardrail.Validator.rebind r.Guardrail.Synthesize.program
+      (Frame.schema inj.Corrupt.corrupted)
+  in
+  let flags = Guardrail.Validator.detect prog inj.Corrupt.corrupted in
+  let c = Stat.Metrics.confusion ~predicted:flags ~actual:inj.Corrupt.mask in
+  Alcotest.(check bool)
+    (Printf.sprintf "F1 above 0.5 on the blood dataset (got %.3f)"
+       (Stat.Metrics.f1 c))
+    true
+    (Stat.Metrics.f1 c > 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let qcheck_error_count_bounds =
+  QCheck.Test.make ~name:"error_count within (0, n]" ~count:100
+    QCheck.(int_range 10 100_000)
+    (fun n ->
+      let k = Corrupt.error_count n in
+      k > 0 && k <= n)
+
+let qcheck_injection_count =
+  QCheck.Test.make ~name:"inject places exactly n_errors" ~count:10
+    QCheck.(int_range 1 25)
+    (fun k ->
+      let spec = Spec.by_id 6 in
+      let b, frame = Generate.dataset spec in
+      let inj = Corrupt.inject_constrained ~seed:(k * 3) ~n_errors:k b frame in
+      List.length inj.Corrupt.cells = k)
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "table 2" `Quick test_spec_table2;
+          Alcotest.test_case "unknown id" `Quick test_spec_by_id_unknown;
+        ] );
+      ( "netlib",
+        [
+          Alcotest.test_case "shapes" `Quick test_netlib_shapes;
+          Alcotest.test_case "cancer network" `Quick test_netlib_cancer_structure;
+          Alcotest.test_case "duplicate attribute" `Quick test_netlib_duplicate_attr;
+          Alcotest.test_case "mix determinism" `Quick test_netlib_mix_deterministic;
+        ] );
+      ( "generate",
+        [
+          Alcotest.test_case "shapes" `Quick test_generate_shapes;
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "label vocabulary" `Quick test_generate_label_vocabulary;
+          Alcotest.test_case "constraints hold" `Quick test_generate_constraints_hold;
+        ] );
+      ( "corrupt",
+        [
+          Alcotest.test_case "error count rule" `Quick test_error_count_rule;
+          Alcotest.test_case "mask consistency" `Quick test_inject_mask_consistency;
+          Alcotest.test_case "row uniqueness" `Quick test_inject_row_uniqueness;
+          Alcotest.test_case "column restriction" `Quick test_inject_respects_columns;
+          Alcotest.test_case "deterministic" `Quick test_inject_deterministic;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "four queries" `Quick test_workload_four_queries;
+          Alcotest.test_case "all datasets parse" `Quick test_workload_all_datasets_parse;
+          Alcotest.test_case "reference predict" `Quick test_workload_queries_reference_predict;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "structure learnable" `Quick
+            test_generated_data_supports_structure_learning;
+          Alcotest.test_case "table 3 protocol" `Quick test_table3_protocol;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_error_count_bounds; qcheck_injection_count ] );
+    ]
