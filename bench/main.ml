@@ -16,6 +16,7 @@
      fig7    epsilon sweep: coverage vs loss (Fig. 7)
      optsmt  OptSMT clause blow-up and budgeted solve (§8.3)
      micro   bechamel micro-benchmarks
+     serve   daemon throughput: concurrent clients vs pool size
 
    Scale note: ML-dependent experiments subsample the largest datasets
    (documented in EXPERIMENTS.md); structure-learning experiments run at
@@ -763,6 +764,67 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Serving throughput: N concurrent clients hammering DETECT over a
+   pre-loaded dataset, at daemon pool sizes 1, 2 and 4. Each DETECT scans
+   the whole registered frame against the compiled program, so requests
+   are CPU-bound and pool size 4 should beat pool size 1 on multi-core
+   hardware (on a single core the pool only adds queueing). *)
+
+let serve_bench () =
+  header "Serving throughput (guardrail daemon)";
+  let p = prepare 2 in
+  let rows = min 2_000 (Frame.nrows p.full) in
+  let frame = Frame.take p.full (Array.init rows (fun i -> i)) in
+  let synth = Synthesize.run frame in
+  let program = Guardrail.Pretty.prog_to_string synth.Synthesize.program in
+  let n_clients = 4 and per_client = 16 in
+  Printf.printf
+    "  %s: %d rows, %d statement(s); %d clients x %d DETECT each (%d cores)\n%!"
+    p.spec.Spec.name rows
+    (Guardrail.Dsl.stmt_count synth.Synthesize.program)
+    n_clients per_client
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun pool_size ->
+      let registry = Service.Registry.create () in
+      let (_ : Service.Registry.entry) =
+        Service.Registry.load registry ~name:"data" ~program frame
+      in
+      let config =
+        { Service.Server.default_config with Service.Server.pool_size }
+      in
+      let server = Service.Server.create ~config registry in
+      let addr =
+        Service.Server.bind server
+          (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+      in
+      let runner = Domain.spawn (fun () -> Service.Server.run server) in
+      let t0 = Unix.gettimeofday () in
+      let clients =
+        List.init n_clients (fun _ ->
+            Domain.spawn (fun () ->
+                Service.Client.with_connection addr (fun c ->
+                    for _ = 1 to per_client do
+                      match
+                        Service.Client.request_exn c
+                          (Service.Protocol.Detect
+                             { table = "data"; csv = None })
+                      with
+                      | Service.Protocol.Detections _ -> ()
+                      | _ -> failwith "unexpected reply"
+                    done)))
+      in
+      List.iter Domain.join clients;
+      let dt = Unix.gettimeofday () -. t0 in
+      Service.Server.stop server;
+      Domain.join runner;
+      let total = n_clients * per_client in
+      Printf.printf "  pool %d: %4d requests in %6.3fs  -> %8.1f req/s\n%!"
+        pool_size total dt
+        (float_of_int total /. dt))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let experiments =
@@ -780,6 +842,7 @@ let experiments =
     ("case_study", case_study);
     ("structure", structure);
     ("micro", micro);
+    ("serve", serve_bench);
   ]
 
 let () =

@@ -5,6 +5,8 @@
      guardrail rectify   data.csv -c constraints.grl -o repaired.csv
      guardrail sql       data.csv -c constraints.grl --table t
      guardrail datasets
+     guardrail serve     --socket /tmp/guardrail.sock --preload t=data.csv:c.grl
+     guardrail request   detect --socket /tmp/guardrail.sock --table t
 *)
 
 module Frame = Dataframe.Frame
@@ -144,6 +146,207 @@ let generate id n_rows output =
   0
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+(* "name=data.csv" or "name=data.csv:constraints.grl" *)
+let parse_preload spec =
+  match String.index_opt spec '=' with
+  | None ->
+    failwith
+      (Printf.sprintf "bad --preload %S (expected NAME=CSV[:GRL])" spec)
+  | Some eq ->
+    let name = String.sub spec 0 eq in
+    let rest = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+    (match String.index_opt rest ':' with
+     | None -> (name, rest, None)
+     | Some colon ->
+       ( name,
+         String.sub rest 0 colon,
+         Some (String.sub rest (colon + 1) (String.length rest - colon - 1)) ))
+
+let sockaddr_of socket host port =
+  match (socket, port) with
+  | Some path, _ -> Unix.ADDR_UNIX path
+  | None, Some p -> Unix.ADDR_INET (Unix.inet_addr_of_string host, p)
+  | None, None -> failwith "pass --socket PATH or --port PORT"
+
+let serve socket host port pool timeout preloads =
+  try
+    let registry = Service.Registry.create () in
+    List.iter
+      (fun spec ->
+        let name, csv_path, grl_path = parse_preload spec in
+        let frame = Dataframe.Csv.load csv_path in
+        let program = Option.map read_file grl_path in
+        let entry = Service.Registry.load registry ~name ?program frame in
+        Printf.eprintf "preloaded %S: %d rows%s\n%!" name
+          (Frame.nrows frame)
+          (match entry.Service.Registry.program with
+           | Some p ->
+             Printf.sprintf ", %d statement(s)"
+               (Guardrail.Dsl.stmt_count p.Service.Registry.prog)
+           | None -> ""))
+      preloads;
+    let config =
+      { Service.Server.default_config with
+        Service.Server.pool_size = pool;
+        read_timeout_s = timeout;
+      }
+    in
+    let server = Service.Server.create ~config registry in
+    let addr = Service.Server.bind server (sockaddr_of socket host port) in
+    (* SIGINT/SIGTERM drain in-flight requests, then run returns *)
+    let stop _ = Service.Server.stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (match addr with
+     | Unix.ADDR_UNIX path ->
+       Printf.eprintf "guardrail daemon listening on %s (pool %d)\n%!" path pool
+     | Unix.ADDR_INET (host, port) ->
+       Printf.eprintf "guardrail daemon listening on %s:%d (pool %d)\n%!"
+         (Unix.string_of_inet_addr host)
+         port pool);
+    Service.Server.run server;
+    Printf.eprintf "guardrail daemon drained, exiting\n%!";
+    0
+  with
+  | Failure msg | Sys_error msg ->
+    Printf.eprintf "serve: %s\n" msg;
+    2
+  | Unix.Unix_error (err, fn, _) ->
+    Printf.eprintf "serve: %s: %s\n" fn (Unix.error_message err);
+    2
+
+(* ------------------------------------------------------------------ *)
+(* request *)
+
+let print_flags flags =
+  Array.iteri (fun i v -> if v then Printf.printf "row %d: violation\n" i) flags
+
+let do_request client command table data constraints label strategy_name query
+    guard_table output =
+  let module P = Service.Protocol in
+  let required what = function
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "%s is required for this command" what)
+  in
+  match command with
+  | "ping" ->
+    (match Service.Client.request_exn client P.Ping with
+     | P.Ok_reply msg -> print_endline msg; 0
+     | _ -> failwith "unexpected reply")
+  | "load" ->
+    let csv = read_file (required "--data" data) in
+    let program = Option.map read_file constraints in
+    (match
+       Service.Client.request_exn client
+         (P.Load { table = required "--table" table; csv; program;
+                   model_label = label })
+     with
+     | P.Loaded { table; rows; statements } ->
+       Printf.eprintf "loaded %S: %d rows, %d statement(s)\n" table rows
+         statements;
+       0
+     | _ -> failwith "unexpected reply")
+  | "guard" ->
+    let program = read_file (required "--constraints" constraints) in
+    (match
+       Service.Client.request_exn client
+         (P.Guard { table = required "--table" table; program })
+     with
+     | P.Ok_reply msg -> Printf.eprintf "%s\n" msg; 0
+     | _ -> failwith "unexpected reply")
+  | "detect" ->
+    let csv = Option.map read_file data in
+    (match
+       Service.Client.request_exn client
+         (P.Detect { table = required "--table" table; csv })
+     with
+     | P.Detections { flags; violations } ->
+       print_flags flags;
+       Printf.eprintf "%d violating row(s) in %d\n" violations
+         (Array.length flags);
+       if violations = 0 then 0 else 1
+     | _ -> failwith "unexpected reply")
+  | "rectify" ->
+    let strategy =
+      match Guardrail.Validator.strategy_of_string strategy_name with
+      | Some s -> s
+      | None ->
+        failwith
+          (Printf.sprintf "unknown strategy %S (raise|ignore|coerce|rectify)"
+             strategy_name)
+    in
+    let csv = Option.map read_file data in
+    (match
+       Service.Client.request_exn client
+         (P.Rectify { table = required "--table" table; strategy; csv })
+     with
+     | P.Rectified { csv; violations } ->
+       (match output with
+        | Some path -> write_file path csv
+        | None -> print_string csv);
+       Printf.eprintf "%d violation(s) handled\n" violations;
+       0
+     | _ -> failwith "unexpected reply")
+  | "sql" ->
+    (match
+       Service.Client.request_exn client
+         (P.Sql { query = required "--query" query; guard_table })
+     with
+     | P.Sql_result { csv; rows; violations; guardrail_ms; inference_ms; _ } ->
+       print_string csv;
+       Printf.eprintf
+         "%d row(s), %d violation(s) rectified, guardrail %.2fms, inference %.2fms\n"
+         rows violations guardrail_ms inference_ms;
+       0
+     | _ -> failwith "unexpected reply")
+  | "tables" ->
+    (match Service.Client.request_exn client P.Tables with
+     | P.Table_list infos ->
+       List.iter
+         (fun (i : P.table_info) ->
+           Printf.printf "%-20s %7d rows, %3d cols%s%s\n" i.P.name i.P.rows
+             i.P.columns
+             (if i.P.has_program then ", program" else "")
+             (if i.P.has_model then ", model" else ""))
+         infos;
+       0
+     | _ -> failwith "unexpected reply")
+  | "stats" ->
+    (match Service.Client.request_exn client P.Stats with
+     | P.Stats_reply { rendered; _ } -> print_string rendered; 0
+     | _ -> failwith "unexpected reply")
+  | "shutdown" ->
+    (match Service.Client.request_exn client P.Shutdown with
+     | P.Shutting_down -> Printf.eprintf "daemon shutting down\n"; 0
+     | _ -> failwith "unexpected reply")
+  | other ->
+    failwith
+      (Printf.sprintf
+         "unknown command %S (ping|load|guard|detect|rectify|sql|tables|stats|shutdown)"
+         other)
+
+let request command socket host port table data constraints label strategy
+    query guard_table output =
+  try
+    let addr = sockaddr_of socket host port in
+    Service.Client.with_connection addr (fun client ->
+        do_request client command table data constraints label strategy query
+          guard_table output)
+  with
+  | Failure msg | Sys_error msg | Service.Client.Server_error msg ->
+    Printf.eprintf "request: %s\n" msg;
+    2
+  | Service.Protocol.Error msg ->
+    Printf.eprintf "request: protocol error: %s\n" msg;
+    2
+  | Unix.Unix_error (err, fn, _) ->
+    Printf.eprintf "request: %s: %s\n" fn (Unix.error_message err);
+    2
+
+(* ------------------------------------------------------------------ *)
 (* command definitions *)
 
 open Cmdliner
@@ -242,11 +445,118 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate one of the evaluation datasets as CSV.")
     Term.(const generate $ id $ n_rows $ output_arg)
 
+(* shared connection flags for serve/request *)
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with $(b,--port)).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (alternative to $(b,--socket)).")
+
+let serve_cmd =
+  let pool =
+    Arg.(
+      value & opt int 4
+      & info [ "pool" ] ~docv:"N" ~doc:"Worker domains serving connections.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:"Idle-connection read timeout (0 disables).")
+  in
+  let preload =
+    Arg.(
+      value & opt_all string []
+      & info [ "preload" ] ~docv:"NAME=CSV[:GRL]"
+          ~doc:"Register a table (and optionally its constraint program) \
+                at startup. Repeatable.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the guardrail daemon: load datasets and constraint \
+             programs once, then answer DETECT/RECTIFY/SQL requests \
+             concurrently until SIGINT or a SHUTDOWN request.")
+    Term.(const serve $ socket_arg $ host_arg $ port_arg $ pool $ timeout $ preload)
+
+let request_cmd =
+  let command =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"COMMAND"
+          ~doc:"One of ping, load, guard, detect, rectify, sql, tables, \
+                stats, shutdown.")
+  in
+  let table =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "table" ] ~docv:"NAME" ~doc:"Target table.")
+  in
+  let data =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "data" ] ~docv:"FILE"
+          ~doc:"CSV file: the dataset for load, or rows to check for \
+                detect/rectify (registered frame if omitted).")
+  in
+  let constraints =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "c"; "constraints" ] ~docv:"FILE" ~doc:"Constraint program file.")
+  in
+  let label =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label" ] ~docv:"COLUMN"
+          ~doc:"Train a prediction model on this column at load time.")
+  in
+  let strategy =
+    Arg.(
+      value & opt string "rectify"
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:"Error handling: raise, ignore, coerce or rectify.")
+  in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query" ] ~docv:"SQL" ~doc:"Query text for the sql command.")
+  in
+  let guard_table =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "guard-table" ] ~docv:"NAME"
+          ~doc:"Guard PREDICT rows with this table's constraint program.")
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send one request to a running guardrail daemon.")
+    Term.(
+      const request $ command $ socket_arg $ host_arg $ port_arg $ table
+      $ data $ constraints $ label $ strategy $ query $ guard_table
+      $ output_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "guardrail" ~version:"1.0.0"
        ~doc:"Automated integrity constraint synthesis from noisy data.")
     [ synthesize_cmd; detect_cmd; rectify_cmd; inspect_cmd; sql_cmd;
-      datasets_cmd; generate_cmd ]
+      datasets_cmd; generate_cmd; serve_cmd; request_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

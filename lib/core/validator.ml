@@ -86,9 +86,12 @@ let check_values_compiled (c : compiled) values =
 (* Violations of one materialized row. *)
 let check_values (p : Dsl.prog) values = check_values_compiled (compile p) values
 
-(* All violations over a frame. *)
-let violations (p : Dsl.prog) frame =
-  let c = compile p in
+let source (c : compiled) = c.prog
+
+(* All violations over a frame, reusing an existing compilation — the form
+   long-lived callers (the serving registry, the SQL executor) use so a
+   program is compiled once, not per request. *)
+let violations_compiled (c : compiled) frame =
   let acc = ref [] in
   for i = Frame.nrows frame - 1 downto 0 do
     let vs = check_values_compiled c (Frame.row frame i) in
@@ -96,11 +99,15 @@ let violations (p : Dsl.prog) frame =
   done;
   !acc
 
+let violations (p : Dsl.prog) frame = violations_compiled (compile p) frame
+
 (* Per-row violation flags: the detector output scored in Table 3. *)
-let detect (p : Dsl.prog) frame =
+let detect_compiled (c : compiled) frame =
   let flags = Array.make (Frame.nrows frame) false in
-  List.iter (fun v -> flags.(v.row) <- true) (violations p frame);
+  List.iter (fun v -> flags.(v.row) <- true) (violations_compiled c frame);
   flags
+
+let detect (p : Dsl.prog) frame = detect_compiled (compile p) frame
 
 let describe schema v =
   Fmt.str "row %d: %s = %a violates [%a] (expected %a)" v.row
@@ -111,8 +118,8 @@ let describe schema v =
 
 (* Apply a handling strategy. Returns the (possibly repaired) frame plus
    the violations found. *)
-let handle ?(strategy = Ignore) (p : Dsl.prog) frame =
-  let vs = violations p frame in
+let handle_compiled ?(strategy = Ignore) (c : compiled) frame =
+  let vs = violations_compiled c frame in
   match strategy with
   | Ignore -> (frame, vs)
   | Raise ->
@@ -134,6 +141,9 @@ let handle ?(strategy = Ignore) (p : Dsl.prog) frame =
         frame vs
     in
     (repaired, vs)
+
+let handle ?strategy (p : Dsl.prog) frame =
+  handle_compiled ?strategy (compile p) frame
 
 (* Re-resolve a program's attribute indices by name against another
    schema, so constraints synthesized on a training split can be applied

@@ -22,6 +22,9 @@ type compiled
 
 val compile : Dsl.prog -> compiled
 
+(** The program a compilation was built from. *)
+val source : compiled -> Dsl.prog
+
 (** Violations of one materialized row ([row] field is [-1]). *)
 val check_values_compiled : compiled -> Dataframe.Value.t array -> violation list
 
@@ -29,9 +32,16 @@ val check_values_compiled : compiled -> Dataframe.Value.t array -> violation lis
     checking many rows. *)
 val check_values : Dsl.prog -> Dataframe.Value.t array -> violation list
 
+(** Frame-level checks against an existing compilation — what long-lived
+    callers (the serving registry, the SQL executor) use so a program is
+    compiled once, not once per request. *)
+val violations_compiled : compiled -> Dataframe.Frame.t -> violation list
+
 val violations : Dsl.prog -> Dataframe.Frame.t -> violation list
 
 (** Per-row violation flags — the detector output scored in Table 3. *)
+val detect_compiled : compiled -> Dataframe.Frame.t -> bool array
+
 val detect : Dsl.prog -> Dataframe.Frame.t -> bool array
 
 val describe : Dataframe.Schema.t -> violation -> string
@@ -41,6 +51,13 @@ val describe : Dataframe.Schema.t -> violation -> string
 val handle :
   ?strategy:strategy ->
   Dsl.prog ->
+  Dataframe.Frame.t ->
+  Dataframe.Frame.t * violation list
+
+(** {!handle} against an existing compilation. *)
+val handle_compiled :
+  ?strategy:strategy ->
+  compiled ->
   Dataframe.Frame.t ->
   Dataframe.Frame.t * violation list
 

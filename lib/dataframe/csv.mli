@@ -15,3 +15,6 @@ val of_string : ?header:bool -> string -> Frame.t
 val load : ?header:bool -> string -> Frame.t
 val to_string : Frame.t -> string
 val save : Frame.t -> string -> unit
+
+(** Quote one field for CSV output (RFC-4180 doubling rules). *)
+val escape_field : string -> string

@@ -1,0 +1,53 @@
+(* Blocking client for the serving daemon — used by `guardrail request`,
+   the tests and the serving benchmark. One request in flight per
+   connection; responses arrive in request order. *)
+
+exception Server_error of string
+
+type t = { fd : Unix.file_descr; max_response_bytes : int }
+
+let connect ?(max_response_bytes = Protocol.default_max_frame) addr =
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd addr;
+     (match addr with
+      | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+      | Unix.ADDR_UNIX _ -> ())
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; max_response_bytes }
+
+let connect_unix ?max_response_bytes path =
+  connect ?max_response_bytes (Unix.ADDR_UNIX path)
+
+let connect_tcp ?max_response_bytes ~host ~port () =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ ->
+      (match Unix.gethostbyname host with
+       | { Unix.h_addr_list = [||]; _ } ->
+         raise (Server_error (Printf.sprintf "cannot resolve host %S" host))
+       | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+       | exception Not_found ->
+         raise (Server_error (Printf.sprintf "cannot resolve host %S" host)))
+  in
+  connect ?max_response_bytes (Unix.ADDR_INET (addr, port))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t req =
+  Protocol.write_frame t.fd (Protocol.encode_request req);
+  match Protocol.read_frame ~max_bytes:t.max_response_bytes t.fd with
+  | Some payload -> Protocol.decode_response payload
+  | None -> raise (Protocol.Error "connection closed before the response")
+
+(* [request] but server-side errors raise instead of returning. *)
+let request_exn t req =
+  match request t req with
+  | Protocol.Error_reply msg -> raise (Server_error msg)
+  | resp -> resp
+
+let with_connection ?max_response_bytes addr f =
+  let t = connect ?max_response_bytes addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

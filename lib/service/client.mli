@@ -1,0 +1,25 @@
+(** Blocking client for the serving daemon. One request in flight per
+    connection; responses arrive in request order. *)
+
+(** Raised by {!request_exn} on an [Error_reply], and on resolution
+    failures in {!connect_tcp}. *)
+exception Server_error of string
+
+type t
+
+val connect : ?max_response_bytes:int -> Unix.sockaddr -> t
+val connect_unix : ?max_response_bytes:int -> string -> t
+val connect_tcp : ?max_response_bytes:int -> host:string -> port:int -> unit -> t
+
+(** Send one request, block for its response. Raises [Protocol.Error] on
+    an undecodable or truncated reply and [Unix.Unix_error] on transport
+    failure. *)
+val request : t -> Protocol.request -> Protocol.response
+
+(** {!request}, but an [Error_reply] raises {!Server_error}. *)
+val request_exn : t -> Protocol.request -> Protocol.response
+
+val close : t -> unit
+
+val with_connection :
+  ?max_response_bytes:int -> Unix.sockaddr -> (t -> 'a) -> 'a

@@ -1,0 +1,149 @@
+(* Live serving metrics: per-command counters and log-scale latency
+   histograms, surfaced through the STATS command. One mutex guards the
+   whole store — recording is a handful of loads and stores, far cheaper
+   than any request it measures. *)
+
+(* Upper bounds of the latency buckets, in seconds; the last bucket is
+   open-ended. *)
+let bucket_bounds =
+  [| 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 1e-1; 3e-1; 1.0 |]
+
+let n_buckets = Array.length bucket_bounds + 1
+
+type command_stats = {
+  command : string;
+  count : int;
+  errors : int;
+  total_s : float;
+  max_s : float;
+  buckets : int array;
+}
+
+type snapshot = {
+  uptime_s : float;
+  connections : int;
+  protocol_errors : int;
+  served : int;               (* requests answered, errors included *)
+  commands : command_stats list;  (* sorted by command name *)
+}
+
+type mutable_stats = {
+  mutable m_count : int;
+  mutable m_errors : int;
+  mutable m_total_s : float;
+  mutable m_max_s : float;
+  m_buckets : int array;
+}
+
+type t = {
+  mutex : Mutex.t;
+  started : float;
+  mutable m_connections : int;
+  mutable m_protocol_errors : int;
+  table : (string, mutable_stats) Hashtbl.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    started = Unix.gettimeofday ();
+    m_connections = 0;
+    m_protocol_errors = 0;
+    table = Hashtbl.create 16;
+  }
+
+let bucket_of seconds =
+  let rec go i =
+    if i >= Array.length bucket_bounds then i
+    else if seconds <= bucket_bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let connection t = with_lock t (fun () -> t.m_connections <- t.m_connections + 1)
+
+let protocol_error t =
+  with_lock t (fun () -> t.m_protocol_errors <- t.m_protocol_errors + 1)
+
+let record t ~command ~ok ~seconds =
+  with_lock t (fun () ->
+      let s =
+        match Hashtbl.find_opt t.table command with
+        | Some s -> s
+        | None ->
+          let s =
+            { m_count = 0; m_errors = 0; m_total_s = 0.0; m_max_s = 0.0;
+              m_buckets = Array.make n_buckets 0 }
+          in
+          Hashtbl.add t.table command s;
+          s
+      in
+      s.m_count <- s.m_count + 1;
+      if not ok then s.m_errors <- s.m_errors + 1;
+      s.m_total_s <- s.m_total_s +. seconds;
+      if seconds > s.m_max_s then s.m_max_s <- seconds;
+      let b = s.m_buckets in
+      b.(bucket_of seconds) <- b.(bucket_of seconds) + 1)
+
+let snapshot t =
+  with_lock t (fun () ->
+      let commands =
+        Hashtbl.fold
+          (fun command s acc ->
+            {
+              command;
+              count = s.m_count;
+              errors = s.m_errors;
+              total_s = s.m_total_s;
+              max_s = s.m_max_s;
+              buckets = Array.copy s.m_buckets;
+            }
+            :: acc)
+          t.table []
+        |> List.sort (fun a b -> String.compare a.command b.command)
+      in
+      {
+        uptime_s = Unix.gettimeofday () -. t.started;
+        connections = t.m_connections;
+        protocol_errors = t.m_protocol_errors;
+        served = List.fold_left (fun acc c -> acc + c.count) 0 commands;
+        commands;
+      })
+
+let mean_s c = if c.count = 0 then 0.0 else c.total_s /. float_of_int c.count
+
+let bucket_label i =
+  if i = 0 then Printf.sprintf "<=%.1fms" (bucket_bounds.(0) *. 1e3)
+  else if i < Array.length bucket_bounds then
+    Printf.sprintf "<=%.0fms" (bucket_bounds.(i) *. 1e3)
+  else
+    Printf.sprintf ">%.0fms" (bucket_bounds.(Array.length bucket_bounds - 1) *. 1e3)
+
+let render (s : snapshot) =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf
+    "uptime %.1fs, %d connection(s), %d request(s) served, %d protocol error(s)\n"
+    s.uptime_s s.connections s.served s.protocol_errors;
+  List.iter
+    (fun c ->
+      Printf.bprintf buf "%-9s %6d req  %4d err  mean %7.2fms  max %7.2fms\n"
+        c.command c.count c.errors (1e3 *. mean_s c) (1e3 *. c.max_s);
+      let populated =
+        List.filter
+          (fun i -> c.buckets.(i) > 0)
+          (List.init n_buckets (fun i -> i))
+      in
+      if populated <> [] then begin
+        Buffer.add_string buf "          latency:";
+        List.iter
+          (fun i ->
+            Printf.bprintf buf " %s:%d" (bucket_label i) c.buckets.(i))
+          populated;
+        Buffer.add_char buf '\n'
+      end)
+    s.commands;
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** Live serving metrics: per-command counters and log-scale latency
+    histograms. All operations are thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+(** Count an accepted connection. *)
+val connection : t -> unit
+
+(** Count a malformed frame / undecodable request. *)
+val protocol_error : t -> unit
+
+(** Record one answered request under its command key. *)
+val record : t -> command:string -> ok:bool -> seconds:float -> unit
+
+(** Upper bounds (seconds) of the latency buckets; the last bucket of a
+    histogram is open-ended, so histograms have [length + 1] cells. *)
+val bucket_bounds : float array
+
+type command_stats = {
+  command : string;
+  count : int;
+  errors : int;
+  total_s : float;
+  max_s : float;
+  buckets : int array;
+}
+
+type snapshot = {
+  uptime_s : float;
+  connections : int;
+  protocol_errors : int;
+  served : int;
+  commands : command_stats list;  (** sorted by command name *)
+}
+
+val snapshot : t -> snapshot
+val mean_s : command_stats -> float
+
+(** Human-readable report (the STATS text body). *)
+val render : snapshot -> string

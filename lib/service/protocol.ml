@@ -1,0 +1,473 @@
+(* Wire protocol of the guardrail serving daemon.
+
+   Framing: every message is a 4-byte big-endian payload length followed
+   by the payload. The payload starts with a version byte and a tag byte;
+   the remaining bytes are the tag's fields in a fixed order. Field
+   primitives:
+
+     u8            one byte
+     u32           4 bytes, big-endian
+     f64           8 bytes, IEEE-754 big-endian
+     str           u32 length + bytes
+     opt x         u8 presence flag (0|1) + x
+     list x        u32 count + elements
+
+   Both sides enforce a maximum frame size, so a malicious or corrupted
+   length prefix cannot force an unbounded allocation. Decoding is strict:
+   truncated fields, unknown tags, version mismatches and trailing bytes
+   all raise {!Error}, which the server answers with an error reply. *)
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let version = 1
+
+(* Generous enough for a Table-2-scale CSV in a LOAD request, small
+   enough to bound a hostile allocation. *)
+let default_max_frame = 64 * 1024 * 1024
+
+type request =
+  | Ping
+  | Load of {
+      table : string;
+      csv : string;
+      program : string option;     (* .grl source, parsed at load time *)
+      model_label : string option; (* train an ensemble on this label *)
+    }
+  | Guard of { table : string; program : string }
+  | Detect of { table : string; csv : string option }
+  | Rectify of {
+      table : string;
+      strategy : Guardrail.Validator.strategy;
+      csv : string option;
+    }
+  | Sql of { query : string; guard_table : string option }
+  | Tables
+  | Stats
+  | Shutdown
+
+type table_info = {
+  name : string;
+  rows : int;
+  columns : int;
+  has_program : bool;
+  has_model : bool;
+}
+
+type command_stat = {
+  command : string;
+  count : int;
+  errors : int;
+  mean_ms : float;
+  max_ms : float;
+}
+
+type response =
+  | Ok_reply of string
+  | Loaded of { table : string; rows : int; statements : int }
+  | Detections of { flags : bool array; violations : int }
+  | Rectified of { csv : string; violations : int }
+  | Sql_result of {
+      columns : string list;
+      csv : string;              (* header + rows, RFC-4180 quoting *)
+      rows : int;
+      violations : int;
+      guardrail_ms : float;
+      inference_ms : float;
+    }
+  | Table_list of table_info list
+  | Stats_reply of {
+      uptime_s : float;
+      connections : int;
+      served : int;
+      commands : command_stat list;
+      rendered : string;         (* human-readable report *)
+    }
+  | Shutting_down
+  | Error_reply of string
+
+let request_command = function
+  | Ping -> "PING"
+  | Load _ -> "LOAD"
+  | Guard _ -> "GUARD"
+  | Detect _ -> "DETECT"
+  | Rectify _ -> "RECTIFY"
+  | Sql _ -> "SQL"
+  | Tables -> "TABLES"
+  | Stats -> "STATS"
+  | Shutdown -> "SHUTDOWN"
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u32 buf v =
+  if v < 0 || v > 0xffff_ffff then error "u32 out of range: %d" v;
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_f64 buf v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+  done
+
+let put_str buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_opt put buf = function
+  | None -> put_u8 buf 0
+  | Some v ->
+    put_u8 buf 1;
+    put buf v
+
+let put_list put buf xs =
+  put_u32 buf (List.length xs);
+  List.iter (put buf) xs
+
+let put_bool buf b = put_u8 buf (if b then 1 else 0)
+
+let strategy_code = function
+  | Guardrail.Validator.Raise -> 0
+  | Guardrail.Validator.Ignore -> 1
+  | Guardrail.Validator.Coerce -> 2
+  | Guardrail.Validator.Rectify -> 3
+
+let strategy_of_code = function
+  | 0 -> Guardrail.Validator.Raise
+  | 1 -> Guardrail.Validator.Ignore
+  | 2 -> Guardrail.Validator.Coerce
+  | 3 -> Guardrail.Validator.Rectify
+  | c -> error "unknown strategy code %d" c
+
+(* bool array as one byte per flag — DETECT answers are per-row *)
+let put_flags buf flags =
+  put_u32 buf (Array.length flags);
+  Array.iter (fun b -> put_u8 buf (if b then 1 else 0)) flags
+
+(* ------------------------------------------------------------------ *)
+(* Decoding *)
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.data then
+    error "truncated payload: need %d byte(s) at offset %d of %d" n c.pos
+      (String.length c.data)
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  need c 4;
+  let b i = Char.code c.data.[c.pos + i] in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  c.pos <- c.pos + 4;
+  v
+
+let get_f64 c =
+  need c 8;
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor
+        (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code c.data.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  Int64.float_of_bits !bits
+
+let get_str c =
+  let n = get_u32 c in
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_opt get c =
+  match get_u8 c with
+  | 0 -> None
+  | 1 -> Some (get c)
+  | f -> error "bad presence flag %d" f
+
+let get_list get c =
+  let n = get_u32 c in
+  List.init n (fun _ -> get c)
+
+let get_bool c =
+  match get_u8 c with
+  | 0 -> false
+  | 1 -> true
+  | b -> error "bad bool byte %d" b
+
+let get_flags c =
+  let n = get_u32 c in
+  need c n;
+  Array.init n (fun i ->
+      match Char.code c.data.[c.pos + i] with
+      | 0 -> false
+      | 1 -> true
+      | b -> error "bad flag byte %d" b)
+  |> fun flags ->
+  c.pos <- c.pos + n;
+  flags
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+let encode_request r =
+  let buf = Buffer.create 256 in
+  put_u8 buf version;
+  (match r with
+   | Ping -> put_u8 buf 1
+   | Load { table; csv; program; model_label } ->
+     put_u8 buf 2;
+     put_str buf table;
+     put_str buf csv;
+     put_opt put_str buf program;
+     put_opt put_str buf model_label
+   | Guard { table; program } ->
+     put_u8 buf 3;
+     put_str buf table;
+     put_str buf program
+   | Detect { table; csv } ->
+     put_u8 buf 4;
+     put_str buf table;
+     put_opt put_str buf csv
+   | Rectify { table; strategy; csv } ->
+     put_u8 buf 5;
+     put_str buf table;
+     put_u8 buf (strategy_code strategy);
+     put_opt put_str buf csv
+   | Sql { query; guard_table } ->
+     put_u8 buf 6;
+     put_str buf query;
+     put_opt put_str buf guard_table
+   | Tables -> put_u8 buf 7
+   | Stats -> put_u8 buf 8
+   | Shutdown -> put_u8 buf 9);
+  Buffer.contents buf
+
+let finish c v =
+  if c.pos <> String.length c.data then
+    error "trailing bytes: %d decoded, %d received" c.pos (String.length c.data);
+  v
+
+let check_version c =
+  let v = get_u8 c in
+  if v <> version then error "protocol version %d, expected %d" v version
+
+let decode_request payload =
+  let c = { data = payload; pos = 0 } in
+  check_version c;
+  let r =
+    match get_u8 c with
+    | 1 -> Ping
+    | 2 ->
+      let table = get_str c in
+      let csv = get_str c in
+      let program = get_opt get_str c in
+      let model_label = get_opt get_str c in
+      Load { table; csv; program; model_label }
+    | 3 ->
+      let table = get_str c in
+      let program = get_str c in
+      Guard { table; program }
+    | 4 ->
+      let table = get_str c in
+      let csv = get_opt get_str c in
+      Detect { table; csv }
+    | 5 ->
+      let table = get_str c in
+      let strategy = strategy_of_code (get_u8 c) in
+      let csv = get_opt get_str c in
+      Rectify { table; strategy; csv }
+    | 6 ->
+      let query = get_str c in
+      let guard_table = get_opt get_str c in
+      Sql { query; guard_table }
+    | 7 -> Tables
+    | 8 -> Stats
+    | 9 -> Shutdown
+    | t -> error "unknown request tag %d" t
+  in
+  finish c r
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let put_table_info buf (i : table_info) =
+  put_str buf i.name;
+  put_u32 buf i.rows;
+  put_u32 buf i.columns;
+  put_bool buf i.has_program;
+  put_bool buf i.has_model
+
+let get_table_info c =
+  let name = get_str c in
+  let rows = get_u32 c in
+  let columns = get_u32 c in
+  let has_program = get_bool c in
+  let has_model = get_bool c in
+  { name; rows; columns; has_program; has_model }
+
+let put_command_stat buf (s : command_stat) =
+  put_str buf s.command;
+  put_u32 buf s.count;
+  put_u32 buf s.errors;
+  put_f64 buf s.mean_ms;
+  put_f64 buf s.max_ms
+
+let get_command_stat c =
+  let command = get_str c in
+  let count = get_u32 c in
+  let errors = get_u32 c in
+  let mean_ms = get_f64 c in
+  let max_ms = get_f64 c in
+  { command; count; errors; mean_ms; max_ms }
+
+let encode_response r =
+  let buf = Buffer.create 256 in
+  put_u8 buf version;
+  (match r with
+   | Ok_reply msg ->
+     put_u8 buf 1;
+     put_str buf msg
+   | Loaded { table; rows; statements } ->
+     put_u8 buf 2;
+     put_str buf table;
+     put_u32 buf rows;
+     put_u32 buf statements
+   | Detections { flags; violations } ->
+     put_u8 buf 3;
+     put_flags buf flags;
+     put_u32 buf violations
+   | Rectified { csv; violations } ->
+     put_u8 buf 4;
+     put_str buf csv;
+     put_u32 buf violations
+   | Sql_result { columns; csv; rows; violations; guardrail_ms; inference_ms } ->
+     put_u8 buf 5;
+     put_list put_str buf columns;
+     put_str buf csv;
+     put_u32 buf rows;
+     put_u32 buf violations;
+     put_f64 buf guardrail_ms;
+     put_f64 buf inference_ms
+   | Table_list infos ->
+     put_u8 buf 6;
+     put_list put_table_info buf infos
+   | Stats_reply { uptime_s; connections; served; commands; rendered } ->
+     put_u8 buf 7;
+     put_f64 buf uptime_s;
+     put_u32 buf connections;
+     put_u32 buf served;
+     put_list put_command_stat buf commands;
+     put_str buf rendered
+   | Shutting_down -> put_u8 buf 8
+   | Error_reply msg ->
+     put_u8 buf 9;
+     put_str buf msg);
+  Buffer.contents buf
+
+let decode_response payload =
+  let c = { data = payload; pos = 0 } in
+  check_version c;
+  let r =
+    match get_u8 c with
+    | 1 -> Ok_reply (get_str c)
+    | 2 ->
+      let table = get_str c in
+      let rows = get_u32 c in
+      let statements = get_u32 c in
+      Loaded { table; rows; statements }
+    | 3 ->
+      let flags = get_flags c in
+      let violations = get_u32 c in
+      Detections { flags; violations }
+    | 4 ->
+      let csv = get_str c in
+      let violations = get_u32 c in
+      Rectified { csv; violations }
+    | 5 ->
+      let columns = get_list get_str c in
+      let csv = get_str c in
+      let rows = get_u32 c in
+      let violations = get_u32 c in
+      let guardrail_ms = get_f64 c in
+      let inference_ms = get_f64 c in
+      Sql_result { columns; csv; rows; violations; guardrail_ms; inference_ms }
+    | 6 -> Table_list (get_list get_table_info c)
+    | 7 ->
+      let uptime_s = get_f64 c in
+      let connections = get_u32 c in
+      let served = get_u32 c in
+      let commands = get_list get_command_stat c in
+      let rendered = get_str c in
+      Stats_reply { uptime_s; connections; served; commands; rendered }
+    | 8 -> Shutting_down
+    | 9 -> Error_reply (get_str c)
+    | t -> error "unknown response tag %d" t
+  in
+  finish c r
+
+(* ------------------------------------------------------------------ *)
+(* Framing over a socket *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > 0xffff_ffff then error "frame too large to encode: %d bytes" n;
+  (* header and payload in ONE write: two small writes tickle Nagle +
+     delayed-ACK on TCP, adding ~40ms per request *)
+  let frame = Bytes.create (4 + n) in
+  Bytes.set frame 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set frame 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set frame 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set frame 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 frame 4 n;
+  write_all fd (Bytes.unsafe_to_string frame) 0 (4 + n)
+
+(* Read exactly [len] bytes; [None] if EOF strikes before the first byte
+   (a clean close between frames when [eof_ok]). *)
+let read_exact ?(eof_ok = false) fd len =
+  let out = Bytes.create len in
+  let rec go off =
+    if off = len then Some (Bytes.unsafe_to_string out)
+    else
+      match Unix.read fd out off (len - off) with
+      | 0 ->
+        if off = 0 && eof_ok then None
+        else error "connection closed mid-frame (%d of %d bytes)" off len
+      | n -> go (off + n)
+  in
+  go 0
+
+(* [None] on clean EOF at a frame boundary. Raises {!Error} on a truncated
+   frame or a length prefix above [max_bytes]; the stream is unusable
+   afterwards and the connection should be closed. *)
+let read_frame ?(max_bytes = default_max_frame) fd =
+  match read_exact ~eof_ok:true fd 4 with
+  | None -> None
+  | Some header ->
+    let b i = Char.code header.[i] in
+    let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if len > max_bytes then
+      error "frame of %d bytes exceeds limit of %d" len max_bytes;
+    (match read_exact fd len with
+     | Some payload -> Some payload
+     | None -> assert false)

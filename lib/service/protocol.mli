@@ -1,0 +1,97 @@
+(** Wire protocol of the guardrail serving daemon: versioned,
+    length-prefixed request/response frames usable over a Unix-domain or
+    TCP socket.
+
+    Framing: 4-byte big-endian payload length, then the payload. The
+    payload begins with a version byte and a tag byte. Decoding is strict
+    — truncated fields, unknown tags, version mismatches, oversized
+    frames and trailing bytes all raise {!Error}. *)
+
+exception Error of string
+
+(** Current protocol version (the first payload byte). *)
+val version : int
+
+(** Default frame-size ceiling (64 MiB): bounds what a corrupt or hostile
+    length prefix can allocate. *)
+val default_max_frame : int
+
+type request =
+  | Ping
+  | Load of {
+      table : string;
+      csv : string;                (** dataset as CSV text *)
+      program : string option;     (** .grl constraint source *)
+      model_label : string option; (** train an ensemble on this label *)
+    }
+  | Guard of { table : string; program : string }
+      (** install/replace the table's constraint program *)
+  | Detect of { table : string; csv : string option }
+      (** check the registered frame, or the supplied CSV rows *)
+  | Rectify of {
+      table : string;
+      strategy : Guardrail.Validator.strategy;
+      csv : string option;
+    }
+  | Sql of { query : string; guard_table : string option }
+      (** run SQL over the registered tables; [guard_table] names whose
+          program guards PREDICT rows *)
+  | Tables
+  | Stats
+  | Shutdown
+
+type table_info = {
+  name : string;
+  rows : int;
+  columns : int;
+  has_program : bool;
+  has_model : bool;
+}
+
+type command_stat = {
+  command : string;
+  count : int;
+  errors : int;
+  mean_ms : float;
+  max_ms : float;
+}
+
+type response =
+  | Ok_reply of string
+  | Loaded of { table : string; rows : int; statements : int }
+  | Detections of { flags : bool array; violations : int }
+  | Rectified of { csv : string; violations : int }
+  | Sql_result of {
+      columns : string list;
+      csv : string;              (** header + rows, RFC-4180 quoting *)
+      rows : int;
+      violations : int;
+      guardrail_ms : float;
+      inference_ms : float;
+    }
+  | Table_list of table_info list
+  | Stats_reply of {
+      uptime_s : float;
+      connections : int;
+      served : int;
+      commands : command_stat list;
+      rendered : string;
+    }
+  | Shutting_down
+  | Error_reply of string
+
+(** Metrics key of a request (e.g. ["DETECT"]). *)
+val request_command : request -> string
+
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response
+
+(** Write one length-prefixed frame (handles short writes). *)
+val write_frame : Unix.file_descr -> string -> unit
+
+(** Read one frame. [None] on clean EOF at a frame boundary. Raises
+    {!Error} on truncation or a length prefix above [max_bytes]; the
+    stream is out of sync afterwards and should be closed. *)
+val read_frame : ?max_bytes:int -> Unix.file_descr -> string option

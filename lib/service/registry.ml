@@ -1,0 +1,67 @@
+(* Thread-safe table registry: the daemon's compile-once cache. A table
+   entry carries the frame, its constraint program parsed AND compiled
+   exactly once at load/guard time, and an optional prediction model —
+   per-request work on the hot paths is then pure table lookups.
+
+   The expensive steps (CSV parse, program parse + compile, model
+   training) run outside the mutex; only the map insert/lookup is
+   locked. Concurrent loads of the same name are last-write-wins. *)
+
+module Frame = Dataframe.Frame
+
+type program = {
+  text : string;                            (* .grl source as received *)
+  prog : Guardrail.Dsl.prog;
+  compiled : Guardrail.Validator.compiled;
+}
+
+type entry = {
+  frame : Frame.t;
+  program : program option;
+  model : (string * Mlmodel.Ensemble.t) option;  (* label, ensemble *)
+}
+
+type t = { mutex : Mutex.t; tables : (string, entry) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); tables = Hashtbl.create 8 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let compile_program frame text =
+  let prog = Guardrail.Parse.prog (Frame.schema frame) text in
+  { text; prog; compiled = Guardrail.Validator.compile prog }
+
+let load t ~name ?program ?model_label frame =
+  let program = Option.map (compile_program frame) program in
+  let model =
+    Option.map
+      (fun label ->
+        if not (Dataframe.Schema.mem (Frame.schema frame) label) then
+          invalid_arg (Printf.sprintf "no column %S to train on" label);
+        (label, Mlmodel.Ensemble.train frame ~label))
+      model_label
+  in
+  let entry = { frame; program; model } in
+  with_lock t (fun () -> Hashtbl.replace t.tables name entry);
+  entry
+
+let find t name = with_lock t (fun () -> Hashtbl.find_opt t.tables name)
+
+let set_program t ~name text =
+  match find t name with
+  | None -> raise Not_found
+  | Some entry ->
+    let entry = { entry with program = Some (compile_program entry.frame text) } in
+    with_lock t (fun () -> Hashtbl.replace t.tables name entry);
+    entry
+
+let remove t name = with_lock t (fun () -> Hashtbl.remove t.tables name)
+
+let count t = with_lock t (fun () -> Hashtbl.length t.tables)
+
+let list t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun name entry acc -> (name, entry) :: acc) t.tables [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,43 @@
+(** Thread-safe table registry — the daemon's compile-once cache. Each
+    entry holds a frame, its constraint program parsed and compiled
+    exactly once, and an optional prediction model, so request handling
+    never re-parses or re-compiles. *)
+
+type program = {
+  text : string;                  (** .grl source as received *)
+  prog : Guardrail.Dsl.prog;
+  compiled : Guardrail.Validator.compiled;
+}
+
+type entry = {
+  frame : Dataframe.Frame.t;
+  program : program option;
+  model : (string * Mlmodel.Ensemble.t) option;  (** label, ensemble *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Register (or replace) a table. Parses and compiles [program] against
+    the frame's schema and trains an ensemble on [model_label] if given —
+    all outside the registry lock. Raises [Guardrail.Parse.Error] on a bad
+    program and [Invalid_argument] on an unknown label column. *)
+val load :
+  t ->
+  name:string ->
+  ?program:string ->
+  ?model_label:string ->
+  Dataframe.Frame.t ->
+  entry
+
+(** Install/replace the program of a registered table. Raises [Not_found]
+    if the table is absent, [Guardrail.Parse.Error] on a bad program. *)
+val set_program : t -> name:string -> string -> entry
+
+val find : t -> string -> entry option
+val remove : t -> string -> unit
+val count : t -> int
+
+(** Entries sorted by table name. *)
+val list : t -> (string * entry) list

@@ -1,0 +1,335 @@
+(* The guardrail serving daemon: a single accept loop feeding a Domain
+   worker pool. Each accepted connection becomes one pool job that reads
+   length-prefixed requests until the peer closes, the read timeout fires
+   or SHUTDOWN arrives. With a pool of N workers, N connections are served
+   truly in parallel — the hot paths (detect/rectify/SQL over compiled
+   programs) share no mutable state beyond the registry and metrics locks.
+
+   Failure posture: a request that cannot be decoded or executed is
+   answered with [Error_reply] and the connection keeps serving (framing
+   stays in sync because the length prefix was consumed); only a broken or
+   oversized frame closes the connection. The daemon itself never dies on
+   request input. *)
+
+module Frame = Dataframe.Frame
+module Schema = Dataframe.Schema
+module Validator = Guardrail.Validator
+
+type config = {
+  pool_size : int;
+  backlog : int;
+  read_timeout_s : float;      (* 0. disables the idle timeout *)
+  max_request_bytes : int;
+  accept_poll_s : float;       (* stop-flag polling granularity *)
+}
+
+let default_config =
+  {
+    pool_size = 4;
+    backlog = 64;
+    read_timeout_s = 30.0;
+    max_request_bytes = Protocol.default_max_frame;
+    accept_poll_s = 0.1;
+  }
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  metrics : Metrics.t;
+  pool : Pool.t;
+  stop_requested : bool Atomic.t;
+  mutable listen_fd : Unix.file_descr option;
+  mutable bound_path : string option;  (* unix socket to unlink on close *)
+}
+
+let create ?(config = default_config) registry =
+  {
+    config;
+    registry;
+    metrics = Metrics.create ();
+    pool = Pool.create ~size:config.pool_size ();
+    stop_requested = Atomic.make false;
+    listen_fd = None;
+    bound_path = None;
+  }
+
+let registry t = t.registry
+let metrics t = t.metrics
+
+(* Signal-safe: just flips the atomic the accept loop polls. *)
+let stop t = Atomic.set t.stop_requested true
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch *)
+
+(* Reuse the entry's compilation when the supplied rows share the
+   registered frame's exact column layout; otherwise re-bind by name and
+   compile for this request. *)
+let compiled_for (entry : Registry.entry) (p : Registry.program) frame =
+  if frame == entry.frame
+     || Schema.names (Frame.schema frame) = Schema.names (Frame.schema entry.frame)
+  then p.Registry.compiled
+  else Validator.compile (Validator.rebind p.Registry.prog (Frame.schema frame))
+
+let find_table t name =
+  match Registry.find t.registry name with
+  | Some entry -> entry
+  | None -> failwith (Printf.sprintf "unknown table %S" name)
+
+let guarded_entry t name =
+  let entry = find_table t name in
+  match entry.Registry.program with
+  | Some p -> (entry, p)
+  | None -> failwith (Printf.sprintf "table %S has no constraint program" name)
+
+let target_frame (entry : Registry.entry) = function
+  | None -> entry.Registry.frame
+  | Some csv -> Dataframe.Csv.of_string csv
+
+let csv_of_sql_result (r : Sqlexec.Exec.result) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (String.concat "," (List.map Dataframe.Csv.escape_field r.Sqlexec.Exec.columns));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      let cells =
+        Array.to_list
+          (Array.map
+             (fun v -> Dataframe.Csv.escape_field (Dataframe.Value.to_string v))
+             row)
+      in
+      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_char buf '\n')
+    r.Sqlexec.Exec.rows;
+  Buffer.contents buf
+
+let sql_context t ~guard_table =
+  let ctx = Sqlexec.Exec.create () in
+  List.iter
+    (fun (name, (entry : Registry.entry)) ->
+      Sqlexec.Exec.register_table ctx name entry.Registry.frame;
+      match entry.Registry.model with
+      | Some (label, model) -> Sqlexec.Exec.register_model ctx ~target:label model
+      | None -> ())
+    (Registry.list t.registry);
+  (match guard_table with
+   | None -> ()
+   | Some name ->
+     let _, p = guarded_entry t name in
+     Sqlexec.Exec.set_guard_compiled ctx p.Registry.compiled);
+  ctx
+
+let stats_reply t =
+  let s = Metrics.snapshot t.metrics in
+  let commands =
+    List.map
+      (fun (c : Metrics.command_stats) ->
+        {
+          Protocol.command = c.Metrics.command;
+          count = c.Metrics.count;
+          errors = c.Metrics.errors;
+          mean_ms = 1e3 *. Metrics.mean_s c;
+          max_ms = 1e3 *. c.Metrics.max_s;
+        })
+      s.Metrics.commands
+  in
+  Protocol.Stats_reply
+    {
+      uptime_s = s.Metrics.uptime_s;
+      connections = s.Metrics.connections;
+      served = s.Metrics.served;
+      commands;
+      rendered = Metrics.render s;
+    }
+
+let dispatch t (req : Protocol.request) : Protocol.response =
+  match req with
+  | Protocol.Ping -> Protocol.Ok_reply "pong"
+  | Protocol.Load { table; csv; program; model_label } ->
+    let frame = Dataframe.Csv.of_string csv in
+    let entry = Registry.load t.registry ~name:table ?program ?model_label frame in
+    let statements =
+      match entry.Registry.program with
+      | Some p -> Guardrail.Dsl.stmt_count p.Registry.prog
+      | None -> 0
+    in
+    Protocol.Loaded { table; rows = Frame.nrows frame; statements }
+  | Protocol.Guard { table; program } ->
+    let entry =
+      try Registry.set_program t.registry ~name:table program
+      with Not_found -> failwith (Printf.sprintf "unknown table %S" table)
+    in
+    let statements =
+      match entry.Registry.program with
+      | Some p -> Guardrail.Dsl.stmt_count p.Registry.prog
+      | None -> 0
+    in
+    Protocol.Ok_reply
+      (Printf.sprintf "installed %d statement(s) on %S" statements table)
+  | Protocol.Detect { table; csv } ->
+    let entry, p = guarded_entry t table in
+    let frame = target_frame entry csv in
+    let flags = Validator.detect_compiled (compiled_for entry p frame) frame in
+    let violations = Array.fold_left (fun n b -> if b then n + 1 else n) 0 flags in
+    Protocol.Detections { flags; violations }
+  | Protocol.Rectify { table; strategy; csv } ->
+    let entry, p = guarded_entry t table in
+    let frame = target_frame entry csv in
+    let repaired, vs =
+      Validator.handle_compiled ~strategy (compiled_for entry p frame) frame
+    in
+    Protocol.Rectified
+      { csv = Dataframe.Csv.to_string repaired; violations = List.length vs }
+  | Protocol.Sql { query; guard_table } ->
+    let ctx = sql_context t ~guard_table in
+    let r = Sqlexec.Exec.run ctx query in
+    Protocol.Sql_result
+      {
+        columns = r.Sqlexec.Exec.columns;
+        csv = csv_of_sql_result r;
+        rows = List.length r.Sqlexec.Exec.rows;
+        violations = r.Sqlexec.Exec.stats.Sqlexec.Exec.violations;
+        guardrail_ms = 1e3 *. r.Sqlexec.Exec.stats.Sqlexec.Exec.guardrail_s;
+        inference_ms = 1e3 *. r.Sqlexec.Exec.stats.Sqlexec.Exec.inference_s;
+      }
+  | Protocol.Tables ->
+    Protocol.Table_list
+      (List.map
+         (fun (name, (entry : Registry.entry)) ->
+           {
+             Protocol.name;
+             rows = Frame.nrows entry.Registry.frame;
+             columns = Frame.ncols entry.Registry.frame;
+             has_program = entry.Registry.program <> None;
+             has_model = entry.Registry.model <> None;
+           })
+         (Registry.list t.registry))
+  | Protocol.Stats -> stats_reply t
+  | Protocol.Shutdown ->
+    stop t;
+    Protocol.Shutting_down
+
+(* Every per-request failure becomes an error reply, never a dead
+   worker. *)
+let handle_request t req : Protocol.response =
+  match dispatch t req with
+  | resp -> resp
+  | exception Failure msg -> Protocol.Error_reply msg
+  | exception Invalid_argument msg -> Protocol.Error_reply msg
+  | exception Guardrail.Parse.Error { pos; message } ->
+    Protocol.Error_reply (Printf.sprintf "program parse error at %d: %s" pos message)
+  | exception Dataframe.Csv.Parse_error { line; message } ->
+    Protocol.Error_reply (Printf.sprintf "csv parse error on line %d: %s" line message)
+  | exception Sqlexec.Lexer.Error { pos; message } ->
+    Protocol.Error_reply (Printf.sprintf "sql lex error at %d: %s" pos message)
+  | exception Sqlexec.Parser.Error { pos; message } ->
+    Protocol.Error_reply (Printf.sprintf "sql parse error at %d: %s" pos message)
+  | exception Sqlexec.Exec.Runtime_error msg ->
+    Protocol.Error_reply (Printf.sprintf "sql runtime error: %s" msg)
+  | exception Validator.Violation_error msg ->
+    Protocol.Error_reply (Printf.sprintf "violation: %s" msg)
+  | exception e -> Protocol.Error_reply (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let send_quietly fd resp =
+  try Protocol.write_frame fd (Protocol.encode_response resp)
+  with Unix.Unix_error _ | Protocol.Error _ -> ()
+
+let handle_connection t fd =
+  Metrics.connection t.metrics;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());  (* unix-domain sockets reject it *)
+  if t.config.read_timeout_s > 0.0 then begin
+    (* not supported on some socket kinds; the select-based fallback is
+       not worth the complexity here *)
+    try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.read_timeout_s
+    with Unix.Unix_error _ -> ()
+  end;
+  let rec loop () =
+    match Protocol.read_frame ~max_bytes:t.config.max_request_bytes fd with
+    | None -> ()                                      (* clean close *)
+    | exception Protocol.Error msg ->
+      (* broken or oversized frame: stream out of sync, answer and close *)
+      Metrics.protocol_error t.metrics;
+      send_quietly fd (Protocol.Error_reply msg)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+      -> ()                                           (* idle timeout *)
+    | exception Unix.Unix_error _ -> ()               (* peer vanished *)
+    | Some payload ->
+      (match Protocol.decode_request payload with
+       | exception Protocol.Error msg ->
+         (* payload malformed but framing intact: reply and keep serving *)
+         Metrics.protocol_error t.metrics;
+         send_quietly fd (Protocol.Error_reply msg);
+         loop ()
+       | req ->
+         let t0 = Unix.gettimeofday () in
+         let resp = handle_request t req in
+         let ok =
+           match resp with Protocol.Error_reply _ -> false | _ -> true
+         in
+         Metrics.record t.metrics ~command:(Protocol.request_command req) ~ok
+           ~seconds:(Unix.gettimeofday () -. t0);
+         send_quietly fd resp;
+         (match req with
+          | Protocol.Shutdown -> ()                   (* loop ends; drain *)
+          | _ -> loop ()))
+  in
+  Fun.protect ~finally:(fun () -> close_quietly fd) loop
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop *)
+
+let bind t addr =
+  (match t.listen_fd with
+   | Some _ -> invalid_arg "Server.bind: already bound"
+   | None -> ());
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match addr with
+   | Unix.ADDR_UNIX path ->
+     if Sys.file_exists path then Unix.unlink path;
+     t.bound_path <- Some path
+   | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  Unix.bind fd addr;
+  Unix.listen fd t.config.backlog;
+  t.listen_fd <- Some fd;
+  Unix.getsockname fd
+
+let run t =
+  let fd =
+    match t.listen_fd with
+    | Some fd -> fd
+    | None -> invalid_arg "Server.run: bind first"
+  in
+  let rec accept_loop () =
+    if not (Atomic.get t.stop_requested) then begin
+      (match Unix.select [ fd ] [] [] t.config.accept_poll_s with
+       | [], _, _ -> ()
+       | _ :: _, _, _ ->
+         (match Unix.accept fd with
+          | conn, _ -> Pool.post t.pool (fun () -> handle_connection t conn)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* graceful drain: stop accepting, finish queued + in-flight
+     connections, then join the workers *)
+  close_quietly fd;
+  t.listen_fd <- None;
+  (match t.bound_path with
+   | Some path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+   | None -> ());
+  t.bound_path <- None;
+  Pool.shutdown t.pool
+
+let serve t addr =
+  let (_ : Unix.sockaddr) = bind t addr in
+  run t

@@ -1,0 +1,46 @@
+(** The guardrail serving daemon: one accept loop feeding a {!Pool} of
+    worker domains; each connection is one pool job reading
+    length-prefixed requests until close, timeout or SHUTDOWN.
+
+    Malformed requests are answered with [Error_reply] and the daemon
+    keeps serving; SHUTDOWN (or {!stop}, e.g. from a SIGINT handler)
+    drains in-flight connections before {!run} returns. *)
+
+type config = {
+  pool_size : int;           (** worker domains serving connections *)
+  backlog : int;
+  read_timeout_s : float;    (** idle-connection timeout; 0. disables *)
+  max_request_bytes : int;   (** request frames above this are rejected *)
+  accept_poll_s : float;     (** stop-flag polling granularity *)
+}
+
+(** 4 workers, 64 backlog, 30 s timeout, 64 MiB frames, 0.1 s poll. *)
+val default_config : config
+
+type t
+
+val create : ?config:config -> Registry.t -> t
+
+val registry : t -> Registry.t
+val metrics : t -> Metrics.t
+
+(** Bind and listen; returns the actual address (useful with TCP port 0).
+    A unix-domain path is unlinked first if it exists, and again on
+    shutdown. *)
+val bind : t -> Unix.sockaddr -> Unix.sockaddr
+
+(** Accept loop; returns after {!stop} (or a served SHUTDOWN request) once
+    every accepted connection has been drained and the pool joined. *)
+val run : t -> unit
+
+(** {!bind} + {!run}. *)
+val serve : t -> Unix.sockaddr -> unit
+
+(** Request a graceful stop. Async-signal-safe (just sets an atomic flag
+    the accept loop polls). *)
+val stop : t -> unit
+
+(** Execute one request against the registry exactly as a connection
+    would — per-request failures come back as [Error_reply], they never
+    raise. Exposed for direct testing and in-process embedding. *)
+val handle_request : t -> Protocol.request -> Protocol.response

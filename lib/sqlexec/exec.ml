@@ -19,6 +19,10 @@ type context = {
   tables : (string, Frame.t) Hashtbl.t;
   models : (string, Mlmodel.Ensemble.t) Hashtbl.t;  (* keyed by target name *)
   mutable guard : (Guardrail.Dsl.prog * Guardrail.Validator.strategy) option;
+  (* compilation of [guard] against its own schema, built once in
+     [set_guard]; queries over tables with an identical column layout reuse
+     it instead of re-compiling per query *)
+  mutable guard_compiled : Guardrail.Validator.compiled option;
 }
 
 type stats = {
@@ -36,16 +40,26 @@ type result = {
 }
 
 let create () =
-  { tables = Hashtbl.create 8; models = Hashtbl.create 8; guard = None }
+  { tables = Hashtbl.create 8; models = Hashtbl.create 8; guard = None;
+    guard_compiled = None }
 
 let register_table ctx name frame = Hashtbl.replace ctx.tables name frame
 
 let register_model ctx ~target model = Hashtbl.replace ctx.models target model
 
 let set_guard ctx ?(strategy = Guardrail.Validator.Rectify) prog =
-  ctx.guard <- Some (prog, strategy)
+  ctx.guard <- Some (prog, strategy);
+  ctx.guard_compiled <- Some (Guardrail.Validator.compile prog)
 
-let clear_guard ctx = ctx.guard <- None
+(* Install an already-compiled guard (the serving registry compiles each
+   program exactly once at load time). *)
+let set_guard_compiled ctx ?(strategy = Guardrail.Validator.Rectify) compiled =
+  ctx.guard <- Some (Guardrail.Validator.source compiled, strategy);
+  ctx.guard_compiled <- Some compiled
+
+let clear_guard ctx =
+  ctx.guard <- None;
+  ctx.guard_compiled <- None
 
 (* Row environment: materialized (possibly repaired) values plus the
    prediction per target. *)
@@ -194,19 +208,31 @@ let run ctx sql =
   let frame = find_table ctx plan.Plan.table in
   let schema = Frame.schema frame in
   let n = Frame.nrows frame in
-  (* the guard program is re-bound by column name to the queried table's
-     schema (tables and views may order or extend columns differently) and
-     compiled once per query *)
+  (* When the queried table has the guard's exact column layout, reuse the
+     compilation built once in [set_guard]; otherwise (views may order or
+     extend columns differently) re-bind by column name and compile for
+     this query. *)
   let guard =
     match ctx.guard with
     | None -> None
     | Some (prog, strategy) ->
-      (try
-         Some (Guardrail.Validator.compile (Guardrail.Validator.rebind prog schema), strategy)
-       with Invalid_argument msg ->
-         raise
-           (Runtime_error
-              (Printf.sprintf "guard does not fit table %S: %s" plan.Plan.table msg)))
+      let same_layout =
+        Dataframe.Schema.names prog.Guardrail.Dsl.schema
+        = Dataframe.Schema.names schema
+      in
+      (match ctx.guard_compiled with
+       | Some compiled when same_layout -> Some (compiled, strategy)
+       | _ ->
+         (try
+            Some
+              ( Guardrail.Validator.compile
+                  (Guardrail.Validator.rebind prog schema),
+                strategy )
+          with Invalid_argument msg ->
+            raise
+              (Runtime_error
+                 (Printf.sprintf "guard does not fit table %S: %s"
+                    plan.Plan.table msg))))
   in
   let guardrail_s = ref 0.0 in
   let inference_s = ref 0.0 in

@@ -23,9 +23,18 @@ val register_table : context -> string -> Dataframe.Frame.t -> unit
 val register_model : context -> target:string -> Mlmodel.Ensemble.t -> unit
 
 (** Install a guardrail applied to every row before prediction (default
-    strategy: [Rectify]). *)
+    strategy: [Rectify]). The program is compiled once here; queries over
+    tables with the guard's exact column layout reuse that compilation. *)
 val set_guard :
   context -> ?strategy:Guardrail.Validator.strategy -> Guardrail.Dsl.prog -> unit
+
+(** [set_guard] from an existing compilation (e.g. the serving registry's),
+    skipping the per-context compile entirely. *)
+val set_guard_compiled :
+  context ->
+  ?strategy:Guardrail.Validator.strategy ->
+  Guardrail.Validator.compiled ->
+  unit
 
 val clear_guard : context -> unit
 

@@ -1,0 +1,577 @@
+(* Tests for the serving subsystem: protocol encode/decode round-trips
+   (including truncated and oversized payload rejection), the Domain
+   worker pool, metrics, the compile-once registry, and a loopback
+   integration test with concurrent clients checked against the offline
+   Validator/Sqlexec results. *)
+
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+module Schema = Dataframe.Schema
+module Validator = Guardrail.Validator
+module P = Service.Protocol
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let sample_requests : P.request list =
+  [
+    P.Ping;
+    P.Load
+      { table = "t"; csv = "a,b\n1,2\n"; program = Some "GIVEN a ON b HAVING;";
+        model_label = Some "b" };
+    P.Load { table = ""; csv = ""; program = None; model_label = None };
+    P.Guard { table = "t"; program = "x" };
+    P.Detect { table = "t"; csv = None };
+    P.Detect { table = "t"; csv = Some "a,b\n1,2\n" };
+    P.Rectify { table = "t"; strategy = Validator.Raise; csv = None };
+    P.Rectify { table = "t"; strategy = Validator.Ignore; csv = Some "a\n1\n" };
+    P.Rectify { table = "t"; strategy = Validator.Coerce; csv = None };
+    P.Rectify { table = "t"; strategy = Validator.Rectify; csv = None };
+    P.Sql { query = "SELECT * FROM t"; guard_table = None };
+    P.Sql { query = "SELECT 1"; guard_table = Some "t" };
+    P.Tables;
+    P.Stats;
+    P.Shutdown;
+  ]
+
+let sample_responses : P.response list =
+  [
+    P.Ok_reply "pong";
+    P.Ok_reply "";
+    P.Loaded { table = "t"; rows = 12345; statements = 7 };
+    P.Detections { flags = [| true; false; true |]; violations = 2 };
+    P.Detections { flags = [||]; violations = 0 };
+    P.Rectified { csv = "a,b\n1,2\n"; violations = 3 };
+    P.Sql_result
+      { columns = [ "a"; "n" ]; csv = "a,n\nx,3\n"; rows = 1; violations = 2;
+        guardrail_ms = 0.25; inference_ms = 1.5 };
+    P.Table_list
+      [
+        { P.name = "t"; rows = 10; columns = 3; has_program = true;
+          has_model = false };
+        { P.name = "u"; rows = 0; columns = 0; has_program = false;
+          has_model = true };
+      ];
+    P.Table_list [];
+    P.Stats_reply
+      { uptime_s = 1.5; connections = 4; served = 9;
+        commands =
+          [
+            { P.command = "DETECT"; count = 3; errors = 1; mean_ms = 0.5;
+              max_ms = 2.0 };
+          ];
+        rendered = "ok\n" };
+    P.Shutting_down;
+    P.Error_reply "boom";
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun r ->
+      let r' = P.decode_request (P.encode_request r) in
+      Alcotest.(check bool)
+        (Printf.sprintf "request %s round-trips" (P.request_command r))
+        true (r = r'))
+    sample_requests
+
+let test_response_roundtrip () =
+  List.iteri
+    (fun i r ->
+      let r' = P.decode_response (P.encode_response r) in
+      Alcotest.(check bool) (Printf.sprintf "response %d round-trips" i) true
+        (r = r'))
+    sample_responses
+
+let expect_protocol_error f =
+  match f () with
+  | exception P.Error _ -> true
+  | _ -> false
+
+let test_truncated_rejected () =
+  (* every proper prefix of every encoding must raise, not crash or
+     misparse *)
+  List.iter
+    (fun r ->
+      let full = P.encode_request r in
+      for len = 0 to String.length full - 1 do
+        let cut = String.sub full 0 len in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s truncated at %d rejected" (P.request_command r)
+             len)
+          true
+          (expect_protocol_error (fun () -> P.decode_request cut))
+      done)
+    sample_requests;
+  List.iter
+    (fun r ->
+      let full = P.encode_response r in
+      for len = 0 to String.length full - 1 do
+        let cut = String.sub full 0 len in
+        Alcotest.(check bool) "response truncated rejected" true
+          (expect_protocol_error (fun () -> P.decode_response cut))
+      done)
+    sample_responses
+
+let test_trailing_bytes_rejected () =
+  let payload = P.encode_request P.Ping ^ "x" in
+  Alcotest.(check bool) "trailing bytes rejected" true
+    (expect_protocol_error (fun () -> P.decode_request payload))
+
+let test_bad_version_and_tag () =
+  Alcotest.(check bool) "version 0 rejected" true
+    (expect_protocol_error (fun () -> P.decode_request "\x00\x01"));
+  Alcotest.(check bool) "unknown request tag rejected" true
+    (expect_protocol_error (fun () -> P.decode_request "\x01\xff"));
+  Alcotest.(check bool) "unknown response tag rejected" true
+    (expect_protocol_error (fun () -> P.decode_response "\x01\xff"))
+
+let test_frame_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  P.write_frame a "hello";
+  P.write_frame a "";
+  Alcotest.(check (option string)) "frame 1" (Some "hello") (P.read_frame b);
+  Alcotest.(check (option string)) "frame 2" (Some "") (P.read_frame b);
+  Unix.close a;
+  Alcotest.(check (option string)) "clean EOF" None (P.read_frame b);
+  Unix.close b
+
+let test_oversized_frame_rejected () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  P.write_frame a "0123456789";
+  Alcotest.(check bool) "over-limit frame rejected" true
+    (expect_protocol_error (fun () -> P.read_frame ~max_bytes:5 b));
+  Unix.close a;
+  Unix.close b
+
+let test_truncated_frame_rejected () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* length prefix promises 100 bytes, peer dies after 3 *)
+  let n = Unix.write_substring a "\x00\x00\x00\x64abc" 0 7 in
+  Alcotest.(check int) "wrote header + 3" 7 n;
+  Unix.close a;
+  Alcotest.(check bool) "mid-frame EOF rejected" true
+    (expect_protocol_error (fun () -> P.read_frame b));
+  Unix.close b
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_submit () =
+  let pool = Service.Pool.create ~size:4 () in
+  let futures =
+    List.init 20 (fun i -> Service.Pool.submit pool (fun () -> i * i))
+  in
+  let results = List.map Service.Pool.await futures in
+  Service.Pool.shutdown pool;
+  Alcotest.(check (list int)) "squares" (List.init 20 (fun i -> i * i)) results
+
+let test_pool_map_list () =
+  let pool = Service.Pool.create ~size:3 () in
+  let out = Service.Pool.map_list pool (fun x -> x + 1) [ 1; 2; 3; 4; 5 ] in
+  Service.Pool.shutdown pool;
+  Alcotest.(check (list int)) "order preserved" [ 2; 3; 4; 5; 6 ] out
+
+let test_pool_exception () =
+  let pool = Service.Pool.create ~size:2 () in
+  let fut = Service.Pool.submit pool (fun () -> failwith "job blew up") in
+  let raised =
+    match Service.Pool.await fut with
+    | exception Failure m -> m = "job blew up"
+    | _ -> false
+  in
+  Service.Pool.shutdown pool;
+  Alcotest.(check bool) "exception re-raised at await" true raised
+
+let test_pool_shutdown_drains () =
+  let pool = Service.Pool.create ~size:2 () in
+  let counter = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Service.Pool.post pool (fun () -> Atomic.incr counter)
+  done;
+  Service.Pool.shutdown pool;
+  Alcotest.(check int) "every queued job ran" 50 (Atomic.get counter);
+  Alcotest.(check bool) "post after shutdown raises" true
+    (match Service.Pool.post pool (fun () -> ()) with
+     | exception Service.Pool.Stopped -> true
+     | () -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_counts () =
+  let m = Service.Metrics.create () in
+  Service.Metrics.connection m;
+  Service.Metrics.connection m;
+  Service.Metrics.record m ~command:"DETECT" ~ok:true ~seconds:0.002;
+  Service.Metrics.record m ~command:"DETECT" ~ok:false ~seconds:0.2;
+  Service.Metrics.record m ~command:"SQL" ~ok:true ~seconds:0.0005;
+  let s = Service.Metrics.snapshot m in
+  Alcotest.(check int) "connections" 2 s.Service.Metrics.connections;
+  Alcotest.(check int) "served" 3 s.Service.Metrics.served;
+  let detect =
+    List.find
+      (fun c -> c.Service.Metrics.command = "DETECT")
+      s.Service.Metrics.commands
+  in
+  Alcotest.(check int) "detect count" 2 detect.Service.Metrics.count;
+  Alcotest.(check int) "detect errors" 1 detect.Service.Metrics.errors;
+  Alcotest.(check int) "histogram total" 2
+    (Array.fold_left ( + ) 0 detect.Service.Metrics.buckets);
+  let rendered = Service.Metrics.render s in
+  Alcotest.(check bool) "render mentions DETECT" true
+    (contains ~needle:"DETECT" rendered)
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let people_csv =
+  "name,dept,grade\nann,eng,senior\nbob,eng,junior\ncat,ops,senior\n"
+
+let people_program = "GIVEN dept ON grade HAVING\n  IF dept = \"eng\" THEN grade <- \"senior\";\n"
+
+let test_registry_load_find () =
+  let reg = Service.Registry.create () in
+  let frame = Dataframe.Csv.of_string people_csv in
+  let entry =
+    Service.Registry.load reg ~name:"people" ~program:people_program frame
+  in
+  Alcotest.(check bool) "program compiled" true
+    (entry.Service.Registry.program <> None);
+  (match Service.Registry.find reg "people" with
+   | None -> Alcotest.fail "table not found after load"
+   | Some found ->
+     (* the compiled program is the SAME object on every lookup — compiled
+        once at load, never per request *)
+     (match (found.Service.Registry.program, entry.Service.Registry.program) with
+      | Some a, Some b ->
+        Alcotest.(check bool) "compilation shared" true
+          (a.Service.Registry.compiled == b.Service.Registry.compiled)
+      | _ -> Alcotest.fail "program missing"));
+  Alcotest.(check int) "count" 1 (Service.Registry.count reg);
+  Service.Registry.remove reg "people";
+  Alcotest.(check int) "removed" 0 (Service.Registry.count reg)
+
+let test_registry_set_program () =
+  let reg = Service.Registry.create () in
+  let frame = Dataframe.Csv.of_string people_csv in
+  let (_ : Service.Registry.entry) =
+    Service.Registry.load reg ~name:"people" frame
+  in
+  let entry = Service.Registry.set_program reg ~name:"people" people_program in
+  Alcotest.(check bool) "program installed" true
+    (entry.Service.Registry.program <> None);
+  Alcotest.(check bool) "unknown table raises Not_found" true
+    (match Service.Registry.set_program reg ~name:"ghost" people_program with
+     | exception Not_found -> true
+     | _ -> false);
+  Alcotest.(check bool) "bad program raises Parse.Error" true
+    (match Service.Registry.set_program reg ~name:"people" "GIVEN nope ON" with
+     | exception Guardrail.Parse.Error _ -> true
+     | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Server dispatch (no socket) *)
+
+let make_server () =
+  let reg = Service.Registry.create () in
+  Service.Server.create reg
+
+let test_dispatch_errors () =
+  let srv = make_server () in
+  (match Service.Server.handle_request srv (P.Detect { table = "ghost"; csv = None }) with
+   | P.Error_reply msg ->
+     Alcotest.(check bool) "mentions table" true (contains ~needle:"ghost" msg)
+   | _ -> Alcotest.fail "expected error reply");
+  (match
+     Service.Server.handle_request srv
+       (P.Load { table = "t"; csv = "not,a\ncsv"; program = None; model_label = None })
+   with
+   | P.Error_reply _ -> ()
+   | _ -> Alcotest.fail "ragged csv should error");
+  (* a table without a program cannot serve DETECT *)
+  (match
+     Service.Server.handle_request srv
+       (P.Load { table = "t"; csv = people_csv; program = None; model_label = None })
+   with
+   | P.Loaded { rows = 3; _ } -> ()
+   | _ -> Alcotest.fail "load failed");
+  match Service.Server.handle_request srv (P.Detect { table = "t"; csv = None }) with
+  | P.Error_reply _ -> ()
+  | _ -> Alcotest.fail "detect without program should error"
+
+let test_dispatch_detect_matches_offline () =
+  let srv = make_server () in
+  (match
+     Service.Server.handle_request srv
+       (P.Load
+          { table = "people"; csv = people_csv; program = Some people_program;
+            model_label = None })
+   with
+   | P.Loaded { statements = 1; _ } -> ()
+   | _ -> Alcotest.fail "load failed");
+  let frame = Dataframe.Csv.of_string people_csv in
+  let prog = Guardrail.Parse.prog (Frame.schema frame) people_program in
+  let offline = Validator.detect prog frame in
+  match Service.Server.handle_request srv (P.Detect { table = "people"; csv = None }) with
+  | P.Detections { flags; violations } ->
+    Alcotest.(check bool) "flags match offline" true (flags = offline);
+    Alcotest.(check int) "violations"
+      (Array.fold_left (fun n b -> if b then n + 1 else n) 0 offline)
+      violations
+  | _ -> Alcotest.fail "expected detections"
+
+(* ------------------------------------------------------------------ *)
+(* Loopback integration: daemon + concurrent clients vs offline results *)
+
+let loopback = Unix.ADDR_INET (Unix.inet_addr_loopback, 0)
+
+let start_server ?(pool_size = 4) registry =
+  let config =
+    { Service.Server.default_config with
+      Service.Server.pool_size;
+      accept_poll_s = 0.02;
+      read_timeout_s = 10.0;
+    }
+  in
+  let server = Service.Server.create ~config registry in
+  let addr = Service.Server.bind server loopback in
+  let runner = Domain.spawn (fun () -> Service.Server.run server) in
+  (server, addr, runner)
+
+(* a datagen dataset, its synthesized program, and injected errors — the
+   acceptance scenario *)
+let integration_fixture =
+  lazy
+    (let spec = Datagen.Spec.by_id 2 in
+     let built, clean = Datagen.Generate.small_dataset ~n_rows:1500 spec in
+     let synth = Guardrail.Synthesize.run clean in
+     let program = synth.Guardrail.Synthesize.program in
+     let injection =
+       Datagen.Corrupt.inject_constrained ~seed:42 ~n_errors:30 built clean
+     in
+     let frame = injection.Datagen.Corrupt.corrupted in
+     (frame, program, Guardrail.Pretty.prog_to_string program))
+
+let sql_query = "SELECT smoker, COUNT(*) AS n FROM data GROUP BY smoker ORDER BY smoker"
+
+let test_loopback_concurrent_clients () =
+  let frame, program, program_text = Lazy.force integration_fixture in
+  (* offline ground truth *)
+  let offline_flags = Validator.detect program frame in
+  let offline_violations =
+    Array.fold_left (fun n b -> if b then n + 1 else n) 0 offline_flags
+  in
+  Alcotest.(check bool) "fixture has violations" true (offline_violations > 0);
+  let offline_sql =
+    let ctx = Sqlexec.Exec.create () in
+    Sqlexec.Exec.register_table ctx "data" frame;
+    Sqlexec.Exec.run ctx sql_query
+  in
+  let registry = Service.Registry.create () in
+  let (_ : Service.Registry.entry) =
+    Service.Registry.load registry ~name:"data" ~program:program_text frame
+  in
+  let server, addr, runner = start_server ~pool_size:4 registry in
+  let n_clients = 4 in
+  let run_client () =
+    Service.Client.with_connection addr (fun c ->
+        let detections =
+          match
+            Service.Client.request_exn c (P.Detect { table = "data"; csv = None })
+          with
+          | P.Detections { flags; violations } -> (flags, violations)
+          | _ -> failwith "expected detections"
+        in
+        let sql =
+          match
+            Service.Client.request_exn c
+              (P.Sql { query = sql_query; guard_table = None })
+          with
+          | P.Sql_result { columns; csv; rows; _ } -> (columns, csv, rows)
+          | _ -> failwith "expected sql result"
+        in
+        (detections, sql))
+  in
+  let domains = List.init n_clients (fun _ -> Domain.spawn run_client) in
+  let results = List.map Domain.join domains in
+  (* every client saw exactly the offline answers *)
+  List.iter
+    (fun (((flags, violations), (columns, csv, rows)) :
+           (bool array * int) * (string list * string * int)) ->
+      Alcotest.(check bool) "DETECT flags = offline Validator.detect" true
+        (flags = offline_flags);
+      Alcotest.(check int) "DETECT violation count" offline_violations violations;
+      Alcotest.(check (list string)) "SQL columns = offline Exec.run"
+        offline_sql.Sqlexec.Exec.columns columns;
+      Alcotest.(check int) "SQL row count"
+        (List.length offline_sql.Sqlexec.Exec.rows)
+        rows;
+      (* the transported CSV reproduces the offline rows exactly *)
+      let parsed = Dataframe.Csv.of_string csv in
+      Alcotest.(check int) "SQL csv rows" (List.length offline_sql.Sqlexec.Exec.rows)
+        (Frame.nrows parsed);
+      List.iteri
+        (fun i offline_row ->
+          Array.iteri
+            (fun j v ->
+              Alcotest.(check string)
+                (Printf.sprintf "SQL cell (%d,%d)" i j)
+                (Value.to_string v)
+                (Value.to_string (Frame.get parsed i j)))
+            offline_row)
+        offline_sql.Sqlexec.Exec.rows)
+    results;
+  (* STATS agrees with what the clients sent *)
+  Service.Client.with_connection addr (fun c ->
+      match Service.Client.request_exn c P.Stats with
+      | P.Stats_reply { commands; connections; _ } ->
+        let count name =
+          match List.find_opt (fun s -> s.P.command = name) commands with
+          | Some s -> s.P.count
+          | None -> 0
+        in
+        Alcotest.(check int) "DETECT count" n_clients (count "DETECT");
+        Alcotest.(check int) "SQL count" n_clients (count "SQL");
+        Alcotest.(check int) "no errors" 0
+          (List.fold_left (fun n s -> n + s.P.errors) 0 commands);
+        Alcotest.(check bool) "connections >= clients" true
+          (connections >= n_clients)
+      | _ -> Alcotest.fail "expected stats");
+  Service.Server.stop server;
+  Domain.join runner
+
+let test_loopback_malformed_keeps_serving () =
+  let registry = Service.Registry.create () in
+  let server, addr, runner = start_server ~pool_size:2 registry in
+  (* raw garbage payload inside a valid frame: the server must answer with
+     an error and keep the connection serving *)
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.connect fd addr;
+  P.write_frame fd "\xde\xad\xbe\xef";
+  (match P.read_frame fd with
+   | Some payload ->
+     (match P.decode_response payload with
+      | P.Error_reply _ -> ()
+      | _ -> Alcotest.fail "expected error reply to garbage")
+   | None -> Alcotest.fail "connection died on garbage");
+  (* same connection still works *)
+  P.write_frame fd (P.encode_request P.Ping);
+  (match P.read_frame fd with
+   | Some payload ->
+     (match P.decode_response payload with
+      | P.Ok_reply "pong" -> ()
+      | _ -> Alcotest.fail "expected pong after garbage")
+   | None -> Alcotest.fail "connection died after garbage");
+  Unix.close fd;
+  (* a fresh client also still works *)
+  Service.Client.with_connection addr (fun c ->
+      match Service.Client.request_exn c P.Ping with
+      | P.Ok_reply "pong" -> ()
+      | _ -> Alcotest.fail "server wedged after malformed request");
+  let stats = Service.Metrics.snapshot (Service.Server.metrics server) in
+  Alcotest.(check bool) "protocol error counted" true
+    (stats.Service.Metrics.protocol_errors >= 1);
+  Service.Server.stop server;
+  Domain.join runner
+
+let test_loopback_shutdown_drains () =
+  let registry = Service.Registry.create () in
+  let frame = Dataframe.Csv.of_string people_csv in
+  let (_ : Service.Registry.entry) =
+    Service.Registry.load registry ~name:"people" ~program:people_program frame
+  in
+  let server, addr, runner = start_server ~pool_size:2 registry in
+  (* park some requests, then shut down via the protocol *)
+  Service.Client.with_connection addr (fun c ->
+      (match Service.Client.request_exn c (P.Detect { table = "people"; csv = None }) with
+       | P.Detections _ -> ()
+       | _ -> Alcotest.fail "detect failed");
+      match Service.Client.request_exn c P.Shutdown with
+      | P.Shutting_down -> ()
+      | _ -> Alcotest.fail "expected Shutting_down");
+  (* run returns: accept loop stopped and pool drained *)
+  Domain.join runner;
+  ignore server;
+  (* the endpoint is really gone *)
+  Alcotest.(check bool) "connection refused after shutdown" true
+    (match Service.Client.connect addr with
+     | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> true
+     | c ->
+       Service.Client.close c;
+       false)
+
+let test_unix_domain_socket () =
+  let path = Filename.temp_file "guardrail" ".sock" in
+  Unix.unlink path;
+  let registry = Service.Registry.create () in
+  let config =
+    { Service.Server.default_config with
+      Service.Server.pool_size = 1;
+      accept_poll_s = 0.02;
+    }
+  in
+  let server = Service.Server.create ~config registry in
+  let (_ : Unix.sockaddr) = Service.Server.bind server (Unix.ADDR_UNIX path) in
+  let runner = Domain.spawn (fun () -> Service.Server.run server) in
+  let c = Service.Client.connect_unix path in
+  (match Service.Client.request_exn c P.Ping with
+   | P.Ok_reply "pong" -> ()
+   | _ -> Alcotest.fail "unix socket ping failed");
+  Service.Client.close c;
+  Service.Server.stop server;
+  Domain.join runner;
+  Alcotest.(check bool) "socket file removed on shutdown" false
+    (Sys.file_exists path)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+          Alcotest.test_case "truncated rejected" `Quick test_truncated_rejected;
+          Alcotest.test_case "trailing bytes rejected" `Quick
+            test_trailing_bytes_rejected;
+          Alcotest.test_case "bad version/tag" `Quick test_bad_version_and_tag;
+          Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "oversized frame" `Quick test_oversized_frame_rejected;
+          Alcotest.test_case "truncated frame" `Quick test_truncated_frame_rejected;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "submit/await" `Quick test_pool_submit;
+          Alcotest.test_case "map_list" `Quick test_pool_map_list;
+          Alcotest.test_case "exception re-raised" `Quick test_pool_exception;
+          Alcotest.test_case "shutdown drains" `Quick test_pool_shutdown_drains;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "counts" `Quick test_metrics_counts ] );
+      ( "registry",
+        [
+          Alcotest.test_case "load/find/compile-once" `Quick test_registry_load_find;
+          Alcotest.test_case "set_program" `Quick test_registry_set_program;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "errors" `Quick test_dispatch_errors;
+          Alcotest.test_case "detect matches offline" `Quick
+            test_dispatch_detect_matches_offline;
+        ] );
+      ( "loopback",
+        [
+          Alcotest.test_case "concurrent clients" `Quick
+            test_loopback_concurrent_clients;
+          Alcotest.test_case "malformed keeps serving" `Quick
+            test_loopback_malformed_keeps_serving;
+          Alcotest.test_case "shutdown drains" `Quick test_loopback_shutdown_drains;
+          Alcotest.test_case "unix socket" `Quick test_unix_domain_socket;
+        ] );
+    ]
