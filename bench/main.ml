@@ -34,6 +34,11 @@ module Metrics = Stat.Metrics
 
 let fmt_score v = if Float.is_nan v then "  NaN" else Printf.sprintf "%5.3f" v
 
+(* --jobs N (default $GUARDRAIL_JOBS, else 1) parallelises the offline
+   synthesis experiments; the synthesized programs are identical at every
+   job count, only the wall clock moves. *)
+let jobs = ref Guardrail.Config.default.Guardrail.Config.jobs
+
 let header title =
   Printf.printf "\n=== %s %s\n%!" title
     (String.make (max 0 (66 - String.length title)) '=')
@@ -258,21 +263,71 @@ let table3 () =
 (* Table 4: offline synthesis time *)
 
 let table4 () =
-  header "Table 4: processing time for offline synthesis (full dataset size)";
-  Printf.printf "%-4s %-7s %11s %11s %11s %11s %11s %9s\n" "ID" "#Attr"
-    "Total(s)" "sample(s)" "struct(s)" "enum(s)" "fill(s)" "cache-hit";
+  let jobs = !jobs in
+  header
+    (Printf.sprintf
+       "Table 4: processing time for offline synthesis (full size, %d job%s)"
+       jobs
+       (if jobs = 1 then "" else "s"));
+  Printf.printf "%-4s %-7s %11s %11s %11s %11s %11s %9s %8s\n" "ID" "#Attr"
+    "Total(s)" "sample(s)" "struct(s)" "enum(s)" "fill(s)" "cache-hit" "par-x";
+  let pool =
+    if jobs > 1 then Some (Runtime.Pool.create ~size:jobs ()) else None
+  in
+  let run_with ?pool frame = Synthesize.run ?pool frame in
   List.iter
     (fun spec ->
       let p = prepare spec.Spec.id in
-      let r = Synthesize.run p.full in
+      let r = run_with ?pool p.full in
       let t = r.Synthesize.timing in
-      Printf.printf "%-4d %-7d %11.3f %11.3f %11.3f %11.3f %11.3f %8d%%\n%!"
+      Printf.printf
+        "%-4d %-7d %11.3f %11.3f %11.3f %11.3f %11.3f %8d%% %7.2fx\n%!"
         spec.Spec.id spec.Spec.n_attrs (Synthesize.total_time t)
         t.Synthesize.sampling_s t.Synthesize.structure_s
         t.Synthesize.enumeration_s t.Synthesize.fill_s
         (let total = r.Synthesize.cache_hits + r.Synthesize.cache_misses in
-         if total = 0 then 0 else 100 * r.Synthesize.cache_hits / total))
-    Spec.all
+         if total = 0 then 0 else 100 * r.Synthesize.cache_hits / total)
+        (Synthesize.structure_speedup t))
+    Spec.all;
+  (* parallel-vs-sequential check on the largest Table 2 dataset: the
+     programs must be bit-identical; the wall clock is the benchmark *)
+  (match pool with
+   | None -> ()
+   | Some pool ->
+     let largest =
+       List.fold_left
+         (fun a (b : Spec.t) -> if b.Spec.n_rows > a.Spec.n_rows then b else a)
+         (List.hd Spec.all) (List.tl Spec.all)
+     in
+     let p = prepare largest.Spec.id in
+     Printf.printf
+       "\nDeterminism + speedup check on %s (%d rows), jobs 1 vs %d:\n%!"
+       largest.Spec.name largest.Spec.n_rows jobs;
+     let time f =
+       let t0 = Unix.gettimeofday () in
+       let r = f () in
+       (r, Unix.gettimeofday () -. t0)
+     in
+     let seq, seq_s = time (fun () -> run_with p.full) in
+     let par, par_s = time (fun () -> run_with ~pool p.full) in
+     let same_prog =
+       String.equal
+         (Guardrail.Pretty.prog_to_string seq.Synthesize.program)
+         (Guardrail.Pretty.prog_to_string par.Synthesize.program)
+     in
+     let same =
+       same_prog
+       && seq.Synthesize.coverage = par.Synthesize.coverage
+       && seq.Synthesize.dag_count = par.Synthesize.dag_count
+       && seq.Synthesize.cache_hits = par.Synthesize.cache_hits
+       && seq.Synthesize.cache_misses = par.Synthesize.cache_misses
+     in
+     Printf.printf
+       "  jobs 1: %.3fs   jobs %d: %.3fs   wall speedup %.2fx   bit-identical: %s\n%!"
+       seq_s jobs par_s
+       (if par_s > 0.0 then seq_s /. par_s else 1.0)
+       (if same then "yes" else "NO (BUG)"));
+  Option.iter Runtime.Pool.shutdown pool
 
 (* ------------------------------------------------------------------ *)
 (* Table 5: mis-prediction detection *)
@@ -509,9 +564,7 @@ let table8 () =
       let aux = Synthesize.run p.full in
       let ident =
         Synthesize.run
-          ~config:
-            (Guardrail.Config.with_sampler Guardrail.Config.Identity
-               Guardrail.Config.default)
+          ~config:(Guardrail.Config.make ~sampler:Guardrail.Config.Identity ())
           p.full
       in
       let aux_cov = normalized_coverage p.full aux in
@@ -555,7 +608,7 @@ let fig7 () =
       Printf.printf "%-4d" spec.Spec.id;
       List.iter
         (fun epsilon ->
-          let config = Guardrail.Config.with_epsilon epsilon Guardrail.Config.default in
+          let config = Guardrail.Config.make ~epsilon () in
           let r = Synthesize.run ~config frame in
           let loss = Guardrail.Semantics.prog_loss frame r.Synthesize.program in
           let supported =
@@ -693,8 +746,7 @@ let structure () =
         time (fun () ->
             Synthesize.run
               ~config:
-                (Guardrail.Config.with_structure Guardrail.Config.Hill_climb
-                   Guardrail.Config.default)
+                (Guardrail.Config.make ~structure:Guardrail.Config.Hill_climb ())
               frame)
       in
       Printf.printf "%-4d %14.3f %14.3f %12.3f %12.3f\n%!" spec.Spec.id
@@ -846,10 +898,29 @@ let experiments =
   ]
 
 let () =
+  (* strip a --jobs N (or --jobs=N) flag; remaining args name experiments *)
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some j when j >= 1 -> jobs := j
+       | _ ->
+         Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+         exit 2);
+      parse_args acc rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      (match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+       | Some j when j >= 1 -> jobs := j
+       | _ ->
+         Printf.eprintf "bad flag %S\n" arg;
+         exit 2);
+      parse_args acc rest
+    | arg :: rest -> parse_args (arg :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match parse_args [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | names -> names
   in
   let t0 = Unix.gettimeofday () in
   List.iter

@@ -29,16 +29,14 @@ let load_constraints frame path =
 (* ------------------------------------------------------------------ *)
 (* synthesize *)
 
-let synthesize csv_path output epsilon alpha identity_sampler quiet =
+let synthesize csv_path output epsilon alpha identity_sampler jobs quiet =
   let frame = Dataframe.Csv.load csv_path in
   let config =
-    { Guardrail.Config.default with
-      Guardrail.Config.epsilon;
-      alpha;
-      sampler =
+    Guardrail.Config.make ~epsilon ~alpha
+      ~sampler:
         (if identity_sampler then Guardrail.Config.Identity
-         else Guardrail.Config.Auxiliary);
-    }
+         else Guardrail.Config.Auxiliary)
+      ?jobs ()
   in
   let result = Guardrail.Synthesize.run ~config frame in
   let text = Guardrail.Pretty.prog_to_string result.Guardrail.Synthesize.program in
@@ -53,6 +51,13 @@ let synthesize csv_path output epsilon alpha identity_sampler quiet =
       result.Guardrail.Synthesize.dag_count
       (if result.Guardrail.Synthesize.truncated then ", truncated" else "")
       (Guardrail.Synthesize.total_time result.Guardrail.Synthesize.timing);
+  if (not quiet) && result.Guardrail.Synthesize.timing.Guardrail.Synthesize.jobs > 1
+  then
+    Printf.eprintf "parallel: %d jobs, struct speedup %.2fx, fill speedup %.2fx\n"
+      result.Guardrail.Synthesize.timing.Guardrail.Synthesize.jobs
+      (Guardrail.Synthesize.structure_speedup
+         result.Guardrail.Synthesize.timing)
+      (Guardrail.Synthesize.fill_speedup result.Guardrail.Synthesize.timing);
   0
 
 (* ------------------------------------------------------------------ *)
@@ -384,10 +389,21 @@ let synthesize_cmd =
       & info [ "identity-sampler" ]
           ~doc:"Learn on raw codes instead of the auxiliary distribution (ablation).")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the synthesis pipeline (defaults to \
+                \\$GUARDRAIL_JOBS, else 1). The result is identical at \
+                every job count.")
+  in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the summary.") in
   Cmd.v
     (Cmd.info "synthesize" ~doc:"Synthesize integrity constraints from a CSV dataset.")
-    Term.(const synthesize $ csv_arg $ output_arg $ epsilon $ alpha $ identity $ quiet)
+    Term.(
+      const synthesize $ csv_arg $ output_arg $ epsilon $ alpha $ identity
+      $ jobs $ quiet)
 
 let detect_cmd =
   Cmd.v

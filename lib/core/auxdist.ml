@@ -51,7 +51,7 @@ let circular_shift ?(max_shifts = 7) ?(max_samples = 60_000) frame cols =
     columns;
     cards = List.init m (fun _ -> 2);
     n_samples = total;
-    design_scale = 1.0;  (* callers may deflate via Independence.ci_test's stat_scale *)
+    design_scale = 1.0;  (* callers may deflate via Stat.Ci's stat_scale *)
   }
 
 (* The identity "sampler": raw dictionary codes, used by the Table 8
@@ -73,12 +73,17 @@ let identity frame cols =
    independent of variable j given the variables in [cond]? *)
 let ci_oracle ?(alpha = 0.01) ?(max_strata = 4096) ?(min_effect = 0.0) samples =
   let cards = Array.of_list samples.cards in
+  (* one validated spec per variable pair; the pure Ci.test below is safe
+     to call from several domains at once (parallel PC skeleton) *)
+  let spec =
+    Stat.Ci.make ~max_strata ~min_effect ~stat_scale:samples.design_scale
+      ~alpha ~kx:2 ~ky:2 ()
+  in
   fun i j cond ->
+    let spec = { spec with Stat.Ci.kx = cards.(i); ky = cards.(j) } in
     let r =
-      Stat.Independence.ci_test ~max_strata ~min_effect
-        ~stat_scale:samples.design_scale ~alpha ~kx:cards.(i) ~ky:cards.(j)
-        samples.columns.(i) samples.columns.(j)
+      Stat.Ci.test spec samples.columns.(i) samples.columns.(j)
         (List.map (fun k -> samples.columns.(k)) cond)
         (List.map (fun k -> cards.(k)) cond)
     in
-    r.Stat.Independence.independent
+    r.Stat.Ci.independent

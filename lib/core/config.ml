@@ -21,29 +21,71 @@ type t = {
   sampler : sampler;
   structure : structure;  (* sketch-learning strategy *)
   max_strata : int;       (* CI-test stratum cap (identity sampler suffers here) *)
+  jobs : int;             (* worker domains for the parallel pipeline *)
 }
 
-let default =
+(* GUARDRAIL_JOBS seeds the default parallelism, so the whole binary
+   (CLI, bench, test suite) switches to the parallel pipeline without
+   touching every call site. Results are identical either way — the
+   pipeline is deterministic across job counts. *)
+let env_jobs () =
+  match Sys.getenv_opt "GUARDRAIL_JOBS" with
+  | None -> 1
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ -> 1)
+
+let make ?(epsilon = 0.05) ?(alpha = 0.01) ?(max_cond = 2) ?(max_dags = 512)
+    ?(max_shifts = 11) ?(max_samples = 120_000) ?(min_support = 2)
+    ?(min_effect = 0.02) ?(sampler = Auxiliary) ?(structure = Pc_mec)
+    ?(max_strata = 4096) ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> env_jobs () in
+  if not (epsilon >= 0.0 && epsilon < 1.0) then
+    invalid_arg "Config.make: epsilon must be in [0, 1)";
+  if not (alpha > 0.0 && alpha < 1.0) then
+    invalid_arg "Config.make: alpha must be in (0, 1)";
+  if max_cond < 0 then invalid_arg "Config.make: max_cond must be >= 0";
+  if max_dags < 1 then invalid_arg "Config.make: max_dags must be >= 1";
+  if max_shifts < 1 then invalid_arg "Config.make: max_shifts must be >= 1";
+  if max_samples < 1 then invalid_arg "Config.make: max_samples must be >= 1";
+  if min_support < 1 then invalid_arg "Config.make: min_support must be >= 1";
+  if min_effect < 0.0 then invalid_arg "Config.make: min_effect must be >= 0";
+  if max_strata < 1 then invalid_arg "Config.make: max_strata must be >= 1";
+  if jobs < 1 then invalid_arg "Config.make: jobs must be >= 1";
   {
-    epsilon = 0.05;
-    alpha = 0.01;
-    max_cond = 2;
-    max_dags = 512;
-    max_shifts = 11;
-    max_samples = 120_000;
-    min_support = 2;
-    min_effect = 0.02;
-    sampler = Auxiliary;
-    structure = Pc_mec;
-    max_strata = 4096;
+    epsilon;
+    alpha;
+    max_cond;
+    max_dags;
+    max_shifts;
+    max_samples;
+    min_support;
+    min_effect;
+    sampler;
+    structure;
+    max_strata;
+    jobs;
   }
 
+let default = make ()
+
 let with_epsilon epsilon t = { t with epsilon }
+let with_alpha alpha t = { t with alpha }
+let with_max_cond max_cond t = { t with max_cond }
+let with_max_dags max_dags t = { t with max_dags }
+let with_max_shifts max_shifts t = { t with max_shifts }
+let with_max_samples max_samples t = { t with max_samples }
+let with_min_support min_support t = { t with min_support }
+let with_min_effect min_effect t = { t with min_effect }
 let with_sampler sampler t = { t with sampler }
 let with_structure structure t = { t with structure }
+let with_max_strata max_strata t = { t with max_strata }
+let with_jobs jobs t = { t with jobs }
 
 let pp ppf t =
   Fmt.pf ppf
-    "{epsilon=%.3f; alpha=%.3f; max_cond=%d; max_dags=%d; sampler=%s}"
+    "{epsilon=%.3f; alpha=%.3f; max_cond=%d; max_dags=%d; sampler=%s; jobs=%d}"
     t.epsilon t.alpha t.max_cond t.max_dags
     (match t.sampler with Auxiliary -> "auxiliary" | Identity -> "identity")
+    t.jobs

@@ -97,10 +97,16 @@ let fill_stmt_sketch ?(min_support = 1) frame ~epsilon (sk : Sketch.stmt_sketch)
   end
 
 (* Fill a whole program sketch (Alg. 1, lines 1-6): statements whose
-   sketch yields no valid branch are dropped. *)
-let fill_prog_sketch ?min_support frame ~epsilon (p : Sketch.prog_sketch) =
+   sketch yields no valid branch are dropped. Statement fills are
+   independent of one another, so with a pool they fan out across
+   domains; [parmap] preserves sketch order, keeping the result
+   identical at every pool size. *)
+let fill_prog_sketch ?min_support ?pool frame ~epsilon (p : Sketch.prog_sketch) =
   let filled =
-    List.filter_map (fill_stmt_sketch ?min_support frame ~epsilon) p
+    List.filter_map Fun.id
+      (Runtime.Pool.parmap ?pool ~chunk:1
+         (fill_stmt_sketch ?min_support frame ~epsilon)
+         p)
   in
   let stmts = List.map (fun f -> f.stmt) filled in
   (Dsl.prog ~schema:(Frame.schema frame) stmts, filled)

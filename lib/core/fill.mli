@@ -16,9 +16,12 @@ val fill_stmt_sketch :
   Sketch.stmt_sketch ->
   filled option
 
-(** Fill a whole sketch; statements with no ε-valid branch are dropped. *)
+(** Fill a whole sketch; statements with no ε-valid branch are dropped.
+    With [pool], statement fills run across the pool's domains; the
+    result is identical at every pool size. *)
 val fill_prog_sketch :
   ?min_support:int ->
+  ?pool:Runtime.Pool.t ->
   Dataframe.Frame.t ->
   epsilon:float ->
   Sketch.prog_sketch ->

@@ -97,12 +97,15 @@ let gnt_violations ?(alpha = 0.01) ?(max_strata = 4096) frame (p : prog_sketch) 
                   (fun c -> Dataframe.Column.cardinality (Frame.column frame c))
                   cond_cols
               in
+              let spec =
+                Stat.Ci.make ~max_strata ~alpha ~kx
+                  ~ky:(Dataframe.Column.cardinality on_col) ()
+              in
               let r =
-                Stat.Independence.ci_test ~max_strata ~alpha ~kx
-                  ~ky:(Dataframe.Column.cardinality on_col) xs
+                Stat.Ci.test spec xs
                   (Dataframe.Column.codes on_col) cond_codes cond_cards
               in
-              if r.Stat.Independence.independent then
+              if r.Stat.Ci.independent then
                 violations := (s, s') :: !violations
             end
           end)

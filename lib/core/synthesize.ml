@@ -11,7 +11,17 @@
 
    Statement-level cache: distinct DAGs of one MEC share most parent sets,
    so concretized statements are memoized on (given, on) — the
-   implementation optimization described in paper §7. *)
+   implementation optimization described in paper §7.
+
+   Parallelism: with a {!Runtime.Pool} (passed explicitly or created from
+   [config.jobs]), the two expensive phases fan out across domains — the
+   PC skeleton batches each conditioning-level's CI tests behind a round
+   barrier (stable-PC schedule, see {!Pgm.Pc}), and the HAVING fill runs
+   one task per *distinct* statement sketch of the MEC. Both
+   decompositions are order-preserving over pure work, and the cache
+   counters are derived from the sketch key sequence rather than from
+   execution interleaving, so the pipeline returns bit-identical
+   programs, coverage and counters at any pool size. *)
 
 module Frame = Dataframe.Frame
 
@@ -24,6 +34,9 @@ type timing = {
   structure_s : float;
   enumeration_s : float;
   fill_s : float;
+  structure_work_s : float;
+  fill_work_s : float;
+  jobs : int;
 }
 
 type result = {
@@ -40,7 +53,27 @@ type result = {
 
 let total_time t = t.sampling_s +. t.structure_s +. t.enumeration_s +. t.fill_s
 
+let speedup ~wall ~work = if wall > 0.0 then work /. wall else 1.0
+
+let structure_speedup t = speedup ~wall:t.structure_s ~work:t.structure_work_s
+let fill_speedup t = speedup ~wall:t.fill_s ~work:t.fill_work_s
+
 let now () = Unix.gettimeofday ()
+
+(* Lock-free accumulation of per-task work seconds across domains. Only
+   feeds the timing report; the synthesized program never depends on it. *)
+let add_work acc dt =
+  let rec go () =
+    let old = Atomic.get acc in
+    if not (Atomic.compare_and_set acc old (old +. dt)) then go ()
+  in
+  go ()
+
+let timed_task acc f x =
+  let t0 = now () in
+  let r = f x in
+  add_work acc (now () -. t0);
+  r
 
 (* Columns eligible for constraint synthesis: categorical, non-constant,
    and of manageable cardinality relative to the data size. *)
@@ -52,7 +85,20 @@ let eligible_columns frame =
       k >= 2 && k <= max 2 (Frame.nrows frame / 2))
     (Frame.categorical_indices frame)
 
-let learn_cpdag ?(config = Config.default) frame cols =
+(* The pool actually used for a run: an explicit [pool] wins; otherwise
+   [config.jobs] > 1 spins up a transient pool torn down with the run. *)
+let with_pool ?pool (config : Config.t) f =
+  match pool with
+  | Some p -> f (Some p)
+  | None ->
+    if config.Config.jobs < 2 then f None
+    else begin
+      let p = Runtime.Pool.create ~size:config.Config.jobs () in
+      Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown p) (fun () ->
+          f (Some p))
+    end
+
+let learn_cpdag ?(config = Config.default) ?pool frame cols =
   let samples =
     match config.Config.sampler with
     | Config.Auxiliary ->
@@ -65,12 +111,16 @@ let learn_cpdag ?(config = Config.default) frame cols =
       ~max_strata:config.Config.max_strata
       ~min_effect:config.Config.min_effect samples
   in
-  let cpdag, _sepsets =
-    Pgm.Pc.cpdag ~n:(List.length cols) ~max_cond:config.Config.max_cond oracle
-  in
-  cpdag
+  with_pool ?pool config (fun pool ->
+      let cpdag, _sepsets =
+        Pgm.Pc.cpdag ~n:(List.length cols) ~max_cond:config.Config.max_cond
+          ?pool oracle
+      in
+      cpdag)
 
-let run ?(config = Config.default) frame =
+let run ?(config = Config.default) ?pool frame =
+  with_pool ?pool config @@ fun pool ->
+  let n_jobs = match pool with Some p -> Runtime.Pool.size p | None -> 1 in
   let cols = eligible_columns frame in
   let n_vars = List.length cols in
   let var_to_col = Array.of_list cols in
@@ -83,16 +133,20 @@ let run ?(config = Config.default) frame =
     | Config.Auxiliary | Config.Identity -> Auxdist.identity frame cols
   in
   let t1 = now () in
-  let oracle =
+  let structure_work = Atomic.make 0.0 in
+  let base_oracle =
     Auxdist.ci_oracle ~alpha:config.Config.alpha
       ~max_strata:config.Config.max_strata
       ~min_effect:config.Config.min_effect samples
+  in
+  let oracle i j cond =
+    timed_task structure_work (fun () -> base_oracle i j cond) ()
   in
   let cpdag, dags, truncated, t2, t3 =
     match config.Config.structure with
     | Config.Pc_mec ->
       let cpdag, _ =
-        Pgm.Pc.cpdag ~n:n_vars ~max_cond:config.Config.max_cond oracle
+        Pgm.Pc.cpdag ~n:n_vars ~max_cond:config.Config.max_cond ?pool oracle
       in
       let t2 = now () in
       let dags, truncated =
@@ -114,31 +168,55 @@ let run ?(config = Config.default) frame =
       let t2 = now () in
       (Pgm.Pdag.of_dag dag, [ dag ], false, t2, t2)
   in
-  (* Algorithm 2 main loop with the statement-level cache. *)
+  (* Algorithm 2 main loop. The statement-level cache is made explicit:
+     walk the per-DAG sketch key sequence once to (a) count the hits and
+     misses the sequential memoized loop would have seen — a pure
+     function of the sequence, not of scheduling — and (b) collect the
+     distinct sketches in first-seen order. Each distinct sketch is then
+     filled exactly once, fanned out across the pool. *)
+  let sketches =
+    List.map
+      (fun dag -> Sketch.of_dag ~var_to_col:(fun i -> var_to_col.(i)) dag)
+      dags
+  in
+  let hits = ref 0 and misses = ref 0 in
+  let seen : (int list * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let distinct = ref [] in
+  List.iter
+    (List.iter (fun (sk : Sketch.stmt_sketch) ->
+         let key = (sk.Sketch.given, sk.Sketch.on) in
+         if Hashtbl.mem seen key then incr hits
+         else begin
+           incr misses;
+           Hashtbl.add seen key ();
+           distinct := sk :: !distinct
+         end))
+    sketches;
+  let distinct = List.rev !distinct in
+  let fill_work = Atomic.make 0.0 in
+  let filled_distinct =
+    Runtime.Pool.parmap ?pool ~chunk:1
+      (timed_task fill_work
+         (Fill.fill_stmt_sketch ~min_support:config.Config.min_support frame
+            ~epsilon:config.Config.epsilon))
+      distinct
+  in
   let cache : (int list * int, Fill.filled option) Hashtbl.t =
     Hashtbl.create 64
   in
-  let hits = ref 0 and misses = ref 0 in
-  let fill_cached (sk : Sketch.stmt_sketch) =
-    let key = (sk.Sketch.given, sk.Sketch.on) in
-    match Hashtbl.find_opt cache key with
-    | Some r ->
-      incr hits;
-      r
-    | None ->
-      incr misses;
-      let r =
-        Fill.fill_stmt_sketch ~min_support:config.Config.min_support frame
-          ~epsilon:config.Config.epsilon sk
-      in
-      Hashtbl.add cache key r;
-      r
-  in
+  List.iter2
+    (fun (sk : Sketch.stmt_sketch) r ->
+      Hashtbl.replace cache (sk.Sketch.given, sk.Sketch.on) r)
+    distinct filled_distinct;
   let best = ref (Dsl.empty (Frame.schema frame), -1.0) in
   List.iter
-    (fun dag ->
-      let sketch = Sketch.of_dag ~var_to_col:(fun i -> var_to_col.(i)) dag in
-      let filled = List.filter_map fill_cached sketch in
+    (fun sketch ->
+      let filled =
+        List.filter_map
+          (fun (sk : Sketch.stmt_sketch) ->
+            Hashtbl.find cache (sk.Sketch.given, sk.Sketch.on))
+          sketch
+      in
       let stmts = List.map (fun f -> f.Fill.stmt) filled in
       let coverage =
         match filled with
@@ -149,13 +227,13 @@ let run ?(config = Config.default) frame =
       in
       if coverage > snd !best then
         best := (Dsl.prog ~schema:(Frame.schema frame) stmts, coverage))
-    dags;
+    sketches;
   let t4 = now () in
   let program, coverage = !best in
   let coverage = Float.max coverage 0.0 in
   Log.info (fun m ->
-      m "synthesized %d statements, coverage %.3f (%d cache hits / %d misses)"
-        (Dsl.stmt_count program) coverage !hits !misses);
+      m "synthesized %d statements, coverage %.3f (%d cache hits / %d misses, %d jobs)"
+        (Dsl.stmt_count program) coverage !hits !misses n_jobs);
   {
     program;
     coverage;
@@ -171,5 +249,8 @@ let run ?(config = Config.default) frame =
         structure_s = t2 -. t1;
         enumeration_s = t3 -. t2;
         fill_s = t4 -. t3;
+        structure_work_s = Atomic.get structure_work;
+        fill_work_s = Atomic.get fill_work;
+        jobs = n_jobs;
       };
   }

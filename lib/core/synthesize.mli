@@ -1,10 +1,20 @@
-(** End-to-end synthesis (paper Fig. 4 + Algorithm 2). *)
+(** End-to-end synthesis (paper Fig. 4 + Algorithm 2).
+
+    The pipeline is deterministic across worker counts: {!run} with any
+    [pool] size (or none) returns bit-identical [program], [coverage],
+    [dag_count] and cache counters — the PC skeleton runs the stable-PC
+    round-barrier schedule and the HAVING fill fans out over the
+    distinct statement sketches in a fixed order. Only the [timing]
+    fields vary with parallelism. *)
 
 type timing = {
-  sampling_s : float;
-  structure_s : float;
-  enumeration_s : float;
-  fill_s : float;
+  sampling_s : float;        (** auxiliary-sampling wall time *)
+  structure_s : float;       (** PC / hill-climb wall time *)
+  enumeration_s : float;     (** MEC enumeration wall time *)
+  fill_s : float;            (** HAVING-fill + scoring wall time *)
+  structure_work_s : float;  (** summed CI-test time across workers *)
+  fill_work_s : float;       (** summed statement-fill time across workers *)
+  jobs : int;                (** worker domains the run used *)
 }
 
 type result = {
@@ -21,12 +31,25 @@ type result = {
 
 val total_time : timing -> float
 
+(** Work-over-wall ratios of the two parallel phases: ~[jobs] when the
+    fan-out scales, ~1 when it doesn't (or when running sequentially). *)
+val structure_speedup : timing -> float
+
+val fill_speedup : timing -> float
+
 (** Categorical, non-constant columns of tractable cardinality. *)
 val eligible_columns : Dataframe.Frame.t -> int list
 
-(** Structure-learning phase only (used by ablations). *)
+(** Structure-learning phase only (used by ablations). With [pool], the
+    PC skeleton's CI tests run across the pool's domains. *)
 val learn_cpdag :
-  ?config:Config.t -> Dataframe.Frame.t -> int list -> Pgm.Pdag.t
+  ?config:Config.t ->
+  ?pool:Runtime.Pool.t ->
+  Dataframe.Frame.t ->
+  int list ->
+  Pgm.Pdag.t
 
-(** Full pipeline with the defaults of {!Config.default}. *)
-val run : ?config:Config.t -> Dataframe.Frame.t -> result
+(** Full pipeline with the defaults of {!Config.default}. An explicit
+    [pool] overrides [config.jobs]; otherwise [config.jobs > 1] spins up
+    a transient pool for the run. *)
+val run : ?config:Config.t -> ?pool:Runtime.Pool.t -> Dataframe.Frame.t -> result

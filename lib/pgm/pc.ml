@@ -1,4 +1,4 @@
-(* The PC algorithm (Spirtes-Glymour-Scheines).
+(* The PC algorithm (Spirtes-Glymour-Scheines), stable-PC schedule.
 
    Input: a conditional-independence oracle over variables 0 .. n-1.
    Output: the CPDAG of the Markov equivalence class.
@@ -12,9 +12,19 @@
                     when k is not in sepset(i, j).
      3. Meek      - propagate with rules R1-R4.
 
+   The skeleton phase runs the *stable-PC* schedule (Colombo & Maathuis):
+   the adjacency structure is frozen at the start of each
+   conditioning-set level and every edge of the level is tested against
+   that snapshot; removals apply at the round barrier. The outcome is
+   therefore independent of the order edges are tested in — which is
+   what lets the level's CI tests fan out across a {!Runtime.Pool}
+   without changing the result: any pool size (including none) yields
+   the same skeleton and separating sets.
+
    The oracle [indep i j cond] answers "is a_i independent of a_j given
    cond?". The data-driven oracle lives in lib/stat; tests also use exact
-   d-separation oracles from Dsep. *)
+   d-separation oracles from Dsep. With a pool, the oracle is called from
+   several domains at once and must be pure on shared state. *)
 
 type sepsets = (int * int, int list) Hashtbl.t
 
@@ -32,39 +42,42 @@ let rec subsets_of_size k items =
       let with_x = List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest) in
       with_x @ subsets_of_size k rest
 
-let skeleton ~n ?(max_cond = 3) indep =
+let skeleton ~n ?(max_cond = 3) ?pool indep =
   let g = Pdag.complete n in
   let sepsets : sepsets = Hashtbl.create 64 in
   let level = ref 0 in
   let continue = ref true in
   while !continue && !level <= max_cond do
     let l = !level in
-    (* any node with enough neighbours to test at this level? *)
-    let worth_continuing = ref false in
+    (* Round barrier: snapshot adjacency once, test every surviving edge
+       against the snapshot, then apply all removals. *)
+    let adj = Array.init n (Pdag.neighbors g) in
     let edges = Pdag.undirected_edges g in
-    List.iter
-      (fun (i, j) ->
-        if Pdag.has_undirected g i j then begin
-          let adj_i = List.filter (fun x -> x <> j) (Pdag.neighbors g i) in
-          let adj_j = List.filter (fun x -> x <> i) (Pdag.neighbors g j) in
-          if List.length adj_i > l || List.length adj_j > l then
-            worth_continuing := true;
-          let candidates =
-            subsets_of_size l adj_i
-            @ (if l > 0 then subsets_of_size l adj_j else [])
-          in
-          let rec try_sets = function
-            | [] -> ()
-            | s :: rest ->
-              if indep i j s then begin
-                Pdag.remove_edge g i j;
-                Hashtbl.replace sepsets (sepset_key i j) s
-              end
-              else try_sets rest
-          in
-          try_sets candidates
-        end)
-      edges;
+    let test_edge (i, j) =
+      let adj_i = List.filter (fun x -> x <> j) adj.(i) in
+      let adj_j = List.filter (fun x -> x <> i) adj.(j) in
+      let deeper = List.length adj_i > l || List.length adj_j > l in
+      let candidates =
+        subsets_of_size l adj_i
+        @ (if l > 0 then subsets_of_size l adj_j else [])
+      in
+      let rec try_sets = function
+        | [] -> None
+        | s :: rest -> if indep i j s then Some s else try_sets rest
+      in
+      (deeper, try_sets candidates)
+    in
+    let outcomes = Runtime.Pool.parmap ?pool test_edge edges in
+    let worth_continuing = ref false in
+    List.iter2
+      (fun (i, j) (deeper, sep) ->
+        if deeper then worth_continuing := true;
+        match sep with
+        | Some s ->
+          Pdag.remove_edge g i j;
+          Hashtbl.replace sepsets (sepset_key i j) s
+        | None -> ())
+      edges outcomes;
     continue := !worth_continuing;
     incr level
   done;
@@ -92,8 +105,8 @@ let orient_v_structures g sepsets =
       nbrs
   done
 
-let cpdag ~n ?max_cond indep =
-  let g, sepsets = skeleton ~n ?max_cond indep in
+let cpdag ~n ?max_cond ?pool indep =
+  let g, sepsets = skeleton ~n ?max_cond ?pool indep in
   orient_v_structures g sepsets;
   ignore (Meek.close g);
   (g, sepsets)

@@ -1,126 +1,6 @@
-(* Fixed-size OCaml 5 Domain worker pool with a mutex/condition work
-   queue. The serving hot paths (detect/rectify/SQL) do no CI testing and
-   share no mutable state, so they parallelise across domains; the pool
-   bounds how many run at once.
+(* Re-export of the shared Domain worker pool. The implementation moved
+   to lib/runtime so the offline synthesis pipeline (lib/core, lib/pgm)
+   can parallelise on the same primitive; the serving daemon's API is
+   unchanged. *)
 
-   Shutdown is graceful by construction: [shutdown] refuses new jobs but
-   workers keep draining the queue, so everything accepted before the
-   shutdown request still runs to completion. *)
-
-exception Stopped
-
-type t = {
-  mutex : Mutex.t;
-  nonempty : Condition.t;      (* queue gained a job, or stopping *)
-  idle : Condition.t;          (* queue empty and no job running *)
-  jobs : (unit -> unit) Queue.t;
-  mutable stopping : bool;
-  mutable active : int;        (* jobs currently executing *)
-  mutable domains : unit Domain.t array;
-}
-
-let size t = Array.length t.domains
-
-let worker t () =
-  let rec loop () =
-    Mutex.lock t.mutex;
-    while Queue.is_empty t.jobs && not t.stopping do
-      Condition.wait t.nonempty t.mutex
-    done;
-    if Queue.is_empty t.jobs then begin
-      (* stopping and drained *)
-      Mutex.unlock t.mutex;
-      ()
-    end
-    else begin
-      let job = Queue.pop t.jobs in
-      t.active <- t.active + 1;
-      Mutex.unlock t.mutex;
-      (try job () with _ -> ());
-      Mutex.lock t.mutex;
-      t.active <- t.active - 1;
-      if Queue.is_empty t.jobs && t.active = 0 then Condition.broadcast t.idle;
-      Mutex.unlock t.mutex;
-      loop ()
-    end
-  in
-  loop ()
-
-let create ?(size = 4) () =
-  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
-  let t =
-    {
-      mutex = Mutex.create ();
-      nonempty = Condition.create ();
-      idle = Condition.create ();
-      jobs = Queue.create ();
-      stopping = false;
-      active = 0;
-      domains = [||];
-    }
-  in
-  t.domains <- Array.init size (fun _ -> Domain.spawn (worker t));
-  t
-
-let post t job =
-  Mutex.lock t.mutex;
-  if t.stopping then begin
-    Mutex.unlock t.mutex;
-    raise Stopped
-  end;
-  Queue.push job t.jobs;
-  Condition.signal t.nonempty;
-  Mutex.unlock t.mutex
-
-(* Futures for callers that need the job's result back. *)
-type 'a state = Pending | Done of 'a | Failed of exn
-
-type 'a future = {
-  fmutex : Mutex.t;
-  fcond : Condition.t;
-  mutable state : 'a state;
-}
-
-let submit t f =
-  let fut = { fmutex = Mutex.create (); fcond = Condition.create (); state = Pending } in
-  let resolve state =
-    Mutex.lock fut.fmutex;
-    fut.state <- state;
-    Condition.broadcast fut.fcond;
-    Mutex.unlock fut.fmutex
-  in
-  post t (fun () ->
-      match f () with
-      | v -> resolve (Done v)
-      | exception e -> resolve (Failed e));
-  fut
-
-let await fut =
-  Mutex.lock fut.fmutex;
-  while (match fut.state with Pending -> true | _ -> false) do
-    Condition.wait fut.fcond fut.fmutex
-  done;
-  let state = fut.state in
-  Mutex.unlock fut.fmutex;
-  match state with
-  | Done v -> v
-  | Failed e -> raise e
-  | Pending -> assert false
-
-let map_list t f xs = List.map await (List.map (fun x -> submit t (fun () -> f x)) xs)
-
-(* Block until every queued job has finished. *)
-let wait_idle t =
-  Mutex.lock t.mutex;
-  while not (Queue.is_empty t.jobs && t.active = 0) do
-    Condition.wait t.idle t.mutex
-  done;
-  Mutex.unlock t.mutex
-
-let shutdown t =
-  Mutex.lock t.mutex;
-  t.stopping <- true;
-  Condition.broadcast t.nonempty;
-  Mutex.unlock t.mutex;
-  Array.iter Domain.join t.domains;
-  t.domains <- [||]
+include Runtime.Pool

@@ -1,35 +1,8 @@
-(** Fixed-size OCaml 5 [Domain] worker pool with a mutex/condition work
-    queue. Jobs must be self-contained; exceptions escaping a {!post}ed
-    job are swallowed, exceptions from a {!submit}ted job re-raise at
-    {!await}. *)
+(** Re-export of {!Runtime.Pool}, the shared [Domain] worker pool. The
+    implementation lives in [lib/runtime] so both the synthesis pipeline
+    and the serving daemon schedule work on the same primitive;
+    [Service.Pool.t] is [Runtime.Pool.t]. *)
 
-type t
-
-(** Raised by {!post}/{!submit} after {!shutdown} began. *)
-exception Stopped
-
-(** Spawn [size] worker domains (default 4; must be >= 1). *)
-val create : ?size:int -> unit -> t
-
-(** Worker count (0 after {!shutdown}). *)
-val size : t -> int
-
-(** Enqueue a fire-and-forget job. *)
-val post : t -> (unit -> unit) -> unit
-
-type 'a future
-
-val submit : t -> (unit -> 'a) -> 'a future
-
-(** Block until the job finishes; re-raises its exception. *)
-val await : 'a future -> 'a
-
-(** Run [f] over every element on the pool, preserving order. *)
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
-
-(** Block until the queue is empty and no job is running. *)
-val wait_idle : t -> unit
-
-(** Refuse new jobs, drain everything already queued, join the workers.
-    Idempotent-ish: a second call joins zero domains. *)
-val shutdown : t -> unit
+include module type of struct
+  include Runtime.Pool
+end

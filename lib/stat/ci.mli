@@ -1,0 +1,50 @@
+(** Conditional-independence testing, spec-record API.
+
+    A {!spec} bundles every parameter of a stratified CI test besides
+    the data itself; build one with {!make} and run it with {!test}.
+    Replaces the eight-argument [Independence.ci_test], which survives
+    as a deprecated wrapper for one release. *)
+
+type statistic = Chi_square | G_test
+
+type result = { stat : float; df : int; p_value : float; independent : bool }
+
+type spec = {
+  kind : statistic;    (** test statistic *)
+  alpha : float;       (** significance level, in (0, 1) *)
+  max_strata : int;    (** conditioning-stratum cap *)
+  min_effect : float;  (** Cramér's-V floor (large-sample guard) *)
+  stat_scale : float;  (** design-effect deflation for non-iid samples *)
+  kx : int;            (** cardinality of the first variable *)
+  ky : int;            (** cardinality of the second variable *)
+}
+
+(** Smart constructor; validates ranges and raises [Invalid_argument]
+    on a spec no test could honour (alpha outside (0, 1), non-positive
+    cardinalities, ...). Defaults: [Chi_square], [max_strata = 4096],
+    [min_effect = 0.0], [stat_scale = 1.0]. *)
+val make :
+  ?kind:statistic ->
+  ?max_strata:int ->
+  ?min_effect:float ->
+  ?stat_scale:float ->
+  alpha:float ->
+  kx:int ->
+  ky:int ->
+  unit ->
+  spec
+
+(** Statistic and degrees of freedom of one table; degenerate tables
+    (fewer than two non-empty rows or columns) contribute [(0., 0)]. *)
+val table_stat : statistic -> Contingency.table -> float * int
+
+(** Cramér's-V-style effect size of a summed statistic. *)
+val effect_size : kx:int -> ky:int -> n:int -> float -> float
+
+(** [test spec xs ys cond_codes cond_cards] is the stratified test of
+    [xs ⊥ ys | cond]. When the stratum space exceeds [spec.max_strata]
+    or carries no signal, reports independence (the PC algorithm then
+    drops the edge) — the failure mode of the identity sampler in
+    Table 8 of the paper. Pure and safe to call concurrently from
+    several domains. *)
+val test : spec -> int array -> int array -> int array list -> int list -> result

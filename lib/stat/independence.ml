@@ -1,51 +1,20 @@
-(* Conditional-independence tests on categorical data.
+(* Independence tests on categorical data.
 
-   The PC algorithm (lib/pgm) asks "is a_i independent of a_j given Z?".
-   We answer with the classical stratified chi-square (or G) test: compute
-   the two-way statistic inside every stratum of Z, sum statistics and
-   degrees of freedom, and compare against the chi-square survival
-   function. Degrees of freedom inside a stratum only count rows/columns
-   with non-zero marginals, which keeps sparse tables honest. *)
+   The stratified conditional test moved to the spec-record API in
+   {!Ci}; this module keeps the unconditional two-way helpers plus a
+   deprecated thin wrapper over the old eight-argument [ci_test]. *)
 
-type statistic = Chi_square | G_test
+type statistic = Ci.statistic = Chi_square | G_test
 
-type result = { stat : float; df : int; p_value : float; independent : bool }
+type result = Ci.result = {
+  stat : float;
+  df : int;
+  p_value : float;
+  independent : bool;
+}
 
-(* Statistic and df of one table; tables with fewer than two non-empty rows
-   or columns contribute nothing. *)
-let table_stat kind (t : Contingency.table) =
-  let rm = Contingency.row_marginals t in
-  let cm = Contingency.col_marginals t in
-  let nz_rows = Array.fold_left (fun a c -> if c > 0 then a + 1 else a) 0 rm in
-  let nz_cols = Array.fold_left (fun a c -> if c > 0 then a + 1 else a) 0 cm in
-  if nz_rows < 2 || nz_cols < 2 || t.total = 0 then (0.0, 0)
-  else begin
-    let n = float_of_int t.total in
-    let stat = ref 0.0 in
-    for x = 0 to t.kx - 1 do
-      if rm.(x) > 0 then
-        for y = 0 to t.ky - 1 do
-          if cm.(y) > 0 then begin
-            let expected = float_of_int rm.(x) *. float_of_int cm.(y) /. n in
-            let observed = float_of_int (Contingency.get t x y) in
-            match kind with
-            | Chi_square ->
-              let d = observed -. expected in
-              stat := !stat +. (d *. d /. expected)
-            | G_test ->
-              if observed > 0.0 then
-                stat := !stat +. (2.0 *. observed *. log (observed /. expected))
-          end
-        done
-    done;
-    (!stat, (nz_rows - 1) * (nz_cols - 1))
-  end
-
-(* Cramér's-V-style effect size from a summed statistic. *)
-let effect_size ~kx ~ky ~n stat =
-  let k = min kx ky in
-  if n <= 0 || k < 2 then 0.0
-  else sqrt (stat /. (float_of_int n *. float_of_int (k - 1)))
+let table_stat = Ci.table_stat
+let effect_size = Ci.effect_size
 
 (* Unconditional test. [min_effect] is an effect-size floor: with very
    large samples, negligible dependencies become statistically
@@ -63,37 +32,12 @@ let test_two_way ?(kind = Chi_square) ?(min_effect = 0.0) ~alpha table =
     { stat; df; p_value; independent = p_value > alpha || effect < min_effect }
   end
 
-(* Conditional test: sum per-stratum statistics and dfs. When the stratum
-   space exceeds [max_strata] (curse of dimensionality), or no stratum has
-   enough data, we conservatively declare independence: with no usable
-   signal, the PC algorithm should not keep an edge. This mirrors the
-   "identity sampler becomes unusable on high-cardinality data" failure
-   mode discussed in the paper's ablation (Table 8). *)
-(* [stat_scale] deflates the summed statistic before significance and
-   effect-size checks — the design-effect correction for non-iid samples
-   (the circular-shift sampler reuses every row once per shift). *)
-let ci_test ?(kind = Chi_square) ?(max_strata = 4096) ?(min_effect = 0.0)
-    ?(stat_scale = 1.0) ~alpha ~kx ~ky xs ys cond_codes cond_cards =
-  match
-    Contingency.conditional ~kx ~ky ~max_strata xs ys cond_codes cond_cards
-  with
-  | None -> { stat = 0.0; df = 0; p_value = 1.0; independent = true }
-  | Some tables ->
-    let stat, df, n =
-      List.fold_left
-        (fun (s, d, n) t ->
-          let s', d' = table_stat kind t in
-          (s +. s', d + d', if d' > 0 then n + t.Contingency.total else n))
-        (0.0, 0, 0) tables
-    in
-    if df = 0 then { stat = 0.0; df = 0; p_value = 1.0; independent = true }
-    else begin
-      let stat = stat *. stat_scale in
-      let n = int_of_float (float_of_int n *. stat_scale) in
-      let p_value = Special.chi2_sf ~df stat in
-      let effect = effect_size ~kx ~ky ~n stat in
-      { stat; df; p_value; independent = p_value > alpha || effect < min_effect }
-    end
+(* Deprecated wrapper over {!Ci.make}/{!Ci.test}; kept for one release. *)
+let ci_test ?kind ?max_strata ?min_effect ?stat_scale ~alpha ~kx ~ky xs ys
+    cond_codes cond_cards =
+  Ci.test
+    (Ci.make ?kind ?max_strata ?min_effect ?stat_scale ~alpha ~kx ~ky ())
+    xs ys cond_codes cond_cards
 
 (* Cramér's V effect size of a two-way table, in [0, 1]. *)
 let cramers_v table =

@@ -1,8 +1,15 @@
-(** Conditional-independence tests on categorical data. *)
+(** Independence tests on categorical data. The stratified conditional
+    test lives in {!Ci}; the aliases below keep existing [Independence]
+    call sites compiling. *)
 
-type statistic = Chi_square | G_test
+type statistic = Ci.statistic = Chi_square | G_test
 
-type result = { stat : float; df : int; p_value : float; independent : bool }
+type result = Ci.result = {
+  stat : float;
+  df : int;
+  p_value : float;
+  independent : bool;
+}
 
 (** Cramér's-V-style effect size of a summed statistic. *)
 val effect_size : kx:int -> ky:int -> n:int -> float -> float
@@ -14,13 +21,8 @@ val effect_size : kx:int -> ky:int -> n:int -> float -> float
 val test_two_way :
   ?kind:statistic -> ?min_effect:float -> alpha:float -> Contingency.table -> result
 
-(** Stratified conditional-independence test of [xs ⊥ ys | cond]. When the
-    conditioning stratum space exceeds [max_strata] or carries no signal,
-    reports independence (the PC algorithm then drops the edge) — the
-    failure mode of the identity sampler in Table 8 of the paper.
-    [stat_scale] deflates the statistic before the significance and effect
-    checks — a design-effect correction for non-iid (e.g. circular-shift)
-    samples. *)
+(** Deprecated thin wrapper over {!Ci.make} and {!Ci.test}, kept for one
+    release so out-of-tree callers can migrate. *)
 val ci_test :
   ?kind:statistic ->
   ?max_strata:int ->
@@ -34,6 +36,7 @@ val ci_test :
   int array list ->
   int list ->
   result
+[@@ocaml.deprecated "use Stat.Ci.test (Stat.Ci.make ... ()) instead"]
 
 (** Cramér's V effect size in [0, 1]. *)
 val cramers_v : Contingency.table -> float

@@ -456,7 +456,7 @@ let test_synthesize_identity_vs_auxiliary () =
   let frame = Frame.of_rows schema rows in
   let aux = Synthesize.run ~config:Config.default frame in
   let ident =
-    Synthesize.run ~config:(Config.with_sampler Config.Identity Config.default) frame
+    Synthesize.run ~config:(Config.make ~sampler:Config.Identity ()) frame
   in
   Alcotest.(check bool) "auxiliary finds structure" true
     (aux.Synthesize.coverage > 0.0);
@@ -504,10 +504,7 @@ let test_report_flags_invalid () =
 
 let test_synthesize_hill_climb () =
   let frame = noisy_postal_frame ~n:3000 () in
-  let config =
-    Guardrail.Config.with_structure Guardrail.Config.Hill_climb
-      Guardrail.Config.default
-  in
+  let config = Guardrail.Config.make ~structure:Guardrail.Config.Hill_climb () in
   let result = Guardrail.Synthesize.run ~config frame in
   Alcotest.(check int) "single DAG, no MEC" 1 result.Synthesize.dag_count;
   Alcotest.(check bool) "finds structure" true

@@ -5,6 +5,7 @@ module Special = Stat.Special
 module Linalg = Stat.Linalg
 module Contingency = Stat.Contingency
 module Independence = Stat.Independence
+module Ci = Stat.Ci
 module Metrics = Stat.Metrics
 module Descriptive = Stat.Descriptive
 
@@ -195,9 +196,7 @@ let test_conditional_independence () =
   let marginal = Independence.test_two_way ~alpha:0.01 t in
   Alcotest.(check bool) "marginally dependent" false marginal.Independence.independent;
   (* conditional independence given z *)
-  let r =
-    Independence.ci_test ~alpha:0.01 ~kx:2 ~ky:2 xs ys [ zs ] [ 2 ]
-  in
+  let r = Ci.test (Ci.make ~alpha:0.01 ~kx:2 ~ky:2 ()) xs ys [ zs ] [ 2 ] in
   Alcotest.(check bool) "conditionally independent" true r.Independence.independent
 
 let test_ci_test_max_strata () =
@@ -207,9 +206,43 @@ let test_ci_test_max_strata () =
   let ys = Array.copy xs in
   let big = Array.init n (fun i -> i) in
   let r =
-    Independence.ci_test ~max_strata:10 ~alpha:0.01 ~kx:2 ~ky:2 xs ys [ big ] [ n ]
+    Ci.test (Ci.make ~max_strata:10 ~alpha:0.01 ~kx:2 ~ky:2 ()) xs ys [ big ] [ n ]
   in
   Alcotest.(check bool) "underpowered -> independent" true r.Independence.independent
+
+let test_ci_make_validates () =
+  let raises f =
+    match f () with
+    | (_ : Ci.spec) -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  raises (fun () -> Ci.make ~alpha:0.0 ~kx:2 ~ky:2 ());
+  raises (fun () -> Ci.make ~alpha:1.5 ~kx:2 ~ky:2 ());
+  raises (fun () -> Ci.make ~alpha:0.01 ~kx:0 ~ky:2 ());
+  raises (fun () -> Ci.make ~alpha:0.01 ~max_strata:0 ~kx:2 ~ky:2 ());
+  raises (fun () -> Ci.make ~alpha:0.01 ~stat_scale:0.0 ~kx:2 ~ky:2 ());
+  raises (fun () -> Ci.make ~alpha:0.01 ~min_effect:(-0.1) ~kx:2 ~ky:2 ())
+
+(* the deprecated eight-argument wrapper must agree with the spec API
+   for its one remaining release *)
+module Deprecated_wrapper = struct
+  [@@@alert "-deprecated"]
+
+  let test () =
+    let rng = Rng.create 11 in
+    let n = 2000 in
+    let xs = Array.init n (fun _ -> Rng.int rng 2) in
+    let ys = Array.init n (fun _ -> Rng.int rng 2) in
+    let zs = Array.init n (fun _ -> Rng.int rng 3) in
+    let old_r =
+      Independence.ci_test ~alpha:0.05 ~kx:2 ~ky:2 xs ys [ zs ] [ 3 ]
+    in
+    let new_r = Ci.test (Ci.make ~alpha:0.05 ~kx:2 ~ky:2 ()) xs ys [ zs ] [ 3 ] in
+    Alcotest.(check (float 0.0)) "same statistic" new_r.Ci.stat old_r.Ci.stat;
+    Alcotest.(check int) "same df" new_r.Ci.df old_r.Ci.df;
+    Alcotest.(check bool) "same verdict" new_r.Ci.independent
+      old_r.Ci.independent
+end
 
 let test_mutual_information () =
   let xs = [| 0; 0; 1; 1 |] in
@@ -355,6 +388,8 @@ let () =
           Alcotest.test_case "detects independence" `Quick test_independence_detects_independence;
           Alcotest.test_case "conditional independence" `Quick test_conditional_independence;
           Alcotest.test_case "stratum cap conservative" `Quick test_ci_test_max_strata;
+          Alcotest.test_case "Ci.make validates" `Quick test_ci_make_validates;
+          Alcotest.test_case "deprecated wrapper agrees" `Quick Deprecated_wrapper.test;
           Alcotest.test_case "mutual information" `Quick test_mutual_information;
           Alcotest.test_case "cramers v" `Quick test_cramers_v;
         ] );
