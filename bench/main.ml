@@ -198,7 +198,10 @@ let table3 () =
       let guardrail =
         run_detector "Guardrail" (fun () ->
             let r = Synthesize.run train in
-            let prog = Validator.rebind r.Synthesize.program (Frame.schema test) in
+            let prog =
+              Validator.compile
+                (Validator.rebind r.Synthesize.program (Frame.schema test))
+            in
             score (Validator.detect prog test))
       in
       let tane =
@@ -275,11 +278,26 @@ let table4 () =
     if jobs > 1 then Some (Runtime.Pool.create ~size:jobs ()) else None
   in
   let run_with ?pool frame = Synthesize.run ?pool frame in
+  let records = ref [] in
   List.iter
     (fun spec ->
       let p = prepare spec.Spec.id in
       let r = run_with ?pool p.full in
       let t = r.Synthesize.timing in
+      records :=
+        Obs.Json.Obj
+          [ ("id", Obs.Json.Num (float_of_int spec.Spec.id));
+            ("name", Obs.Json.Str spec.Spec.name);
+            ("n_attrs", Obs.Json.Num (float_of_int spec.Spec.n_attrs));
+            ("total_s", Obs.Json.Num (Synthesize.total_time t));
+            ("sampling_s", Obs.Json.Num t.Synthesize.sampling_s);
+            ("structure_s", Obs.Json.Num t.Synthesize.structure_s);
+            ("enumeration_s", Obs.Json.Num t.Synthesize.enumeration_s);
+            ("fill_s", Obs.Json.Num t.Synthesize.fill_s);
+            ("cache_hits", Obs.Json.Num (float_of_int r.Synthesize.cache_hits));
+            ( "cache_misses",
+              Obs.Json.Num (float_of_int r.Synthesize.cache_misses) ) ]
+        :: !records;
       Printf.printf
         "%-4d %-7d %11.3f %11.3f %11.3f %11.3f %11.3f %8d%% %7.2fx\n%!"
         spec.Spec.id spec.Spec.n_attrs (Synthesize.total_time t)
@@ -289,6 +307,16 @@ let table4 () =
          if total = 0 then 0 else 100 * r.Synthesize.cache_hits / total)
         (Synthesize.structure_speedup t))
     Spec.all;
+  (* machine-readable per-phase timings (phase totals are span-derived) *)
+  let oc = open_out "BENCH_synth.json" in
+  output_string oc
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [ ("jobs", Obs.Json.Num (float_of_int jobs));
+            ("datasets", Obs.Json.List (List.rev !records)) ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "per-phase timings written to BENCH_synth.json\n%!";
   (* parallel-vs-sequential check on the largest Table 2 dataset: the
      programs must be bit-identical; the wall clock is the benchmark *)
   (match pool with
@@ -345,7 +373,7 @@ let table5 () =
       let corrupted = inj.Corrupt.corrupted in
       let mis = mispredictions model p.test corrupted inj.Corrupt.cells in
       let mis_rows = List.map fst mis in
-      let flags = Validator.detect prog corrupted in
+      let flags = Validator.detect (Validator.compile prog) corrupted in
       let detected_cells =
         List.filter (fun (row, _) -> flags.(row)) inj.Corrupt.cells
       in
@@ -423,6 +451,7 @@ let run_queries p =
   let model = model_for p in
   let synth = constraints_for p in
   let prog = Validator.rebind synth.Synthesize.program (Frame.schema p.test) in
+  let compiled = Validator.compile prog in
   let inj = rq2_injection p prog in
   let queries = Workloads.for_dataset p.built p.test in
   let ctx = Sqlexec.Exec.create () in
@@ -432,13 +461,13 @@ let run_queries p =
       let run ?guard frame =
         Sqlexec.Exec.register_table ctx "t" frame;
         (match guard with
-         | Some prog -> Sqlexec.Exec.set_guard ctx ~strategy:Validator.Rectify prog
+         | Some g -> Sqlexec.Exec.set_guard ctx ~strategy:Validator.Rectify g
          | None -> Sqlexec.Exec.clear_guard ctx);
         Sqlexec.Exec.run ctx q.Workloads.sql
       in
       let reference = keyed_of_result (run p.test) in
       let corrupted = keyed_of_result (run inj.Corrupt.corrupted) in
-      let guarded = run ~guard:prog inj.Corrupt.corrupted in
+      let guarded = run ~guard:compiled inj.Corrupt.corrupted in
       {
         q;
         reference;
@@ -712,7 +741,7 @@ let case_study () =
   show "ground truth (clean data)" clean;
   let corrupted = run inj.Corrupt.corrupted in
   show "with data errors" corrupted;
-  let rectified = run ~guard:prog inj.Corrupt.corrupted in
+  let rectified = run ~guard:(Validator.compile prog) inj.Corrupt.corrupted in
   show "with GUARDRAIL (rectify)" rectified;
   let dev r =
     keyed_error ~reference:(keyed_of_result clean) ~observed:(keyed_of_result r)
@@ -764,6 +793,7 @@ let micro () =
   let frame = Frame.take p.full (Array.init 4000 (fun i -> i)) in
   let synth = Synthesize.run frame in
   let program = synth.Synthesize.program in
+  let compiled = Validator.compile program in
   let row = Frame.row frame 0 in
   let col0 = Dataframe.Column.codes (Frame.column frame 0) in
   let col1 = Dataframe.Column.codes (Frame.column frame 1) in
@@ -773,7 +803,7 @@ let micro () =
         (Staged.stage (fun () ->
              ignore (Guardrail.Semantics.eval_prog program row)));
       Test.make ~name:"check_values (one row)"
-        (Staged.stage (fun () -> ignore (Validator.check_values program row)));
+        (Staged.stage (fun () -> ignore (Validator.check_values compiled row)));
       Test.make ~name:"chi2 two-way (4k rows)"
         (Staged.stage (fun () ->
              ignore

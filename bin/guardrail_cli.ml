@@ -29,7 +29,7 @@ let load_constraints frame path =
 (* ------------------------------------------------------------------ *)
 (* synthesize *)
 
-let synthesize csv_path output epsilon alpha identity_sampler jobs quiet =
+let synthesize csv_path output epsilon alpha identity_sampler jobs trace quiet =
   let frame = Dataframe.Csv.load csv_path in
   let config =
     Guardrail.Config.make ~epsilon ~alpha
@@ -38,7 +38,25 @@ let synthesize csv_path output epsilon alpha identity_sampler jobs quiet =
          else Guardrail.Config.Auxiliary)
       ?jobs ()
   in
-  let result = Guardrail.Synthesize.run ~config frame in
+  let result =
+    match trace with
+    | None -> Guardrail.Synthesize.run ~config frame
+    | Some trace_path ->
+      (* install a collector for the run, then export it as Chrome
+         trace-event JSON (open in about:tracing / Perfetto) *)
+      let collector = Obs.Collector.create () in
+      let result =
+        Obs.Trace.with_collector collector (fun () ->
+            Guardrail.Synthesize.run ~config frame)
+      in
+      write_file trace_path (Obs.Trace.to_chrome_json collector);
+      if not quiet then
+        Printf.eprintf "trace: %d span(s) written to %s\n%s"
+          (Obs.Collector.length collector)
+          trace_path
+          (Obs.Trace.summary collector);
+      result
+  in
   let text = Guardrail.Pretty.prog_to_string result.Guardrail.Synthesize.program in
   (match output with
    | Some path -> write_file path (text ^ "\n")
@@ -65,7 +83,9 @@ let synthesize csv_path output epsilon alpha identity_sampler jobs quiet =
 
 let detect csv_path constraints_path =
   let frame = Dataframe.Csv.load csv_path in
-  let program = load_constraints frame constraints_path in
+  let program =
+    Guardrail.Validator.compile (load_constraints frame constraints_path)
+  in
   let violations = Guardrail.Validator.violations program frame in
   List.iter
     (fun v ->
@@ -88,7 +108,9 @@ let rectify csv_path constraints_path output strategy_name =
     2
   | Some strategy ->
     let repaired, violations =
-      Guardrail.Validator.handle ~strategy program frame
+      Guardrail.Validator.handle ~strategy
+        (Guardrail.Validator.compile program)
+        frame
     in
     let text = Dataframe.Csv.to_string repaired in
     (match output with
@@ -327,10 +349,23 @@ let do_request client command table data constraints label strategy_name query
     (match Service.Client.request_exn client P.Shutdown with
      | P.Shutting_down -> Printf.eprintf "daemon shutting down\n"; 0
      | _ -> failwith "unexpected reply")
+  | "trace-start" ->
+    (match Service.Client.request_exn client (P.Trace { enable = true }) with
+     | P.Ok_reply msg -> Printf.eprintf "%s\n" msg; 0
+     | _ -> failwith "unexpected reply")
+  | "trace-stop" ->
+    (match Service.Client.request_exn client (P.Trace { enable = false }) with
+     | P.Ok_reply json ->
+       (match output with
+        | Some path -> write_file path json
+        | None -> print_string json);
+       0
+     | _ -> failwith "unexpected reply")
   | other ->
     failwith
       (Printf.sprintf
-         "unknown command %S (ping|load|guard|detect|rectify|sql|tables|stats|shutdown)"
+         "unknown command %S \
+          (ping|load|guard|detect|rectify|sql|tables|stats|trace-start|trace-stop|shutdown)"
          other)
 
 let request command socket host port table data constraints label strategy
@@ -398,12 +433,20 @@ let synthesize_cmd =
                 \\$GUARDRAIL_JOBS, else 1). The result is identical at \
                 every job count.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace-event JSON profile of the run to \
+                \\$(docv) (load it in about:tracing or ui.perfetto.dev).")
+  in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the summary.") in
   Cmd.v
     (Cmd.info "synthesize" ~doc:"Synthesize integrity constraints from a CSV dataset.")
     Term.(
       const synthesize $ csv_arg $ output_arg $ epsilon $ alpha $ identity
-      $ jobs $ quiet)
+      $ jobs $ trace $ quiet)
 
 let detect_cmd =
   Cmd.v
@@ -512,7 +555,7 @@ let request_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"COMMAND"
           ~doc:"One of ping, load, guard, detect, rectify, sql, tables, \
-                stats, shutdown.")
+                stats, trace-start, trace-stop, shutdown.")
   in
   let table =
     Arg.(

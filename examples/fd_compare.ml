@@ -31,8 +31,9 @@ let () =
   (* GUARDRAIL *)
   let result = Guardrail.Synthesize.run train in
   let program =
-    Guardrail.Validator.rebind result.Guardrail.Synthesize.program
-      (Frame.schema noisy)
+    Guardrail.Validator.compile
+      (Guardrail.Validator.rebind result.Guardrail.Synthesize.program
+         (Frame.schema noisy))
   in
   score "Guardrail" (Guardrail.Validator.detect program noisy) mask;
 
@@ -61,4 +62,5 @@ let () =
 
   (* the discovered rules themselves, for inspection *)
   print_endline "\nGUARDRAIL constraints:";
-  Fmt.pr "%a@." Guardrail.Pretty.pp_prog_summary program
+  Fmt.pr "%a@." Guardrail.Pretty.pp_prog_summary
+    (Guardrail.Validator.source program)

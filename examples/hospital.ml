@@ -66,7 +66,7 @@ let () =
   let vanilla = run_on "Vanilla execution over noisy data" noisy in
 
   Sqlexec.Exec.set_guard ctx ~strategy:Guardrail.Validator.Rectify
-    result.Guardrail.Synthesize.program;
+    (Guardrail.Validator.compile result.Guardrail.Synthesize.program);
   let guarded = run_on "GUARDRAIL-augmented execution (rectify)" noisy in
 
   let err_vanilla =

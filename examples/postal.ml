@@ -93,7 +93,7 @@ let () =
     find 0
   in
   let corrupted = Frame.set data row 1 (s "gibbon") in
-  let program = result.Guardrail.Synthesize.program in
+  let program = Guardrail.Validator.compile result.Guardrail.Synthesize.program in
   Printf.printf "Handling {postal_code := 94704, city := gibbon} (row %d):\n" row;
   (* ignore *)
   let _, vs = Guardrail.Validator.handle ~strategy:Guardrail.Validator.Ignore program corrupted in
@@ -114,4 +114,5 @@ let () =
   (* SQL export of the whole program *)
   print_endline "\nRectification UPDATEs:";
   List.iter print_endline
-    (Guardrail.Sql_export.prog_rectify_updates ~table:"addresses" program)
+    (Guardrail.Sql_export.prog_rectify_updates ~table:"addresses"
+       (Guardrail.Validator.source program))

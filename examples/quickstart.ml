@@ -30,7 +30,7 @@ let () =
 
   (* 3. plant an error: Berkeley corrupted to "gibbon" (paper §2.1) *)
   let corrupted = Frame.set clean 0 1 (Value.String "gibbon") in
-  let program = result.Guardrail.Synthesize.program in
+  let program = Guardrail.Validator.compile result.Guardrail.Synthesize.program in
   let violations = Guardrail.Validator.violations program corrupted in
   Printf.printf "\nViolations found: %d\n" (List.length violations);
   List.iter
@@ -51,4 +51,5 @@ let () =
   print_endline "\nSQL violation query for the first statement:";
   print_endline
     (List.hd
-       (Guardrail.Sql_export.prog_violation_queries ~table:"addresses" program))
+       (Guardrail.Sql_export.prog_violation_queries ~table:"addresses"
+          (Guardrail.Validator.source program)))

@@ -44,7 +44,7 @@ let () =
        FROM patients"
   in
   Sqlexec.Exec.set_guard ctx ~strategy:Guardrail.Validator.Rectify
-    guard.Guardrail.Synthesize.program;
+    (Guardrail.Validator.compile guard.Guardrail.Synthesize.program);
   let r =
     Sqlexec.Exec.run ctx
       "SELECT ward, AVG(CASE WHEN PREDICT(dysp) = 'yes' THEN 1 ELSE 0 END) \

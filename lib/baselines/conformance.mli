@@ -19,4 +19,4 @@ val detect : t -> Dataframe.Frame.t -> bool array
 (** Numeric fences OR a GUARDRAIL program — the combined deployment §6
     describes. *)
 val detect_with_guardrail :
-  t -> Guardrail.Dsl.prog -> Dataframe.Frame.t -> bool array
+  t -> Guardrail.Validator.compiled -> Dataframe.Frame.t -> bool array

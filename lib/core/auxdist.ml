@@ -70,7 +70,14 @@ let identity frame cols =
   { columns; cards; n_samples = Frame.nrows frame; design_scale = 1.0 }
 
 (* CI oracle over sampled columns for the PC algorithm: is variable i
-   independent of variable j given the variables in [cond]? *)
+   independent of variable j given the variables in [cond]?
+
+   Memoized: stable-PC builds each edge's candidate conditioning sets
+   from both endpoints' adjacency snapshots, so a set S contained in
+   both adj(i) and adj(j) is tested twice per level — and the Pc
+   round-barrier schedule may revisit (i, j, S) across levels. The
+   oracle is pure, so caching changes nothing observable except the
+   work done; hit/miss counts land in [Obs.Metric.default]. *)
 let ci_oracle ?(alpha = 0.01) ?(max_strata = 4096) ?(min_effect = 0.0) samples =
   let cards = Array.of_list samples.cards in
   (* one validated spec per variable pair; the pure Ci.test below is safe
@@ -79,11 +86,33 @@ let ci_oracle ?(alpha = 0.01) ?(max_strata = 4096) ?(min_effect = 0.0) samples =
     Stat.Ci.make ~max_strata ~min_effect ~stat_scale:samples.design_scale
       ~alpha ~kx:2 ~ky:2 ()
   in
+  let memo : (int * int * int list, bool) Hashtbl.t = Hashtbl.create 256 in
+  let memo_mutex = Mutex.create () in
+  let hits = Obs.Metric.counter Obs.Metric.default "ci.cache.hits" in
+  let misses = Obs.Metric.counter Obs.Metric.default "ci.cache.misses" in
   fun i j cond ->
-    let spec = { spec with Stat.Ci.kx = cards.(i); ky = cards.(j) } in
-    let r =
-      Stat.Ci.test spec samples.columns.(i) samples.columns.(j)
-        (List.map (fun k -> samples.columns.(k)) cond)
-        (List.map (fun k -> cards.(k)) cond)
+    (* (i, j) and (j, i) are the same question; normalize the key. *)
+    let key = (min i j, max i j, List.sort_uniq compare cond) in
+    let cached =
+      Mutex.lock memo_mutex;
+      let c = Hashtbl.find_opt memo key in
+      Mutex.unlock memo_mutex;
+      c
     in
-    r.Stat.Ci.independent
+    match cached with
+    | Some independent ->
+      Obs.Metric.incr hits;
+      independent
+    | None ->
+      Obs.Metric.incr misses;
+      let spec = { spec with Stat.Ci.kx = cards.(i); ky = cards.(j) } in
+      let r =
+        Stat.Ci.test spec samples.columns.(i) samples.columns.(j)
+          (List.map (fun k -> samples.columns.(k)) cond)
+          (List.map (fun k -> cards.(k)) cond)
+      in
+      let independent = r.Stat.Ci.independent in
+      Mutex.lock memo_mutex;
+      Hashtbl.replace memo key independent;
+      Mutex.unlock memo_mutex;
+      independent

@@ -50,6 +50,13 @@ let group_by_determinants frame given on =
 (* FillStmtSketch (Alg. 1, lines 7-20). Returns [None] when no branch
    survives the epsilon-validity check (line 20: ⊥). *)
 let fill_stmt_sketch ?(min_support = 1) frame ~epsilon (sk : Sketch.stmt_sketch) =
+  Obs.Span.with_ "fill.sketch"
+    ~attrs:(fun () ->
+      [
+        ("given", String.concat "," (List.map string_of_int sk.Sketch.given));
+        ("on", string_of_int sk.Sketch.on);
+      ])
+  @@ fun () ->
   let n = Frame.nrows frame in
   if n = 0 then None
   else begin

@@ -30,6 +30,7 @@ let log_src = Logs.Src.create "guardrail.synthesize" ~doc:"GUARDRAIL synthesis p
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type timing = {
+  total_s : float;
   sampling_s : float;
   structure_s : float;
   enumeration_s : float;
@@ -51,7 +52,7 @@ type result = {
   timing : timing;
 }
 
-let total_time t = t.sampling_s +. t.structure_s +. t.enumeration_s +. t.fill_s
+let total_time t = t.total_s
 
 let speedup ~wall ~work = if wall > 0.0 then work /. wall else 1.0
 
@@ -120,135 +121,188 @@ let learn_cpdag ?(config = Config.default) ?pool frame cols =
 
 let run ?(config = Config.default) ?pool frame =
   with_pool ?pool config @@ fun pool ->
+  (* Phase wall times are read back from the span events rather than a
+     hand-kept accumulator: a phase that is re-entered (or whose work
+     overlaps another's on a worker domain) would double-report with
+     start/stop bookkeeping, whereas summing the direct-child spans of
+     this run's root can never exceed the root's own wall time.
+     [Trace.scoped] reuses the caller's collector when one is installed
+     (--trace, TRACE command) and otherwise installs a private one, so
+     the spans always exist; tracing policy stays with the caller. *)
+  Obs.Trace.scoped @@ fun collector ->
   let n_jobs = match pool with Some p -> Runtime.Pool.size p | None -> 1 in
   let cols = eligible_columns frame in
   let n_vars = List.length cols in
   let var_to_col = Array.of_list cols in
-  let t0 = now () in
-  let samples =
-    match config.Config.sampler with
-    | Config.Auxiliary when Frame.nrows frame >= 2 ->
-      Auxdist.circular_shift ~max_shifts:config.Config.max_shifts
-        ~max_samples:config.Config.max_samples frame cols
-    | Config.Auxiliary | Config.Identity -> Auxdist.identity frame cols
-  in
-  let t1 = now () in
   let structure_work = Atomic.make 0.0 in
-  let base_oracle =
-    Auxdist.ci_oracle ~alpha:config.Config.alpha
-      ~max_strata:config.Config.max_strata
-      ~min_effect:config.Config.min_effect samples
-  in
-  let oracle i j cond =
-    timed_task structure_work (fun () -> base_oracle i j cond) ()
-  in
-  let cpdag, dags, truncated, t2, t3 =
-    match config.Config.structure with
-    | Config.Pc_mec ->
-      let cpdag, _ =
-        Pgm.Pc.cpdag ~n:n_vars ~max_cond:config.Config.max_cond ?pool oracle
-      in
-      let t2 = now () in
-      let dags, truncated =
-        Pgm.Enumerate.consistent_extensions ~max_dags:config.Config.max_dags
-          cpdag
-      in
-      Log.debug (fun m ->
-          m "MEC: %d DAGs%s over %d variables" (List.length dags)
-            (if truncated then " (truncated)" else "")
-            n_vars);
-      (cpdag, dags, truncated, t2, now ())
-    | Config.Hill_climb ->
-      (* score-based alternative: a single BIC-optimal-ish DAG, no MEC *)
-      let data =
-        Pgm.Score.data_of ~cards:samples.Auxdist.cards
-          (Array.to_list samples.Auxdist.columns)
-      in
-      let dag = Pgm.Score.hill_climb data in
-      let t2 = now () in
-      (Pgm.Pdag.of_dag dag, [ dag ], false, t2, t2)
-  in
-  (* Algorithm 2 main loop. The statement-level cache is made explicit:
-     walk the per-DAG sketch key sequence once to (a) count the hits and
-     misses the sequential memoized loop would have seen — a pure
-     function of the sequence, not of scheduling — and (b) collect the
-     distinct sketches in first-seen order. Each distinct sketch is then
-     filled exactly once, fanned out across the pool. *)
-  let sketches =
-    List.map
-      (fun dag -> Sketch.of_dag ~var_to_col:(fun i -> var_to_col.(i)) dag)
-      dags
-  in
-  let hits = ref 0 and misses = ref 0 in
-  let seen : (int list * int, unit) Hashtbl.t = Hashtbl.create 64 in
-  let distinct = ref [] in
-  List.iter
-    (List.iter (fun (sk : Sketch.stmt_sketch) ->
-         let key = (sk.Sketch.given, sk.Sketch.on) in
-         if Hashtbl.mem seen key then incr hits
-         else begin
-           incr misses;
-           Hashtbl.add seen key ();
-           distinct := sk :: !distinct
-         end))
-    sketches;
-  let distinct = List.rev !distinct in
   let fill_work = Atomic.make 0.0 in
-  let filled_distinct =
-    Runtime.Pool.parmap ?pool ~chunk:1
-      (timed_task fill_work
-         (Fill.fill_stmt_sketch ~min_support:config.Config.min_support frame
-            ~epsilon:config.Config.epsilon))
-      distinct
+  let root_id = ref (-1) in
+  let partial =
+    Obs.Span.with_ "synthesize"
+      ~attrs:(fun () ->
+        [ ("jobs", string_of_int n_jobs); ("vars", string_of_int n_vars) ])
+    @@ fun () ->
+    root_id := Obs.Span.current_id ();
+    let samples =
+      Obs.Span.with_ "sampling" @@ fun () ->
+      match config.Config.sampler with
+      | Config.Auxiliary when Frame.nrows frame >= 2 ->
+        Auxdist.circular_shift ~max_shifts:config.Config.max_shifts
+          ~max_samples:config.Config.max_samples frame cols
+      | Config.Auxiliary | Config.Identity -> Auxdist.identity frame cols
+    in
+    let base_oracle =
+      Auxdist.ci_oracle ~alpha:config.Config.alpha
+        ~max_strata:config.Config.max_strata
+        ~min_effect:config.Config.min_effect samples
+    in
+    let oracle i j cond =
+      timed_task structure_work (fun () -> base_oracle i j cond) ()
+    in
+    let cpdag, dags, truncated =
+      match config.Config.structure with
+      | Config.Pc_mec ->
+        let cpdag =
+          Obs.Span.with_ "structure" @@ fun () ->
+          fst
+            (Pgm.Pc.cpdag ~n:n_vars ~max_cond:config.Config.max_cond ?pool
+               oracle)
+        in
+        let dags, truncated =
+          Obs.Span.with_ "enumeration" @@ fun () ->
+          Pgm.Enumerate.consistent_extensions ~max_dags:config.Config.max_dags
+            cpdag
+        in
+        Log.debug (fun m ->
+            m "MEC: %d DAGs%s over %d variables" (List.length dags)
+              (if truncated then " (truncated)" else "")
+              n_vars);
+        (cpdag, dags, truncated)
+      | Config.Hill_climb ->
+        (* score-based alternative: a single BIC-optimal-ish DAG, no MEC *)
+        let dag =
+          Obs.Span.with_ "structure" @@ fun () ->
+          let data =
+            Pgm.Score.data_of ~cards:samples.Auxdist.cards
+              (Array.to_list samples.Auxdist.columns)
+          in
+          Pgm.Score.hill_climb data
+        in
+        (Pgm.Pdag.of_dag dag, [ dag ], false)
+    in
+    (* Algorithm 2 main loop. The statement-level cache is made explicit:
+       walk the per-DAG sketch key sequence once to (a) count the hits and
+       misses the sequential memoized loop would have seen — a pure
+       function of the sequence, not of scheduling — and (b) collect the
+       distinct sketches in first-seen order. Each distinct sketch is then
+       filled exactly once, fanned out across the pool. *)
+    Obs.Span.with_ "fill" @@ fun () ->
+    let sketches =
+      List.map
+        (fun dag -> Sketch.of_dag ~var_to_col:(fun i -> var_to_col.(i)) dag)
+        dags
+    in
+    let hits = ref 0 and misses = ref 0 in
+    let seen : (int list * int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let distinct = ref [] in
+    List.iter
+      (List.iter (fun (sk : Sketch.stmt_sketch) ->
+           let key = (sk.Sketch.given, sk.Sketch.on) in
+           if Hashtbl.mem seen key then incr hits
+           else begin
+             incr misses;
+             Hashtbl.add seen key ();
+             distinct := sk :: !distinct
+           end))
+      sketches;
+    let distinct = List.rev !distinct in
+    let filled_distinct =
+      Runtime.Pool.parmap ?pool ~chunk:1
+        (timed_task fill_work
+           (Fill.fill_stmt_sketch ~min_support:config.Config.min_support frame
+              ~epsilon:config.Config.epsilon))
+        distinct
+    in
+    let cache : (int list * int, Fill.filled option) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    List.iter2
+      (fun (sk : Sketch.stmt_sketch) r ->
+        Hashtbl.replace cache (sk.Sketch.given, sk.Sketch.on) r)
+      distinct filled_distinct;
+    let best = ref (Dsl.empty (Frame.schema frame), -1.0) in
+    List.iter
+      (fun sketch ->
+        let filled =
+          List.filter_map
+            (fun (sk : Sketch.stmt_sketch) ->
+              Hashtbl.find cache (sk.Sketch.given, sk.Sketch.on))
+            sketch
+        in
+        let stmts = List.map (fun f -> f.Fill.stmt) filled in
+        let coverage =
+          match filled with
+          | [] -> 0.0
+          | fs ->
+            List.fold_left (fun acc f -> acc +. f.Fill.coverage) 0.0 fs
+            /. float_of_int (List.length fs)
+        in
+        if coverage > snd !best then
+          best := (Dsl.prog ~schema:(Frame.schema frame) stmts, coverage))
+      sketches;
+    let program, coverage = !best in
+    let coverage = Float.max coverage 0.0 in
+    Log.info (fun m ->
+        m "synthesized %d statements, coverage %.3f (%d cache hits / %d misses, %d jobs)"
+          (Dsl.stmt_count program) coverage !hits !misses n_jobs);
+    {
+      program;
+      coverage;
+      cpdag;
+      dag_count = List.length dags;
+      truncated;
+      columns = cols;
+      cache_hits = !hits;
+      cache_misses = !misses;
+      timing =
+        (* placeholder; replaced below from the recorded spans *)
+        {
+          total_s = 0.0;
+          sampling_s = 0.0;
+          structure_s = 0.0;
+          enumeration_s = 0.0;
+          fill_s = 0.0;
+          structure_work_s = 0.0;
+          fill_work_s = 0.0;
+          jobs = n_jobs;
+        };
+    }
   in
-  let cache : (int list * int, Fill.filled option) Hashtbl.t =
-    Hashtbl.create 64
+  (* All spans of this run have completed; fold their events into the
+     timing report. Filtering on [parent = root_id] keeps the numbers
+     correct even when the ambient collector spans several runs. *)
+  let events = Obs.Collector.events collector in
+  let phase name =
+    List.fold_left
+      (fun acc (e : Obs.Collector.event) ->
+        if e.parent = !root_id && String.equal e.name name then acc +. e.dur_s
+        else acc)
+      0.0 events
   in
-  List.iter2
-    (fun (sk : Sketch.stmt_sketch) r ->
-      Hashtbl.replace cache (sk.Sketch.given, sk.Sketch.on) r)
-    distinct filled_distinct;
-  let best = ref (Dsl.empty (Frame.schema frame), -1.0) in
-  List.iter
-    (fun sketch ->
-      let filled =
-        List.filter_map
-          (fun (sk : Sketch.stmt_sketch) ->
-            Hashtbl.find cache (sk.Sketch.given, sk.Sketch.on))
-          sketch
-      in
-      let stmts = List.map (fun f -> f.Fill.stmt) filled in
-      let coverage =
-        match filled with
-        | [] -> 0.0
-        | fs ->
-          List.fold_left (fun acc f -> acc +. f.Fill.coverage) 0.0 fs
-          /. float_of_int (List.length fs)
-      in
-      if coverage > snd !best then
-        best := (Dsl.prog ~schema:(Frame.schema frame) stmts, coverage))
-    sketches;
-  let t4 = now () in
-  let program, coverage = !best in
-  let coverage = Float.max coverage 0.0 in
-  Log.info (fun m ->
-      m "synthesized %d statements, coverage %.3f (%d cache hits / %d misses, %d jobs)"
-        (Dsl.stmt_count program) coverage !hits !misses n_jobs);
+  let total_s =
+    match Obs.Collector.find events !root_id with
+    | Some e -> e.Obs.Collector.dur_s
+    | None -> 0.0
+  in
   {
-    program;
-    coverage;
-    cpdag;
-    dag_count = List.length dags;
-    truncated;
-    columns = cols;
-    cache_hits = !hits;
-    cache_misses = !misses;
+    partial with
     timing =
       {
-        sampling_s = t1 -. t0;
-        structure_s = t2 -. t1;
-        enumeration_s = t3 -. t2;
-        fill_s = t4 -. t3;
+        total_s;
+        sampling_s = phase "sampling";
+        structure_s = phase "structure";
+        enumeration_s = phase "enumeration";
+        fill_s = phase "fill";
         structure_work_s = Atomic.get structure_work;
         fill_work_s = Atomic.get fill_work;
         jobs = n_jobs;

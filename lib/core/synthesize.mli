@@ -7,7 +7,12 @@
     distinct statement sketches in a fixed order. Only the [timing]
     fields vary with parallelism. *)
 
+(** Phase wall times are derived from the run's [Obs] spans (each
+    phase is a direct child span of the run's root span), so they can
+    never sum to more than [total_s] — re-entering a phase adds to the
+    same named child group instead of double-counting. *)
 type timing = {
+  total_s : float;           (** whole-run wall time (root span) *)
   sampling_s : float;        (** auxiliary-sampling wall time *)
   structure_s : float;       (** PC / hill-climb wall time *)
   enumeration_s : float;     (** MEC enumeration wall time *)
@@ -29,6 +34,7 @@ type result = {
   timing : timing;
 }
 
+(** [total_s]: the root span's wall time. *)
 val total_time : timing -> float
 
 (** Work-over-wall ratios of the two parallel phases: ~[jobs] when the

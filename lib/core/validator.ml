@@ -7,7 +7,13 @@
      rectify - overwrite it with the value the program entails.
 
    The rectify strategy is the one that repairs ML-integrated queries in
-   the evaluation (RQ2). *)
+   the evaluation (RQ2).
+
+   Every checking entry point takes the *compiled* program: callers
+   compile once with {!compile} and reuse the compilation across rows,
+   frames and requests. There is deliberately no prog-taking shortcut —
+   the old one-shot variants hid a full re-compile per call and turned
+   the serving path quadratic. *)
 
 module Frame = Dataframe.Frame
 module Value = Dataframe.Value
@@ -63,7 +69,10 @@ let compile (p : Dsl.prog) =
   in
   { prog = p; compiled_stmts = List.map compile_stmt p.Dsl.stmts }
 
-let check_values_compiled (c : compiled) values =
+let source (c : compiled) = c.prog
+
+(* Violations of one materialized row. *)
+let check_values (c : compiled) values =
   List.filter_map
     (fun cs ->
       let key = Array.to_list (Array.map (fun attr -> values.(attr)) cs.given) in
@@ -83,31 +92,20 @@ let check_values_compiled (c : compiled) values =
             })
     c.compiled_stmts
 
-(* Violations of one materialized row. *)
-let check_values (p : Dsl.prog) values = check_values_compiled (compile p) values
-
-let source (c : compiled) = c.prog
-
-(* All violations over a frame, reusing an existing compilation — the form
-   long-lived callers (the serving registry, the SQL executor) use so a
-   program is compiled once, not per request. *)
-let violations_compiled (c : compiled) frame =
+(* All violations over a frame. *)
+let violations (c : compiled) frame =
   let acc = ref [] in
   for i = Frame.nrows frame - 1 downto 0 do
-    let vs = check_values_compiled c (Frame.row frame i) in
+    let vs = check_values c (Frame.row frame i) in
     acc := List.map (fun v -> { v with row = i }) vs @ !acc
   done;
   !acc
 
-let violations (p : Dsl.prog) frame = violations_compiled (compile p) frame
-
 (* Per-row violation flags: the detector output scored in Table 3. *)
-let detect_compiled (c : compiled) frame =
+let detect (c : compiled) frame =
   let flags = Array.make (Frame.nrows frame) false in
-  List.iter (fun v -> flags.(v.row) <- true) (violations_compiled c frame);
+  List.iter (fun v -> flags.(v.row) <- true) (violations c frame);
   flags
-
-let detect (p : Dsl.prog) frame = detect_compiled (compile p) frame
 
 let describe schema v =
   Fmt.str "row %d: %s = %a violates [%a] (expected %a)" v.row
@@ -118,8 +116,8 @@ let describe schema v =
 
 (* Apply a handling strategy. Returns the (possibly repaired) frame plus
    the violations found. *)
-let handle_compiled ?(strategy = Ignore) (c : compiled) frame =
-  let vs = violations_compiled c frame in
+let handle ?(strategy = Ignore) (c : compiled) frame =
+  let vs = violations c frame in
   match strategy with
   | Ignore -> (frame, vs)
   | Raise ->
@@ -141,9 +139,6 @@ let handle_compiled ?(strategy = Ignore) (c : compiled) frame =
         frame vs
     in
     (repaired, vs)
-
-let handle ?strategy (p : Dsl.prog) frame =
-  handle_compiled ?strategy (compile p) frame
 
 (* Re-resolve a program's attribute indices by name against another
    schema, so constraints synthesized on a training split can be applied

@@ -1,5 +1,9 @@
 (** Runtime guardrail: violation detection and the four error-handling
-    strategies of paper §7. *)
+    strategies of paper §7.
+
+    Every checking entry point takes a {!compiled} program: call
+    {!compile} once and reuse the compilation across rows, frames and
+    requests. *)
 
 type violation = {
   row : int;
@@ -26,36 +30,19 @@ val compile : Dsl.prog -> compiled
 val source : compiled -> Dsl.prog
 
 (** Violations of one materialized row ([row] field is [-1]). *)
-val check_values_compiled : compiled -> Dataframe.Value.t array -> violation list
+val check_values : compiled -> Dataframe.Value.t array -> violation list
 
-(** One-shot variant of {!check_values_compiled}; compile once when
-    checking many rows. *)
-val check_values : Dsl.prog -> Dataframe.Value.t array -> violation list
-
-(** Frame-level checks against an existing compilation — what long-lived
-    callers (the serving registry, the SQL executor) use so a program is
-    compiled once, not once per request. *)
-val violations_compiled : compiled -> Dataframe.Frame.t -> violation list
-
-val violations : Dsl.prog -> Dataframe.Frame.t -> violation list
+(** All violations over a frame. *)
+val violations : compiled -> Dataframe.Frame.t -> violation list
 
 (** Per-row violation flags — the detector output scored in Table 3. *)
-val detect_compiled : compiled -> Dataframe.Frame.t -> bool array
-
-val detect : Dsl.prog -> Dataframe.Frame.t -> bool array
+val detect : compiled -> Dataframe.Frame.t -> bool array
 
 val describe : Dataframe.Schema.t -> violation -> string
 
 (** Apply a strategy (default [Ignore]); [Raise] raises
     {!Violation_error} on the first violation. *)
 val handle :
-  ?strategy:strategy ->
-  Dsl.prog ->
-  Dataframe.Frame.t ->
-  Dataframe.Frame.t * violation list
-
-(** {!handle} against an existing compilation. *)
-val handle_compiled :
   ?strategy:strategy ->
   compiled ->
   Dataframe.Frame.t ->

@@ -1,0 +1,67 @@
+(* Span event store: the in-memory sink every other sink is derived
+   from. One collector gathers the events of a trace; spans running on
+   any domain append to it at span *end* (span begin only touches
+   domain-local state), so the mutex is taken once per span, never on
+   the instrumented code's inner loops. Event order is completion
+   order; ids are unique within a collector and parent links rebuild
+   the hierarchy regardless of which domain finished a span. *)
+
+type event = {
+  id : int;
+  parent : int;               (* parent span id, -1 = top level *)
+  name : string;
+  domain : int;               (* Domain.self of the recording domain *)
+  start_s : float;            (* seconds since the collector's epoch *)
+  dur_s : float;              (* wall time *)
+  self_s : float;             (* wall minus same-domain children (>= 0) *)
+  alloc_bytes : float;        (* GC allocation delta of the span's domain *)
+  attrs : (string * string) list;
+}
+
+type t = {
+  mutex : Mutex.t;
+  epoch : float;              (* Unix.gettimeofday at creation *)
+  next_id : int Atomic.t;
+  mutable events : event list;  (* newest first *)
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    epoch = Unix.gettimeofday ();
+    next_id = Atomic.make 0;
+    events = [];
+  }
+
+let epoch t = t.epoch
+
+let fresh_id t = Atomic.fetch_and_add t.next_id 1
+
+let record t e =
+  Mutex.lock t.mutex;
+  t.events <- e :: t.events;
+  Mutex.unlock t.mutex
+
+(* Events in completion order (oldest first). *)
+let events t =
+  Mutex.lock t.mutex;
+  let es = t.events in
+  Mutex.unlock t.mutex;
+  List.rev es
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = List.length t.events in
+  Mutex.unlock t.mutex;
+  n
+
+let clear t =
+  Mutex.lock t.mutex;
+  t.events <- [];
+  Mutex.unlock t.mutex
+
+(* Direct children of [parent] among [events], oldest first. *)
+let children events ~parent =
+  List.filter (fun e -> e.parent = parent) events
+
+let find events id = List.find_opt (fun e -> e.id = id) events

@@ -1,0 +1,37 @@
+(** Span event store — the in-memory sink. Thread-safe: spans on any
+    domain append at span end under one mutex. *)
+
+type event = {
+  id : int;
+  parent : int;               (** parent span id, [-1] = top level *)
+  name : string;
+  domain : int;               (** domain the span ran on *)
+  start_s : float;            (** seconds since {!epoch} *)
+  dur_s : float;              (** wall time *)
+  self_s : float;             (** wall minus same-domain children, clamped at 0 *)
+  alloc_bytes : float;        (** GC allocation delta of the span's domain *)
+  attrs : (string * string) list;
+}
+
+type t
+
+val create : unit -> t
+
+(** Wall-clock origin of the trace ([Unix.gettimeofday] at creation). *)
+val epoch : t -> float
+
+(** Unique (per collector) span id. *)
+val fresh_id : t -> int
+
+val record : t -> event -> unit
+
+(** All events, completion order (oldest first). *)
+val events : t -> event list
+
+val length : t -> int
+val clear : t -> unit
+
+(** Direct children of [parent] within an event list. *)
+val children : event list -> parent:int -> event list
+
+val find : event list -> int -> event option

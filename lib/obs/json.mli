@@ -1,0 +1,28 @@
+(** Minimal dependency-free JSON: tree, printer, parser, accessors.
+    Enough for the Chrome trace exporter, machine-readable bench
+    output, and trace round-trip tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Compact (no whitespace) serialization. Integral numbers print
+    without a decimal point. *)
+val to_string : t -> string
+
+(** Strict parse of a complete document.
+    @raise Parse_error on malformed input or trailing bytes. *)
+val parse : string -> t
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option

@@ -1,0 +1,145 @@
+(* Hierarchical timed spans over domain-local ambient state.
+
+   Each domain carries a mutable record holding the installed
+   collector (None = tracing disabled) and a stack of open frames.
+   [with_] on the disabled path is a DLS read, a match, and the call
+   to [f] — no allocation, no syscalls. On the enabled path it reads
+   the clock and the GC allocation counter at entry and exit, and
+   publishes one {!Collector.event} at exit.
+
+   Cross-domain nesting: a parent captures [ctx ()] before handing
+   work to another domain; the worker wraps the job in [with_ctx], so
+   spans opened there parent under the submitting span even though
+   they run elsewhere. Parent/child wall-time subtraction for [self_s]
+   is only done for same-domain children (a worker's frame stack
+   starts empty); cross-domain children overlap the parent's wall
+   time, so the parent's self time intentionally ignores them. *)
+
+type frame = {
+  id : int;
+  mutable child_s : float;     (* wall time of completed direct children *)
+  mutable attrs : (string * string) list;
+}
+
+type state = {
+  mutable collector : Collector.t option;
+  mutable stack : frame list;  (* innermost first *)
+  mutable base : int;          (* parent id for spans opened at stack bottom *)
+}
+
+let key =
+  Domain.DLS.new_key (fun () -> { collector = None; stack = []; base = -1 })
+
+let state () = Domain.DLS.get key
+
+let enabled () = (state ()).collector <> None
+
+let ambient_collector () = (state ()).collector
+
+let current_id () =
+  let st = state () in
+  match st.stack with f :: _ -> f.id | [] -> st.base
+
+(* Runs [f] while [c] (or no collector, for [None]) is installed on
+   the calling domain, with a fresh empty span stack. Restores the
+   previous ambient state even on exception. *)
+let with_collector_opt c f =
+  let st = state () in
+  let saved_c = st.collector and saved_stack = st.stack and saved_base = st.base in
+  st.collector <- c;
+  st.stack <- [];
+  st.base <- -1;
+  Fun.protect
+    ~finally:(fun () ->
+      let st = state () in
+      st.collector <- saved_c;
+      st.stack <- saved_stack;
+      st.base <- saved_base)
+    f
+
+let with_collector c f = with_collector_opt (Some c) f
+
+(* Context capture/restore for handing span parentage across domains.
+   [Off] is a constant: capturing a context while tracing is disabled
+   allocates nothing. *)
+type ctx = Off | On of { collector : Collector.t; parent : int }
+
+let ctx () =
+  let st = state () in
+  match st.collector with
+  | None -> Off
+  | Some collector -> On { collector; parent = current_id () }
+
+let is_off = function Off -> true | On _ -> false
+
+let with_ctx ctx f =
+  match ctx with
+  | Off -> f ()
+  | On { collector; parent } ->
+      let st = state () in
+      let saved_c = st.collector
+      and saved_stack = st.stack
+      and saved_base = st.base in
+      st.collector <- Some collector;
+      st.stack <- [];
+      st.base <- parent;
+      Fun.protect
+        ~finally:(fun () ->
+          let st = state () in
+          st.collector <- saved_c;
+          st.stack <- saved_stack;
+          st.base <- saved_base)
+        f
+
+let add_attr k v =
+  let st = state () in
+  match st.stack with
+  | [] -> ()
+  | f :: _ -> f.attrs <- (k, v) :: f.attrs
+
+let finish c st frame ~name ~parent ~t0 ~a0 =
+  let t1 = Unix.gettimeofday () in
+  let dur = t1 -. t0 in
+  st.stack <- (match st.stack with _ :: tl -> tl | [] -> []);
+  (match st.stack with
+  | p :: _ -> p.child_s <- p.child_s +. dur
+  | [] -> ());
+  let alloc = Gc.allocated_bytes () -. a0 in
+  Collector.record c
+    {
+      Collector.id = frame.id;
+      parent;
+      name;
+      domain = (Domain.self () :> int);
+      start_s = t0 -. Collector.epoch c;
+      dur_s = dur;
+      self_s = Float.max 0. (dur -. frame.child_s);
+      alloc_bytes = Float.max 0. alloc;
+      attrs = List.rev frame.attrs;
+    }
+
+let with_ ?attrs name f =
+  let st = state () in
+  match st.collector with
+  | None -> f ()
+  | Some c ->
+      let parent = current_id () in
+      let frame =
+        {
+          id = Collector.fresh_id c;
+          child_s = 0.;
+          attrs = (match attrs with None -> [] | Some g -> List.rev (g ()));
+        }
+      in
+      st.stack <- frame :: st.stack;
+      let a0 = Gc.allocated_bytes () in
+      let t0 = Unix.gettimeofday () in
+      (match f () with
+      | v ->
+          finish c st frame ~name ~parent ~t0 ~a0;
+          v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          frame.attrs <- ("error", Printexc.to_string e) :: frame.attrs;
+          finish c st frame ~name ~parent ~t0 ~a0;
+          Printexc.raise_with_backtrace e bt)

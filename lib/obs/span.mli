@@ -1,0 +1,44 @@
+(** Hierarchical timed spans.
+
+    A span measures one dynamic region: wall time, self time (wall
+    minus same-domain children) and GC allocation delta. Spans nest
+    via domain-local state; {!ctx}/{!with_ctx} carry parentage across
+    domain boundaries (captured at pool submit, restored in the
+    worker). With no collector installed, {!with_} costs a
+    domain-local read and allocates nothing. *)
+
+(** Runs [f] with [name] as an open span when a collector is
+    installed on this domain; otherwise just runs [f]. [attrs] is a
+    thunk so that building the attribute list costs nothing when
+    tracing is off. Exceptions propagate; the span is still recorded,
+    tagged with an ["error"] attribute. *)
+val with_ : ?attrs:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span (no-op if none). *)
+val add_attr : string -> string -> unit
+
+(** True when a collector is installed on the calling domain. *)
+val enabled : unit -> bool
+
+(** Collector installed on the calling domain, if any. *)
+val ambient_collector : unit -> Collector.t option
+
+(** Id of the innermost open span, the cross-domain base parent, or
+    [-1] at top level. *)
+val current_id : unit -> int
+
+(** Captured span context, for restoring parentage on another
+    domain. Capturing while disabled is the constant [Off]. *)
+type ctx = Off | On of { collector : Collector.t; parent : int }
+
+val ctx : unit -> ctx
+val is_off : ctx -> bool
+
+(** Runs [f] with the captured context installed on the calling
+    domain (fresh span stack, parentage under [ctx]'s span). [Off]
+    just runs [f]. *)
+val with_ctx : ctx -> (unit -> 'a) -> 'a
+
+(** Runs [f] with [c] installed as this domain's collector and a
+    fresh span stack; restores the previous ambient state after. *)
+val with_collector : Collector.t -> (unit -> 'a) -> 'a

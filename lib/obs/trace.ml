@@ -1,0 +1,168 @@
+(* Trace sinks and collector scoping.
+
+   [scoped] is how library code guarantees spans record without
+   caring who installed tracing: reuse the ambient collector when the
+   caller (CLI --trace, service TRACE) set one up, otherwise install
+   a private collector for the dynamic extent of [f]. Always-on
+   internal consumers (Synthesize's span-derived timing) rely on
+   this. *)
+
+let with_collector = Span.with_collector
+
+let ambient = Span.ambient_collector
+
+let scoped f =
+  match Span.ambient_collector () with
+  | Some c -> f c
+  | None ->
+      let c = Collector.create () in
+      Span.with_collector c (fun () -> f c)
+
+(* --- Chrome trace_event exporter --- *)
+
+(* Object-form trace: {"traceEvents": [...]} with "X" (complete)
+   events. Times are microseconds relative to the collector epoch;
+   tid is the OCaml domain id, so per-domain activity lands on
+   separate tracks in about:tracing / Perfetto. Span identity and
+   hierarchy ride along in "args" for the round-trip parser. *)
+let chrome_event (e : Collector.event) =
+  let us s = Float.round (s *. 1e6) in
+  Json.Obj
+    [
+      ("name", Json.Str e.name);
+      ("cat", Json.Str "guardrail");
+      ("ph", Json.Str "X");
+      ("pid", Json.Num 1.);
+      ("tid", Json.Num (float_of_int e.domain));
+      ("ts", Json.Num (us e.start_s));
+      ("dur", Json.Num (us e.dur_s));
+      ( "args",
+        Json.Obj
+          ([
+             ("id", Json.Num (float_of_int e.id));
+             ("parent", Json.Num (float_of_int e.parent));
+             ("self_us", Json.Num (us e.self_s));
+             ("alloc_bytes", Json.Num e.alloc_bytes);
+           ]
+          @ List.map (fun (k, v) -> (k, Json.Str v)) e.attrs) );
+    ]
+
+let to_chrome_json_value c =
+  (* Sort by start for a stable, chronological event stream. *)
+  let events =
+    List.sort
+      (fun (a : Collector.event) b -> compare (a.start_s, a.id) (b.start_s, b.id))
+      (Collector.events c)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map chrome_event events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_chrome_json c = Json.to_string (to_chrome_json_value c)
+
+(* --- Chrome JSON -> events (the in-memory sink's parser) --- *)
+
+let reserved_args = [ "id"; "parent"; "self_us"; "alloc_bytes" ]
+
+let event_of_chrome_obj j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let num k = Option.bind (Json.member k j) Json.to_float in
+  let req what = function
+    | Some v -> v
+    | None -> raise (Json.Parse_error ("trace event missing " ^ what))
+  in
+  let args = match Json.member "args" j with Some a -> a | None -> Json.Obj [] in
+  let arg_num k = Option.bind (Json.member k args) Json.to_float in
+  let attrs =
+    match args with
+    | Json.Obj kvs ->
+        List.filter_map
+          (fun (k, v) ->
+            if List.mem k reserved_args then None
+            else match Json.to_str v with Some s -> Some (k, s) | None -> None)
+          kvs
+    | _ -> []
+  in
+  {
+    Collector.id = int_of_float (req "args.id" (arg_num "id"));
+    parent = int_of_float (req "args.parent" (arg_num "parent"));
+    name = req "name" (str "name");
+    domain = int_of_float (req "tid" (num "tid"));
+    start_s = req "ts" (num "ts") /. 1e6;
+    dur_s = req "dur" (num "dur") /. 1e6;
+    self_s = req "args.self_us" (arg_num "self_us") /. 1e6;
+    alloc_bytes = req "args.alloc_bytes" (arg_num "alloc_bytes");
+    attrs;
+  }
+
+let events_of_chrome_json s =
+  let j = Json.parse s in
+  match Option.bind (Json.member "traceEvents" j) Json.to_list with
+  | None -> raise (Json.Parse_error "missing traceEvents array")
+  | Some evs -> List.map event_of_chrome_obj evs
+
+(* --- plain-text summary tree --- *)
+
+(* Sibling spans under one parent are aggregated by name: PC runs
+   thousands of "fill.sketch"/"ci.test" spans and a line per instance
+   would be unreadable. *)
+type agg = {
+  a_name : string;
+  mutable count : int;
+  mutable wall : float;
+  mutable self : float;
+  mutable alloc : float;
+  mutable ids : int list;      (* instance ids, for recursing *)
+}
+
+let summary c =
+  let events = Collector.events c in
+  let known = Hashtbl.create 64 in
+  List.iter (fun (e : Collector.event) -> Hashtbl.replace known e.id ()) events;
+  (* A root is any span whose parent is unknown here: -1, or an id
+     recorded on a collector boundary we can't see. *)
+  let buf = Buffer.create 512 in
+  let rec render indent parents =
+    let groups = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun (e : Collector.event) ->
+        if List.mem e.parent parents then begin
+          let g =
+            match Hashtbl.find_opt groups e.name with
+            | Some g -> g
+            | None ->
+                let g =
+                  { a_name = e.name; count = 0; wall = 0.; self = 0.; alloc = 0.; ids = [] }
+                in
+                Hashtbl.add groups e.name g;
+                order := g :: !order;
+                g
+          in
+          g.count <- g.count + 1;
+          g.wall <- g.wall +. e.dur_s;
+          g.self <- g.self +. e.self_s;
+          g.alloc <- g.alloc +. e.alloc_bytes;
+          g.ids <- e.id :: g.ids
+        end)
+      events;
+    List.iter
+      (fun g ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%-*s %6d× %9.3fms wall %9.3fms self %10.0f B\n" indent
+             (Int.max 1 (32 - String.length indent))
+             g.a_name g.count (g.wall *. 1e3) (g.self *. 1e3) g.alloc);
+        render (indent ^ "  ") g.ids)
+      (List.rev !order)
+  in
+  let roots =
+    List.filter_map
+      (fun (e : Collector.event) ->
+        if Hashtbl.mem known e.parent then None else Some e.parent)
+      events
+    |> List.sort_uniq compare
+  in
+  render "" roots;
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Trace sinks and collector scoping. *)
+
+(** [with_collector c f] installs [c] on the calling domain for the
+    extent of [f] (= {!Span.with_collector}). *)
+val with_collector : Collector.t -> (unit -> 'a) -> 'a
+
+(** Collector installed on the calling domain, if any. *)
+val ambient : unit -> Collector.t option
+
+(** [scoped f] passes [f] the ambient collector if one is installed,
+    otherwise creates a private collector, installs it around [f],
+    and passes that. Lets library code rely on spans recording
+    without deciding trace policy. *)
+val scoped : (Collector.t -> 'a) -> 'a
+
+(** Chrome [trace_event] JSON (object form, ["X"] complete events),
+    loadable in [about:tracing] / Perfetto. [tid] is the OCaml domain
+    id; span id/parent/self-time/alloc ride in ["args"]. *)
+val to_chrome_json : Collector.t -> string
+
+val to_chrome_json_value : Collector.t -> Json.t
+
+(** Inverse of {!to_chrome_json}: re-read exported events (the
+    in-memory sink's parser; used for round-trip tests and the trace
+    CLI). @raise Json.Parse_error on malformed input. *)
+val events_of_chrome_json : string -> Collector.event list
+
+(** Plain-text tree: siblings aggregated by name with count, wall,
+    self and allocation totals. *)
+val summary : Collector.t -> string

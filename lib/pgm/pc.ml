@@ -67,7 +67,15 @@ let skeleton ~n ?(max_cond = 3) ?pool indep =
       in
       (deeper, try_sets candidates)
     in
-    let outcomes = Runtime.Pool.parmap ?pool test_edge edges in
+    let outcomes =
+      Obs.Span.with_ "pc.level"
+        ~attrs:(fun () ->
+          [
+            ("level", string_of_int l);
+            ("edges", string_of_int (List.length edges));
+          ])
+        (fun () -> Runtime.Pool.parmap ?pool test_edge edges)
+    in
     let worth_continuing = ref false in
     List.iter2
       (fun (i, j) (deeper, sep) ->

@@ -66,6 +66,16 @@ let create ?(size = 4) () =
   t
 
 let post t job =
+  (* Capture the submitter's span context so spans opened inside the
+     job parent under the submitting span even though the job runs on
+     a worker domain. [ctx] is a constant when tracing is disabled,
+     and [with_ctx Off] is just [job ()], so the untraced path stays
+     wrapper-free in cost. *)
+  let ctx = Obs.Span.ctx () in
+  let job =
+    if Obs.Span.is_off ctx then job
+    else fun () -> Obs.Span.with_ctx ctx job
+  in
   Mutex.lock t.mutex;
   if t.stopping then begin
     Mutex.unlock t.mutex;

@@ -17,7 +17,10 @@ val create : ?size:int -> unit -> t
 (** Worker count (0 after {!shutdown}). *)
 val size : t -> int
 
-(** Enqueue a fire-and-forget job. Raises {!Stopped} after {!shutdown}. *)
+(** Enqueue a fire-and-forget job. Raises {!Stopped} after {!shutdown}.
+    The caller's [Obs.Span] context is captured here and restored
+    around the job, so spans opened in the worker nest under the
+    submitting span. *)
 val post : t -> (unit -> unit) -> unit
 
 type 'a future

@@ -1,12 +1,15 @@
-(* Live serving metrics: per-command counters and log-scale latency
-   histograms, surfaced through the STATS command. One mutex guards the
-   whole store — recording is a handful of loads and stores, far cheaper
-   than any request it measures. *)
+(* Live serving metrics, as a thin veneer over the [Obs.Metric]
+   registry — the one counter/histogram implementation in the tree.
+   Each server command maps onto a latency histogram
+   ["cmd.<COMMAND>.latency"] plus an error counter
+   ["cmd.<COMMAND>.errors"]; connections and protocol errors are plain
+   counters. This module owns no counting logic: it only names the
+   metrics, reassembles the per-command [snapshot] shape the STATS
+   wire reply is built from, and renders the human-readable report. *)
 
 (* Upper bounds of the latency buckets, in seconds; the last bucket is
-   open-ended. *)
-let bucket_bounds =
-  [| 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 1e-1; 3e-1; 1.0 |]
+   open-ended. Shared with [Obs.Metric.default_latency_bounds]. *)
+let bucket_bounds = Obs.Metric.default_latency_bounds
 
 let n_buckets = Array.length bucket_bounds + 1
 
@@ -27,92 +30,77 @@ type snapshot = {
   commands : command_stats list;  (* sorted by command name *)
 }
 
-type mutable_stats = {
-  mutable m_count : int;
-  mutable m_errors : int;
-  mutable m_total_s : float;
-  mutable m_max_s : float;
-  m_buckets : int array;
-}
-
 type t = {
-  mutex : Mutex.t;
+  registry : Obs.Metric.registry;  (* private: one server, one registry *)
   started : float;
-  mutable m_connections : int;
-  mutable m_protocol_errors : int;
-  table : (string, mutable_stats) Hashtbl.t;
+  connections : Obs.Metric.counter;
+  protocol_errors : Obs.Metric.counter;
 }
 
 let create () =
+  let registry = Obs.Metric.create () in
   {
-    mutex = Mutex.create ();
+    registry;
     started = Unix.gettimeofday ();
-    m_connections = 0;
-    m_protocol_errors = 0;
-    table = Hashtbl.create 16;
+    connections = Obs.Metric.counter registry "connections";
+    protocol_errors = Obs.Metric.counter registry "protocol_errors";
   }
 
-let bucket_of seconds =
-  let rec go i =
-    if i >= Array.length bucket_bounds then i
-    else if seconds <= bucket_bounds.(i) then i
-    else go (i + 1)
-  in
-  go 0
+let connection t = Obs.Metric.incr t.connections
 
-let with_lock t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let protocol_error t = Obs.Metric.incr t.protocol_errors
 
-let connection t = with_lock t (fun () -> t.m_connections <- t.m_connections + 1)
-
-let protocol_error t =
-  with_lock t (fun () -> t.m_protocol_errors <- t.m_protocol_errors + 1)
+let latency_name command = "cmd." ^ command ^ ".latency"
+let errors_name command = "cmd." ^ command ^ ".errors"
 
 let record t ~command ~ok ~seconds =
-  with_lock t (fun () ->
-      let s =
-        match Hashtbl.find_opt t.table command with
-        | Some s -> s
-        | None ->
-          let s =
-            { m_count = 0; m_errors = 0; m_total_s = 0.0; m_max_s = 0.0;
-              m_buckets = Array.make n_buckets 0 }
-          in
-          Hashtbl.add t.table command s;
-          s
-      in
-      s.m_count <- s.m_count + 1;
-      if not ok then s.m_errors <- s.m_errors + 1;
-      s.m_total_s <- s.m_total_s +. seconds;
-      if seconds > s.m_max_s then s.m_max_s <- seconds;
-      let b = s.m_buckets in
-      b.(bucket_of seconds) <- b.(bucket_of seconds) + 1)
+  Obs.Metric.observe
+    (Obs.Metric.histogram ~bounds:bucket_bounds t.registry (latency_name command))
+    seconds;
+  if not ok then Obs.Metric.incr (Obs.Metric.counter t.registry (errors_name command))
+
+(* "cmd.<COMMAND>.latency" -> Some "<COMMAND>" *)
+let command_of_name name =
+  let prefix = "cmd." and suffix = ".latency" in
+  let lp = String.length prefix and ls = String.length suffix in
+  let n = String.length name in
+  if
+    n > lp + ls
+    && String.sub name 0 lp = prefix
+    && String.sub name (n - ls) ls = suffix
+  then Some (String.sub name lp (n - lp - ls))
+  else None
 
 let snapshot t =
-  with_lock t (fun () ->
-      let commands =
-        Hashtbl.fold
-          (fun command s acc ->
+  let s = Obs.Metric.snapshot t.registry in
+  let counter name =
+    match List.assoc_opt name s.Obs.Metric.counters with Some v -> v | None -> 0
+  in
+  let commands =
+    List.filter_map
+      (fun (h : Obs.Metric.histogram_snapshot) ->
+        match command_of_name h.Obs.Metric.name with
+        | None -> None
+        | Some command ->
+          Some
             {
               command;
-              count = s.m_count;
-              errors = s.m_errors;
-              total_s = s.m_total_s;
-              max_s = s.m_max_s;
-              buckets = Array.copy s.m_buckets;
-            }
-            :: acc)
-          t.table []
-        |> List.sort (fun a b -> String.compare a.command b.command)
-      in
-      {
-        uptime_s = Unix.gettimeofday () -. t.started;
-        connections = t.m_connections;
-        protocol_errors = t.m_protocol_errors;
-        served = List.fold_left (fun acc c -> acc + c.count) 0 commands;
-        commands;
-      })
+              count = h.Obs.Metric.total;
+              errors = counter (errors_name command);
+              total_s = h.Obs.Metric.sum;
+              max_s = h.Obs.Metric.max_value;
+              buckets = Array.copy h.Obs.Metric.counts;
+            })
+      s.Obs.Metric.histograms
+    (* histogram snapshots are name-sorted, so commands already are *)
+  in
+  {
+    uptime_s = Unix.gettimeofday () -. t.started;
+    connections = counter "connections";
+    protocol_errors = counter "protocol_errors";
+    served = List.fold_left (fun acc c -> acc + c.count) 0 commands;
+    commands;
+  }
 
 let mean_s c = if c.count = 0 then 0.0 else c.total_s /. float_of_int c.count
 

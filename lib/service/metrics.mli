@@ -1,5 +1,8 @@
 (** Live serving metrics: per-command counters and log-scale latency
-    histograms. All operations are thread-safe. *)
+    histograms, backed by a private [Obs.Metric] registry (this module
+    holds no counting logic of its own). All operations are
+    thread-safe. The {!snapshot} shape and {!render} text are part of
+    the STATS wire reply and must stay byte-stable. *)
 
 type t
 

@@ -46,6 +46,7 @@ type request =
   | Tables
   | Stats
   | Shutdown
+  | Trace of { enable : bool }
 
 type table_info = {
   name : string;
@@ -97,6 +98,7 @@ let request_command = function
   | Tables -> "TABLES"
   | Stats -> "STATS"
   | Shutdown -> "SHUTDOWN"
+  | Trace _ -> "TRACE"
 
 (* ------------------------------------------------------------------ *)
 (* Encoding *)
@@ -254,7 +256,12 @@ let encode_request r =
      put_opt put_str buf guard_table
    | Tables -> put_u8 buf 7
    | Stats -> put_u8 buf 8
-   | Shutdown -> put_u8 buf 9);
+   | Shutdown -> put_u8 buf 9
+   | Trace { enable } ->
+     (* appended in protocol version 1: new tag, no existing encoding
+        changed *)
+     put_u8 buf 10;
+     put_bool buf enable);
   Buffer.contents buf
 
 let finish c v =
@@ -298,6 +305,7 @@ let decode_request payload =
     | 7 -> Tables
     | 8 -> Stats
     | 9 -> Shutdown
+    | 10 -> Trace { enable = get_bool c }
     | t -> error "unknown request tag %d" t
   in
   finish c r

@@ -39,6 +39,10 @@ type request =
   | Tables
   | Stats
   | Shutdown
+  | Trace of { enable : bool }
+      (** [enable = true] starts collecting spans for every subsequent
+          request; [enable = false] stops and answers with the Chrome
+          trace JSON in an [Ok_reply] *)
 
 type table_info = {
   name : string;

@@ -38,6 +38,10 @@ type t = {
   metrics : Metrics.t;
   pool : Pool.t;
   stop_requested : bool Atomic.t;
+  (* live trace collector, installed/removed by the TRACE command; every
+     worker reads it per request, so it is an atomic, not a field guarded
+     by some per-connection state *)
+  trace : Obs.Collector.t option Atomic.t;
   mutable listen_fd : Unix.file_descr option;
   mutable bound_path : string option;  (* unix socket to unlink on close *)
 }
@@ -49,6 +53,7 @@ let create ?(config = default_config) registry =
     metrics = Metrics.create ();
     pool = Pool.create ~size:config.pool_size ();
     stop_requested = Atomic.make false;
+    trace = Atomic.make None;
     listen_fd = None;
     bound_path = None;
   }
@@ -117,7 +122,7 @@ let sql_context t ~guard_table =
    | None -> ()
    | Some name ->
      let _, p = guarded_entry t name in
-     Sqlexec.Exec.set_guard_compiled ctx p.Registry.compiled);
+     Sqlexec.Exec.set_guard ctx p.Registry.compiled);
   ctx
 
 let stats_reply t =
@@ -170,14 +175,14 @@ let dispatch t (req : Protocol.request) : Protocol.response =
   | Protocol.Detect { table; csv } ->
     let entry, p = guarded_entry t table in
     let frame = target_frame entry csv in
-    let flags = Validator.detect_compiled (compiled_for entry p frame) frame in
+    let flags = Validator.detect (compiled_for entry p frame) frame in
     let violations = Array.fold_left (fun n b -> if b then n + 1 else n) 0 flags in
     Protocol.Detections { flags; violations }
   | Protocol.Rectify { table; strategy; csv } ->
     let entry, p = guarded_entry t table in
     let frame = target_frame entry csv in
     let repaired, vs =
-      Validator.handle_compiled ~strategy (compiled_for entry p frame) frame
+      Validator.handle ~strategy (compiled_for entry p frame) frame
     in
     Protocol.Rectified
       { csv = Dataframe.Csv.to_string repaired; violations = List.length vs }
@@ -209,6 +214,16 @@ let dispatch t (req : Protocol.request) : Protocol.response =
   | Protocol.Shutdown ->
     stop t;
     Protocol.Shutting_down
+  | Protocol.Trace { enable = true } ->
+    (match Atomic.get t.trace with
+     | Some _ -> failwith "tracing already active"
+     | None ->
+       Atomic.set t.trace (Some (Obs.Collector.create ()));
+       Protocol.Ok_reply "tracing started")
+  | Protocol.Trace { enable = false } ->
+    (match Atomic.exchange t.trace None with
+     | None -> failwith "tracing not active"
+     | Some c -> Protocol.Ok_reply (Obs.Trace.to_chrome_json c))
 
 (* Every per-request failure becomes an error reply, never a dead
    worker. *)
@@ -269,7 +284,20 @@ let handle_connection t fd =
          loop ()
        | req ->
          let t0 = Unix.gettimeofday () in
-         let resp = handle_request t req in
+         let resp =
+           (* with tracing live, every request becomes a root span named
+              after its command; TRACE itself is exempt so the stop
+              request does not record into the trace it exports *)
+           match Atomic.get t.trace with
+           | Some c
+             when (match req with
+                  | Protocol.Trace _ | Protocol.Shutdown -> false
+                  | _ -> true) ->
+             Obs.Trace.with_collector c (fun () ->
+                 Obs.Span.with_ (Protocol.request_command req) (fun () ->
+                     handle_request t req))
+           | Some _ | None -> handle_request t req
+         in
          let ok =
            match resp with Protocol.Error_reply _ -> false | _ -> true
          in

@@ -18,11 +18,10 @@ exception Runtime_error of string
 type context = {
   tables : (string, Frame.t) Hashtbl.t;
   models : (string, Mlmodel.Ensemble.t) Hashtbl.t;  (* keyed by target name *)
-  mutable guard : (Guardrail.Dsl.prog * Guardrail.Validator.strategy) option;
-  (* compilation of [guard] against its own schema, built once in
-     [set_guard]; queries over tables with an identical column layout reuse
-     it instead of re-compiling per query *)
-  mutable guard_compiled : Guardrail.Validator.compiled option;
+  (* the installed guard, pre-compiled against its own schema; queries
+     over tables with an identical column layout reuse the compilation,
+     others re-bind by column name per query *)
+  mutable guard : (Guardrail.Validator.compiled * Guardrail.Validator.strategy) option;
 }
 
 type stats = {
@@ -40,26 +39,16 @@ type result = {
 }
 
 let create () =
-  { tables = Hashtbl.create 8; models = Hashtbl.create 8; guard = None;
-    guard_compiled = None }
+  { tables = Hashtbl.create 8; models = Hashtbl.create 8; guard = None }
 
 let register_table ctx name frame = Hashtbl.replace ctx.tables name frame
 
 let register_model ctx ~target model = Hashtbl.replace ctx.models target model
 
-let set_guard ctx ?(strategy = Guardrail.Validator.Rectify) prog =
-  ctx.guard <- Some (prog, strategy);
-  ctx.guard_compiled <- Some (Guardrail.Validator.compile prog)
+let set_guard ctx ?(strategy = Guardrail.Validator.Rectify) compiled =
+  ctx.guard <- Some (compiled, strategy)
 
-(* Install an already-compiled guard (the serving registry compiles each
-   program exactly once at load time). *)
-let set_guard_compiled ctx ?(strategy = Guardrail.Validator.Rectify) compiled =
-  ctx.guard <- Some (Guardrail.Validator.source compiled, strategy);
-  ctx.guard_compiled <- Some compiled
-
-let clear_guard ctx =
-  ctx.guard <- None;
-  ctx.guard_compiled <- None
+let clear_guard ctx = ctx.guard <- None
 
 (* Row environment: materialized (possibly repaired) values plus the
    prediction per target. *)
@@ -203,6 +192,7 @@ let predict_value model schema values =
   Mlmodel.Ensemble.predict_row model frame 0
 
 let run ctx sql =
+  Obs.Span.with_ "sql.query" @@ fun () ->
   let q = Parser.query sql in
   let plan = Plan.of_query q in
   let frame = find_table ctx plan.Plan.table in
@@ -215,24 +205,24 @@ let run ctx sql =
   let guard =
     match ctx.guard with
     | None -> None
-    | Some (prog, strategy) ->
+    | Some (compiled, strategy) ->
+      let prog = Guardrail.Validator.source compiled in
       let same_layout =
         Dataframe.Schema.names prog.Guardrail.Dsl.schema
         = Dataframe.Schema.names schema
       in
-      (match ctx.guard_compiled with
-       | Some compiled when same_layout -> Some (compiled, strategy)
-       | _ ->
-         (try
-            Some
-              ( Guardrail.Validator.compile
-                  (Guardrail.Validator.rebind prog schema),
-                strategy )
-          with Invalid_argument msg ->
-            raise
-              (Runtime_error
-                 (Printf.sprintf "guard does not fit table %S: %s"
-                    plan.Plan.table msg))))
+      if same_layout then Some (compiled, strategy)
+      else
+        (try
+           Some
+             ( Guardrail.Validator.compile
+                 (Guardrail.Validator.rebind prog schema),
+               strategy )
+         with Invalid_argument msg ->
+           raise
+             (Runtime_error
+                (Printf.sprintf "guard does not fit table %S: %s"
+                   plan.Plan.table msg)))
   in
   let guardrail_s = ref 0.0 in
   let inference_s = ref 0.0 in
@@ -260,9 +250,7 @@ let run ctx sql =
             | None -> env.values
             | Some (compiled, strategy) ->
               let t0 = now () in
-              let vs =
-                Guardrail.Validator.check_values_compiled compiled env.values
-              in
+              let vs = Guardrail.Validator.check_values compiled env.values in
               let repaired =
                 match strategy, vs with
                 | _, [] -> env.values
@@ -393,6 +381,12 @@ let run ctx sql =
     | None -> keyed_rows
   in
   let rows = List.map fst keyed_rows in
+  if Obs.Span.enabled () then begin
+    Obs.Span.add_attr "rows" (string_of_int (List.length rows));
+    Obs.Span.add_attr "violations" (string_of_int !violations);
+    Obs.Span.add_attr "guardrail_ms" (Printf.sprintf "%.3f" (!guardrail_s *. 1e3));
+    Obs.Span.add_attr "inference_ms" (Printf.sprintf "%.3f" (!inference_s *. 1e3))
+  end;
   {
     columns;
     rows;

@@ -22,15 +22,11 @@ val create : unit -> context
 val register_table : context -> string -> Dataframe.Frame.t -> unit
 val register_model : context -> target:string -> Mlmodel.Ensemble.t -> unit
 
-(** Install a guardrail applied to every row before prediction (default
-    strategy: [Rectify]). The program is compiled once here; queries over
-    tables with the guard's exact column layout reuse that compilation. *)
+(** Install a compiled guardrail applied to every row before prediction
+    (default strategy: [Rectify]). Queries over tables with the guard's
+    exact column layout reuse the compilation as-is; other layouts are
+    re-bound by column name per query. *)
 val set_guard :
-  context -> ?strategy:Guardrail.Validator.strategy -> Guardrail.Dsl.prog -> unit
-
-(** [set_guard] from an existing compilation (e.g. the serving registry's),
-    skipping the per-context compile entirely. *)
-val set_guard_compiled :
   context ->
   ?strategy:Guardrail.Validator.strategy ->
   Guardrail.Validator.compiled ->

@@ -76,6 +76,20 @@ let effect_size ~kx ~ky ~n stat =
 
 let independent_result = { stat = 0.0; df = 0; p_value = 1.0; independent = true }
 
+(* Registered lazily so merely linking stat doesn't populate the
+   default registry. [tests] counts every call; [conservative] counts
+   the no-usable-signal early returns (stratum cap hit or all-degenerate
+   tables) where independence is declared without evidence. *)
+let tests_counter =
+  lazy (Obs.Metric.counter Obs.Metric.default "ci.tests")
+
+let conservative_counter =
+  lazy (Obs.Metric.counter Obs.Metric.default "ci.conservative")
+
+let conservative () =
+  Obs.Metric.incr (Lazy.force conservative_counter);
+  independent_result
+
 (* Conditional test: sum per-stratum statistics and dfs. When the stratum
    space exceeds [max_strata], or no stratum has enough data, we
    conservatively declare independence: with no usable signal, the PC
@@ -86,11 +100,12 @@ let independent_result = { stat = 0.0; df = 0; p_value = 1.0; independent = true
    for non-iid samples (the circular-shift sampler reuses every row once
    per shift). *)
 let test spec xs ys cond_codes cond_cards =
+  Obs.Metric.incr (Lazy.force tests_counter);
   match
     Contingency.conditional ~kx:spec.kx ~ky:spec.ky ~max_strata:spec.max_strata
       xs ys cond_codes cond_cards
   with
-  | None -> independent_result
+  | None -> conservative ()
   | Some tables ->
     let stat, df, n =
       List.fold_left
@@ -99,7 +114,7 @@ let test spec xs ys cond_codes cond_cards =
           (s +. s', d + d', if d' > 0 then n + t.Contingency.total else n))
         (0.0, 0, 0) tables
     in
-    if df = 0 then independent_result
+    if df = 0 then conservative ()
     else begin
       let stat = stat *. spec.stat_scale in
       let n = int_of_float (float_of_int n *. spec.stat_scale) in

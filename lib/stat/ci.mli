@@ -1,9 +1,8 @@
 (** Conditional-independence testing, spec-record API.
 
     A {!spec} bundles every parameter of a stratified CI test besides
-    the data itself; build one with {!make} and run it with {!test}.
-    Replaces the eight-argument [Independence.ci_test], which survives
-    as a deprecated wrapper for one release. *)
+    the data itself; build one with {!make} and run it with {!test} —
+    the only conditional-test entry point. *)
 
 type statistic = Chi_square | G_test
 
@@ -46,5 +45,7 @@ val effect_size : kx:int -> ky:int -> n:int -> float -> float
     or carries no signal, reports independence (the PC algorithm then
     drops the edge) — the failure mode of the identity sampler in
     Table 8 of the paper. Pure and safe to call concurrently from
-    several domains. *)
+    several domains. Increments the [ci.tests] counter (and
+    [ci.conservative] on the no-usable-signal path) in
+    [Obs.Metric.default]. *)
 val test : spec -> int array -> int array -> int array list -> int list -> result

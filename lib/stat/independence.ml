@@ -1,8 +1,7 @@
 (* Independence tests on categorical data.
 
-   The stratified conditional test moved to the spec-record API in
-   {!Ci}; this module keeps the unconditional two-way helpers plus a
-   deprecated thin wrapper over the old eight-argument [ci_test]. *)
+   The stratified conditional test lives in the spec-record API of
+   {!Ci}; this module keeps the unconditional two-way helpers. *)
 
 type statistic = Ci.statistic = Chi_square | G_test
 
@@ -31,13 +30,6 @@ let test_two_way ?(kind = Chi_square) ?(min_effect = 0.0) ~alpha table =
     in
     { stat; df; p_value; independent = p_value > alpha || effect < min_effect }
   end
-
-(* Deprecated wrapper over {!Ci.make}/{!Ci.test}; kept for one release. *)
-let ci_test ?kind ?max_strata ?min_effect ?stat_scale ~alpha ~kx ~ky xs ys
-    cond_codes cond_cards =
-  Ci.test
-    (Ci.make ?kind ?max_strata ?min_effect ?stat_scale ~alpha ~kx ~ky ())
-    xs ys cond_codes cond_cards
 
 (* Cramér's V effect size of a two-way table, in [0, 1]. *)
 let cramers_v table =

@@ -21,23 +21,6 @@ val effect_size : kx:int -> ky:int -> n:int -> float -> float
 val test_two_way :
   ?kind:statistic -> ?min_effect:float -> alpha:float -> Contingency.table -> result
 
-(** Deprecated thin wrapper over {!Ci.make} and {!Ci.test}, kept for one
-    release so out-of-tree callers can migrate. *)
-val ci_test :
-  ?kind:statistic ->
-  ?max_strata:int ->
-  ?min_effect:float ->
-  ?stat_scale:float ->
-  alpha:float ->
-  kx:int ->
-  ky:int ->
-  int array ->
-  int array ->
-  int array list ->
-  int list ->
-  result
-[@@ocaml.deprecated "use Stat.Ci.test (Stat.Ci.make ... ()) instead"]
-
 (** Cramér's V effect size in [0, 1]. *)
 val cramers_v : Contingency.table -> float
 

@@ -300,7 +300,9 @@ let test_conformance_combined () =
   let corrupted = Frame.set frame 0 1 (s "gibbon") in
   let corrupted = Frame.set corrupted 1 2 (Value.Int 9_999_999) in
   let flags =
-    Baselines.Conformance.detect_with_guardrail fences program corrupted
+    Baselines.Conformance.detect_with_guardrail fences
+      (Guardrail.Validator.compile program)
+      corrupted
   in
   Alcotest.(check bool) "categorical violation" true flags.(0);
   Alcotest.(check bool) "numeric violation" true flags.(1);

@@ -250,7 +250,11 @@ let test_table3_protocol () =
     Guardrail.Validator.rebind r.Guardrail.Synthesize.program
       (Frame.schema inj.Corrupt.corrupted)
   in
-  let flags = Guardrail.Validator.detect prog inj.Corrupt.corrupted in
+  let flags =
+    Guardrail.Validator.detect
+      (Guardrail.Validator.compile prog)
+      inj.Corrupt.corrupted
+  in
   let c = Stat.Metrics.confusion ~predicted:flags ~actual:inj.Corrupt.mask in
   Alcotest.(check bool)
     (Printf.sprintf "F1 above 0.5 on the blood dataset (got %.3f)"

@@ -421,7 +421,9 @@ let test_synthesize_postal () =
   Alcotest.(check bool) "nonempty" true (Dsl.stmt_count result.Synthesize.program > 0);
   Alcotest.(check bool) "coverage high" true (result.Synthesize.coverage > 0.9);
   let corrupted = Frame.set frame 0 1 (s "gibbon") in
-  let flags = Validator.detect result.Synthesize.program corrupted in
+  let flags =
+    Validator.detect (Validator.compile result.Synthesize.program) corrupted
+  in
   Alcotest.(check bool) "corruption detected" true flags.(0);
   Alcotest.(check bool) "clean row not flagged" true (not flags.(1))
 
@@ -523,14 +525,16 @@ let test_synthesize_hill_climb () =
     find 0
   in
   let corrupted = Frame.set frame row stmt.Dsl.on (s "gibbon") in
-  let flags = Validator.detect result.Synthesize.program corrupted in
+  let flags =
+    Validator.detect (Validator.compile result.Synthesize.program) corrupted
+  in
   Alcotest.(check bool) "detects corruption" true flags.(row)
 
 (* ------------------------------------------------------------------ *)
 (* Validator *)
 
 let test_validator_detect_and_violations () =
-  let p = postal_prog () in
+  let p = Validator.compile (postal_prog ()) in
   let frame = postal_frame () in
   let corrupted = Frame.set frame 3 2 (s "TX") in
   let vs = Validator.violations p corrupted in
@@ -541,7 +545,7 @@ let test_validator_detect_and_violations () =
   Alcotest.(check value) "expected" (s "CA") v.Validator.expected
 
 let test_validator_strategies () =
-  let p = postal_prog () in
+  let p = Validator.compile (postal_prog ()) in
   let frame = postal_frame () in
   let corrupted = Frame.set frame 3 2 (s "TX") in
   let same, vs = Validator.handle ~strategy:Validator.Ignore p corrupted in
@@ -570,7 +574,7 @@ let test_validator_rebind () =
   let frame2 =
     Frame.of_rows schema2 [ [| s "USA"; s "CA"; s "gibbon"; s "94704" |] ]
   in
-  let flags = Validator.detect p' frame2 in
+  let flags = Validator.detect (Validator.compile p') frame2 in
   Alcotest.(check bool) "rebound program detects" true flags.(0)
 
 let test_validator_strategy_strings () =
@@ -654,7 +658,7 @@ let qcheck_rectify_fixpoint =
   QCheck.Test.make ~name:"rectified frames have no violations" ~count:30
     QCheck.(pair (int_bound 319) (int_bound 2))
     (fun (row, col) ->
-      let p = postal_prog () in
+      let p = Validator.compile (postal_prog ()) in
       let frame = postal_frame () in
       let col = col + 1 in
       let corrupted = Frame.set frame row col (s "JUNK") in

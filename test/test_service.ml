@@ -37,6 +37,8 @@ let sample_requests : P.request list =
     P.Tables;
     P.Stats;
     P.Shutdown;
+    P.Trace { enable = true };
+    P.Trace { enable = false };
   ]
 
 let sample_responses : P.response list =
@@ -226,6 +228,85 @@ let test_metrics_counts () =
   Alcotest.(check bool) "render mentions DETECT" true
     (contains ~needle:"DETECT" rendered)
 
+(* Byte-level golden for the STATS wire reply: the expected bytes are
+   re-derived here from the documented wire format (version u8, tag u8,
+   then the fields in declaration order), so any change to the encoding
+   — field order, primitive widths, the version byte — fails loudly.
+   Metrics moved onto the Obs registry; the reply must not move. *)
+let test_stats_reply_golden_bytes () =
+  let reply =
+    P.Stats_reply
+      { uptime_s = 1.5; connections = 4; served = 9;
+        commands =
+          [
+            { P.command = "DETECT"; count = 3; errors = 1; mean_ms = 0.5;
+              max_ms = 2.0 };
+          ];
+        rendered = "ok\n" }
+  in
+  let expected =
+    let buf = Buffer.create 64 in
+    let u8 v = Buffer.add_char buf (Char.chr v) in
+    let u32 v =
+      u8 ((v lsr 24) land 0xff);
+      u8 ((v lsr 16) land 0xff);
+      u8 ((v lsr 8) land 0xff);
+      u8 (v land 0xff)
+    in
+    let f64 v =
+      let bits = Int64.bits_of_float v in
+      for i = 7 downto 0 do
+        u8 (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)
+      done
+    in
+    let str s =
+      u32 (String.length s);
+      Buffer.add_string buf s
+    in
+    u8 1 (* version *);
+    u8 7 (* Stats_reply tag *);
+    f64 1.5;
+    u32 4 (* connections *);
+    u32 9 (* served *);
+    u32 1 (* one command stat *);
+    str "DETECT";
+    u32 3;
+    u32 1;
+    f64 0.5;
+    f64 2.0;
+    str "ok\n";
+    Buffer.contents buf
+  in
+  Alcotest.(check string) "Stats_reply bytes are stable" expected
+    (P.encode_response reply)
+
+(* Golden render: the STATS text body is part of the wire contract. *)
+let test_metrics_render_golden () =
+  let s =
+    {
+      Service.Metrics.uptime_s = 12.3;
+      connections = 2;
+      protocol_errors = 1;
+      served = 3;
+      commands =
+        [
+          {
+            Service.Metrics.command = "DETECT";
+            count = 2;
+            errors = 1;
+            total_s = 0.202;
+            max_s = 0.2;
+            buckets = [| 0; 0; 0; 1; 0; 0; 0; 1; 0; 0 |];
+          };
+        ];
+    }
+  in
+  Alcotest.(check string) "render text is stable"
+    ("uptime 12.3s, 2 connection(s), 3 request(s) served, 1 protocol error(s)\n"
+   ^ "DETECT         2 req     1 err  mean  101.00ms  max  200.00ms\n"
+   ^ "          latency: <=3ms:1 <=300ms:1\n")
+    (Service.Metrics.render s)
+
 (* ------------------------------------------------------------------ *)
 (* Registry *)
 
@@ -316,7 +397,7 @@ let test_dispatch_detect_matches_offline () =
    | _ -> Alcotest.fail "load failed");
   let frame = Dataframe.Csv.of_string people_csv in
   let prog = Guardrail.Parse.prog (Frame.schema frame) people_program in
-  let offline = Validator.detect prog frame in
+  let offline = Validator.detect (Validator.compile prog) frame in
   match Service.Server.handle_request srv (P.Detect { table = "people"; csv = None }) with
   | P.Detections { flags; violations } ->
     Alcotest.(check bool) "flags match offline" true (flags = offline);
@@ -362,7 +443,7 @@ let sql_query = "SELECT smoker, COUNT(*) AS n FROM data GROUP BY smoker ORDER BY
 let test_loopback_concurrent_clients () =
   let frame, program, program_text = Lazy.force integration_fixture in
   (* offline ground truth *)
-  let offline_flags = Validator.detect program frame in
+  let offline_flags = Validator.detect (Validator.compile program) frame in
   let offline_violations =
     Array.fold_left (fun n b -> if b then n + 1 else n) 0 offline_flags
   in
@@ -528,6 +609,50 @@ let test_unix_domain_socket () =
   Alcotest.(check bool) "socket file removed on shutdown" false
     (Sys.file_exists path)
 
+(* TRACE lifecycle over the loopback: start, serve a spanned request,
+   stop and get back parseable Chrome JSON naming the command. *)
+let test_loopback_trace () =
+  let frame, _, program_text = Lazy.force integration_fixture in
+  let registry = Service.Registry.create () in
+  let (_ : Service.Registry.entry) =
+    Service.Registry.load registry ~name:"data" ~program:program_text frame
+  in
+  let server, addr, runner = start_server ~pool_size:2 registry in
+  Service.Client.with_connection addr (fun c ->
+      let expect_server_error what f =
+        match f () with
+        | exception Service.Client.Server_error _ -> ()
+        | _ -> Alcotest.fail what
+      in
+      (* stopping before starting is an error *)
+      expect_server_error "trace-stop without trace-start should error"
+        (fun () -> Service.Client.request_exn c (P.Trace { enable = false }));
+      (match Service.Client.request_exn c (P.Trace { enable = true }) with
+       | P.Ok_reply _ -> ()
+       | _ -> Alcotest.fail "trace-start failed");
+      (* double start is an error, and must not clobber the collector *)
+      expect_server_error "second trace-start should error" (fun () ->
+          Service.Client.request_exn c (P.Trace { enable = true }));
+      (match
+         Service.Client.request_exn c (P.Detect { table = "data"; csv = None })
+       with
+       | P.Detections _ -> ()
+       | _ -> Alcotest.fail "detect failed");
+      match Service.Client.request_exn c (P.Trace { enable = false }) with
+      | P.Ok_reply json ->
+        let events = Obs.Trace.events_of_chrome_json json in
+        Alcotest.(check bool) "trace has a DETECT span" true
+          (List.exists
+             (fun (e : Obs.Collector.event) -> e.Obs.Collector.name = "DETECT")
+             events);
+        Alcotest.(check bool) "trace has no TRACE span" false
+          (List.exists
+             (fun (e : Obs.Collector.event) -> e.Obs.Collector.name = "TRACE")
+             events)
+      | _ -> Alcotest.fail "trace-stop failed");
+  Service.Server.stop server;
+  Domain.join runner
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -553,7 +678,12 @@ let () =
           Alcotest.test_case "shutdown drains" `Quick test_pool_shutdown_drains;
         ] );
       ( "metrics",
-        [ Alcotest.test_case "counts" `Quick test_metrics_counts ] );
+        [
+          Alcotest.test_case "counts" `Quick test_metrics_counts;
+          Alcotest.test_case "STATS reply golden bytes" `Quick
+            test_stats_reply_golden_bytes;
+          Alcotest.test_case "render golden" `Quick test_metrics_render_golden;
+        ] );
       ( "registry",
         [
           Alcotest.test_case "load/find/compile-once" `Quick test_registry_load_find;
@@ -573,5 +703,6 @@ let () =
             test_loopback_malformed_keeps_serving;
           Alcotest.test_case "shutdown drains" `Quick test_loopback_shutdown_drains;
           Alcotest.test_case "unix socket" `Quick test_unix_domain_socket;
+          Alcotest.test_case "trace lifecycle" `Quick test_loopback_trace;
         ] );
     ]

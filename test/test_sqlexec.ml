@@ -266,7 +266,8 @@ let test_exec_guardrail_rectifies () =
   Alcotest.(check bool) "corruption changes the answer" true
     (not (Value.equal clean_n corrupted_n));
   (* with the guardrail in rectify mode, the answer is restored *)
-  Exec.set_guard ctx ~strategy:Guardrail.Validator.Rectify prog;
+  Exec.set_guard ctx ~strategy:Guardrail.Validator.Rectify
+    (Guardrail.Validator.compile prog);
   let r = Exec.run ctx query in
   Alcotest.(check value) "rectified answer matches clean" clean_n
     (List.hd r.Exec.rows).(0);
@@ -281,7 +282,8 @@ let test_exec_guardrail_raise () =
   let ctx = Exec.create () in
   Exec.register_table ctx "t" corrupted;
   Exec.register_model ctx ~target:"label" model;
-  Exec.set_guard ctx ~strategy:Guardrail.Validator.Raise prog;
+  Exec.set_guard ctx ~strategy:Guardrail.Validator.Raise
+    (Guardrail.Validator.compile prog);
   Alcotest.(check bool) "raise aborts the query" true
     (try
        ignore (Exec.run ctx "SELECT COUNT(*) FROM t WHERE PREDICT(label) = 'yes'");

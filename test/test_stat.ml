@@ -223,26 +223,21 @@ let test_ci_make_validates () =
   raises (fun () -> Ci.make ~alpha:0.01 ~stat_scale:0.0 ~kx:2 ~ky:2 ());
   raises (fun () -> Ci.make ~alpha:0.01 ~min_effect:(-0.1) ~kx:2 ~ky:2 ())
 
-(* the deprecated eight-argument wrapper must agree with the spec API
-   for its one remaining release *)
-module Deprecated_wrapper = struct
-  [@@@alert "-deprecated"]
-
-  let test () =
-    let rng = Rng.create 11 in
-    let n = 2000 in
-    let xs = Array.init n (fun _ -> Rng.int rng 2) in
-    let ys = Array.init n (fun _ -> Rng.int rng 2) in
-    let zs = Array.init n (fun _ -> Rng.int rng 3) in
-    let old_r =
-      Independence.ci_test ~alpha:0.05 ~kx:2 ~ky:2 xs ys [ zs ] [ 3 ]
-    in
-    let new_r = Ci.test (Ci.make ~alpha:0.05 ~kx:2 ~ky:2 ()) xs ys [ zs ] [ 3 ] in
-    Alcotest.(check (float 0.0)) "same statistic" new_r.Ci.stat old_r.Ci.stat;
-    Alcotest.(check int) "same df" new_r.Ci.df old_r.Ci.df;
-    Alcotest.(check bool) "same verdict" new_r.Ci.independent
-      old_r.Ci.independent
-end
+(* Ci.test is a pure function of the spec and the data: the same call
+   must reproduce the same statistic bit-for-bit (the synthesis memo
+   cache depends on this) *)
+let test_ci_test_deterministic () =
+  let rng = Rng.create 11 in
+  let n = 2000 in
+  let xs = Array.init n (fun _ -> Rng.int rng 2) in
+  let ys = Array.init n (fun _ -> Rng.int rng 2) in
+  let zs = Array.init n (fun _ -> Rng.int rng 3) in
+  let spec = Ci.make ~alpha:0.05 ~kx:2 ~ky:2 () in
+  let a = Ci.test spec xs ys [ zs ] [ 3 ] in
+  let b = Ci.test spec xs ys [ zs ] [ 3 ] in
+  Alcotest.(check (float 0.0)) "same statistic" a.Ci.stat b.Ci.stat;
+  Alcotest.(check int) "same df" a.Ci.df b.Ci.df;
+  Alcotest.(check bool) "same verdict" a.Ci.independent b.Ci.independent
 
 let test_mutual_information () =
   let xs = [| 0; 0; 1; 1 |] in
@@ -389,7 +384,7 @@ let () =
           Alcotest.test_case "conditional independence" `Quick test_conditional_independence;
           Alcotest.test_case "stratum cap conservative" `Quick test_ci_test_max_strata;
           Alcotest.test_case "Ci.make validates" `Quick test_ci_make_validates;
-          Alcotest.test_case "deprecated wrapper agrees" `Quick Deprecated_wrapper.test;
+          Alcotest.test_case "ci test deterministic" `Quick test_ci_test_deterministic;
           Alcotest.test_case "mutual information" `Quick test_mutual_information;
           Alcotest.test_case "cramers v" `Quick test_cramers_v;
         ] );
