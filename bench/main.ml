@@ -17,6 +17,7 @@
      optsmt  OptSMT clause blow-up and budgeted solve (§8.3)
      micro   bechamel micro-benchmarks
      serve   daemon throughput: concurrent clients vs pool size
+     groupby group-by kernel vs the retired ad-hoc Hashtbl paths
 
    Scale note: ML-dependent experiments subsample the largest datasets
    (documented in EXPERIMENTS.md); structure-learning experiments run at
@@ -907,6 +908,99 @@ let serve_bench () =
     [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* Group-by kernel: retired ad-hoc Hashtbl grouping vs Dataframe.Group *)
+
+let groupby_bench () =
+  header "Group-by kernel: ad-hoc Hashtbl vs kernel (cold / cached)";
+  let reps = 20 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  (* the grouping style this kernel replaced: a Hashtbl from the row's
+     composite key to its accumulated row list (Fill/Auxdist pre-kernel) *)
+  let adhoc codes cols n () =
+    let tbl : (int list, int list ref) Hashtbl.t = Hashtbl.create 256 in
+    for i = 0 to n - 1 do
+      let key = List.map (fun j -> codes.(j).(i)) cols in
+      match Hashtbl.find_opt tbl key with
+      | Some r -> r := i :: !r
+      | None -> Hashtbl.add tbl key (ref [ i ])
+    done;
+    Hashtbl.length tbl
+  in
+  Printf.printf "  %-18s %-14s %7s %10s %10s %10s %8s\n" "dataset" "columns"
+    "groups" "adhoc(ms)" "cold(ms)" "cached(ms)" "speedup";
+  let records = ref [] in
+  List.iter
+    (fun id ->
+      let p = prepare id in
+      let frame = p.full in
+      let n = Frame.nrows frame in
+      let codes = Frame.code_matrix frame in
+      let cards = Frame.cardinalities frame in
+      let cats = Frame.categorical_indices frame in
+      (* adjacent categorical pairs: the shape Fill groups by *)
+      let rec pairs = function
+        | a :: (b :: _ as rest) -> [ a; b ] :: pairs rest
+        | _ -> []
+      in
+      let col_sets = pairs cats in
+      let cache =
+        Dataframe.Group.Cache.create ~codes ~cards ()
+      in
+      (* warm the cache once: steady-state synthesis re-requests sets *)
+      List.iter
+        (fun cols -> ignore (Dataframe.Group.Cache.get cache cols))
+        col_sets;
+      List.iter
+        (fun cols ->
+          let col_list = List.map (fun j -> codes.(j)) cols in
+          let card_list = List.map (fun j -> cards.(j)) cols in
+          let adhoc_s = time (adhoc codes cols n) in
+          let cold_s =
+            time (fun () -> Dataframe.Group.make col_list card_list n)
+          in
+          let cached_s =
+            time (fun () -> Dataframe.Group.Cache.get cache cols)
+          in
+          let g = Dataframe.Group.Cache.get cache cols in
+          let label =
+            String.concat "," (List.map string_of_int cols)
+          in
+          Printf.printf "  %-18s %-14s %7d %10.3f %10.3f %10.4f %7.1fx\n%!"
+            p.spec.Spec.name label
+            (Dataframe.Group.n_groups g)
+            (adhoc_s *. 1e3) (cold_s *. 1e3) (cached_s *. 1e3)
+            (if cached_s > 0.0 then adhoc_s /. cached_s else Float.infinity);
+          records :=
+            Obs.Json.Obj
+              [ ("id", Obs.Json.Num (float_of_int id));
+                ("name", Obs.Json.Str p.spec.Spec.name);
+                ("columns", Obs.Json.Str label);
+                ("n_rows", Obs.Json.Num (float_of_int n));
+                ( "n_groups",
+                  Obs.Json.Num (float_of_int (Dataframe.Group.n_groups g)) );
+                ("adhoc_s", Obs.Json.Num adhoc_s);
+                ("kernel_cold_s", Obs.Json.Num cold_s);
+                ("kernel_cached_s", Obs.Json.Num cached_s) ]
+            :: !records)
+        col_sets)
+    [ 2; 5; 7 ];
+  let oc = open_out "BENCH_group.json" in
+  output_string oc
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [ ("reps", Obs.Json.Num (float_of_int reps));
+            ("workloads", Obs.Json.List (List.rev !records)) ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "group-by timings written to BENCH_group.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let experiments =
@@ -925,6 +1019,7 @@ let experiments =
     ("structure", structure);
     ("micro", micro);
     ("serve", serve_bench);
+    ("groupby", groupby_bench);
   ]
 
 let () =

@@ -24,21 +24,17 @@ let class_count t = List.length t.classes
 let element_count t =
   List.fold_left (fun acc c -> acc + Array.length c) 0 t.classes
 
+(* The equivalence classes are the group-by kernel's groups; stripping
+   keeps those of size >= 2. The CSR index hands each class out as a
+   contiguous slice (rows ascending), in first-occurrence order. *)
 let of_codes n codes =
-  let tbl : (int, int list) Hashtbl.t = Hashtbl.create 256 in
-  for i = n - 1 downto 0 do
-    let k = codes.(i) in
-    Hashtbl.replace tbl k (i :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  let g = Dataframe.Group.of_codes n codes in
+  let classes = ref [] in
+  for gid = Dataframe.Group.n_groups g - 1 downto 0 do
+    if Dataframe.Group.size g gid >= 2 then
+      classes := Dataframe.Group.rows_of g gid :: !classes
   done;
-  let classes =
-    Hashtbl.fold
-      (fun _ rows acc ->
-        match rows with
-        | [] | [ _ ] -> acc
-        | rows -> Array.of_list rows :: acc)
-      tbl []
-  in
-  { classes; n_rows = n }
+  { classes = !classes; n_rows = n }
 
 let of_column col =
   of_codes (Dataframe.Column.length col) (Dataframe.Column.codes col)

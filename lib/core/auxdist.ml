@@ -86,6 +86,22 @@ let ci_oracle ?(alpha = 0.01) ?(max_strata = 4096) ?(min_effect = 0.0) samples =
     Stat.Ci.make ~max_strata ~min_effect ~stat_scale:samples.design_scale
       ~alpha ~kx:2 ~ky:2 ()
   in
+  (* Conditioning-set group index, shared across tests and PC levels:
+     stable-PC revisits the same set S for many (i, j) pairs, so the
+     stratification is computed once per distinct S. Sets past the
+     [max_strata] cap are never grouped — Ci.test gives up on them
+     before looking at the data. *)
+  let group_cache =
+    Dataframe.Group.Cache.create ~codes:samples.columns ~cards ()
+  in
+  let groups_for cond =
+    match
+      Dataframe.Group.strata_count ~cap:max_strata
+        (List.map (fun k -> cards.(k)) cond)
+    with
+    | None -> None
+    | Some _ -> Some (Dataframe.Group.Cache.get group_cache cond)
+  in
   let memo : (int * int * int list, bool) Hashtbl.t = Hashtbl.create 256 in
   let memo_mutex = Mutex.create () in
   let hits = Obs.Metric.counter Obs.Metric.default "ci.cache.hits" in
@@ -107,7 +123,8 @@ let ci_oracle ?(alpha = 0.01) ?(max_strata = 4096) ?(min_effect = 0.0) samples =
       Obs.Metric.incr misses;
       let spec = { spec with Stat.Ci.kx = cards.(i); ky = cards.(j) } in
       let r =
-        Stat.Ci.test spec samples.columns.(i) samples.columns.(j)
+        Stat.Ci.test spec ?groups:(groups_for cond) samples.columns.(i)
+          samples.columns.(j)
           (List.map (fun k -> samples.columns.(k)) cond)
           (List.map (fun k -> cards.(k)) cond)
       in

@@ -10,6 +10,7 @@
 
 module Frame = Dataframe.Frame
 module Value = Dataframe.Value
+module Group = Dataframe.Group
 
 type filled = {
   stmt : Dsl.stmt;
@@ -18,38 +19,28 @@ type filled = {
   support : int;      (* rows covered by kept branches *)
 }
 
-(* Group rows by determinant combination. Returns, per observed
-   combination: a representative row (to materialize condition literals),
-   the support size, and the histogram of dependent codes. *)
-let group_by_determinants frame given on =
-  let n = Frame.nrows frame in
-  let det_codes =
-    List.map (fun c -> Dataframe.Column.codes (Frame.column frame c)) given
-  in
-  let on_col = Frame.column frame on in
-  let on_codes = Dataframe.Column.codes on_col in
-  let on_card = Dataframe.Column.cardinality on_col in
-  let groups : (int list, int * int ref * int array) Hashtbl.t =
-    Hashtbl.create 256
-  in
-  for i = 0 to n - 1 do
-    let key = List.map (fun codes -> codes.(i)) det_codes in
-    let _, count, hist =
-      match Hashtbl.find_opt groups key with
-      | Some g -> g
-      | None ->
-        let g = (i, ref 0, Array.make on_card 0) in
-        Hashtbl.add groups key g;
-        g
+(* Group rows by determinant combination via the shared kernel: the
+   observed combinations are the group index's groups, the support sizes
+   its counts, and the per-group histograms of dependent codes come off
+   one [Group.histograms] pass. [groups] shares one cache across the
+   sketches of a synthesis run (DAGs of one MEC largely share GIVEN
+   sets). *)
+let group_by_determinants ?groups frame given =
+  match groups with
+  | Some cache -> Group.Cache.get cache given
+  | None ->
+    let det_codes =
+      List.map (fun c -> Dataframe.Column.codes (Frame.column frame c)) given
     in
-    incr count;
-    hist.(on_codes.(i)) <- hist.(on_codes.(i)) + 1
-  done;
-  groups
+    let det_cards =
+      List.map (fun c -> Dataframe.Column.cardinality (Frame.column frame c)) given
+    in
+    Group.make det_codes det_cards (Frame.nrows frame)
 
 (* FillStmtSketch (Alg. 1, lines 7-20). Returns [None] when no branch
    survives the epsilon-validity check (line 20: ⊥). *)
-let fill_stmt_sketch ?(min_support = 1) frame ~epsilon (sk : Sketch.stmt_sketch) =
+let fill_stmt_sketch ?(min_support = 1) ?groups frame ~epsilon
+    (sk : Sketch.stmt_sketch) =
   Obs.Span.with_ "fill.sketch"
     ~attrs:(fun () ->
       [
@@ -60,36 +51,40 @@ let fill_stmt_sketch ?(min_support = 1) frame ~epsilon (sk : Sketch.stmt_sketch)
   let n = Frame.nrows frame in
   if n = 0 then None
   else begin
-    let groups = group_by_determinants frame sk.Sketch.given sk.Sketch.on in
+    let g = group_by_determinants ?groups frame sk.Sketch.given in
     let on_col = Frame.column frame sk.Sketch.on in
+    let on_codes = Dataframe.Column.codes on_col in
+    let on_card = Dataframe.Column.cardinality on_col in
+    let hists = Group.histograms g on_codes ~card:on_card in
     let branches = ref [] in
     let total_loss = ref 0 in
     let total_support = ref 0 in
-    Hashtbl.iter
-      (fun _key (rep_row, count, hist) ->
-        let support = !count in
-        (* l* = arg-min loss = modal dependent code (Alg. 1 line 14) *)
-        let best = ref 0 in
-        Array.iteri (fun c k -> if k > hist.(!best) then best := c) hist;
-        let loss = support - hist.(!best) in
-        (* epsilon-validity (line 15) plus a support floor to keep
-           singleton conditions from vacuously passing *)
-        if
-          support >= min_support
-          && float_of_int loss <= float_of_int support *. epsilon
-        then begin
-          let condition =
-            List.map
-              (fun attr ->
-                { Dsl.attr; value = Frame.get frame rep_row attr })
-              sk.Sketch.given
-          in
-          let assignment = Dataframe.Column.value_of_code on_col !best in
-          branches := Dsl.branch ~condition ~assignment :: !branches;
-          total_loss := !total_loss + loss;
-          total_support := !total_support + support
-        end)
-      groups;
+    for gid = Group.n_groups g - 1 downto 0 do
+      let support = Group.size g gid in
+      let hist = hists.(gid) in
+      (* l* = arg-min loss = modal dependent code (Alg. 1 line 14) *)
+      let best = ref 0 in
+      Array.iteri (fun c k -> if k > hist.(!best) then best := c) hist;
+      let loss = support - hist.(!best) in
+      (* epsilon-validity (line 15) plus a support floor to keep
+         singleton conditions from vacuously passing *)
+      if
+        support >= min_support
+        && float_of_int loss <= float_of_int support *. epsilon
+      then begin
+        let rep_row = Group.first_row g gid in
+        let condition =
+          List.map
+            (fun attr ->
+              { Dsl.attr; value = Frame.get frame rep_row attr })
+            sk.Sketch.given
+        in
+        let assignment = Dataframe.Column.value_of_code on_col !best in
+        branches := Dsl.branch ~condition ~assignment :: !branches;
+        total_loss := !total_loss + loss;
+        total_support := !total_support + support
+      end
+    done;
     match !branches with
     | [] -> None
     | branches ->
@@ -103,16 +98,28 @@ let fill_stmt_sketch ?(min_support = 1) frame ~epsilon (sk : Sketch.stmt_sketch)
         }
   end
 
+(* One grouping cache per frame, shared by every statement fill of a
+   run (safe across pool domains). *)
+let group_cache frame =
+  Group.Cache.create
+    ~codes:(Frame.code_matrix frame)
+    ~cards:(Frame.cardinalities frame)
+    ()
+
 (* Fill a whole program sketch (Alg. 1, lines 1-6): statements whose
    sketch yields no valid branch are dropped. Statement fills are
    independent of one another, so with a pool they fan out across
    domains; [parmap] preserves sketch order, keeping the result
    identical at every pool size. *)
-let fill_prog_sketch ?min_support ?pool frame ~epsilon (p : Sketch.prog_sketch) =
+let fill_prog_sketch ?min_support ?pool ?groups frame ~epsilon
+    (p : Sketch.prog_sketch) =
+  let groups =
+    match groups with Some c -> c | None -> group_cache frame
+  in
   let filled =
     List.filter_map Fun.id
       (Runtime.Pool.parmap ?pool ~chunk:1
-         (fill_stmt_sketch ?min_support frame ~epsilon)
+         (fill_stmt_sketch ?min_support ~groups frame ~epsilon)
          p)
   in
   let stmts = List.map (fun f -> f.stmt) filled in

@@ -33,27 +33,17 @@ let of_dag ?(var_to_col = fun i -> i) dag =
   !acc
 
 (* Dense composite coding of a column set: observed combinations are mapped
-   to 0 .. k-1. Returns the per-row codes and k. *)
+   to 0 .. k-1 in first-occurrence order — exactly the group-by kernel's
+   dense ids. Returns the per-row codes and k. *)
 let composite_codes frame cols =
-  let n = Frame.nrows frame in
-  let code_arrays = List.map (fun c -> Dataframe.Column.codes (Frame.column frame c)) cols in
-  let tbl : (int list, int) Hashtbl.t = Hashtbl.create 64 in
-  let out = Array.make n 0 in
-  let next = ref 0 in
-  for i = 0 to n - 1 do
-    let key = List.map (fun codes -> codes.(i)) code_arrays in
-    let code =
-      match Hashtbl.find_opt tbl key with
-      | Some c -> c
-      | None ->
-        let c = !next in
-        incr next;
-        Hashtbl.add tbl key c;
-        c
-    in
-    out.(i) <- code
-  done;
-  (out, !next)
+  let code_arrays =
+    List.map (fun c -> Dataframe.Column.codes (Frame.column frame c)) cols
+  in
+  let cards =
+    List.map (fun c -> Dataframe.Column.cardinality (Frame.column frame c)) cols
+  in
+  let g = Dataframe.Group.make code_arrays cards (Frame.nrows frame) in
+  (Dataframe.Group.ids g, Dataframe.Group.n_groups g)
 
 (* Local non-triviality (Def. 4.1): the dependent attribute must be
    statistically dependent on the joint determinant set. Tested with a

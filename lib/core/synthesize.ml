@@ -216,11 +216,16 @@ let run ?(config = Config.default) ?pool frame =
            end))
       sketches;
     let distinct = List.rev !distinct in
+    (* one grouping cache for the whole fill fan-out: distinct sketches
+       sharing a GIVEN set (and future runs over the same cache) group
+       the frame once; the cache is mutex-guarded, so sharing it across
+       the pool's domains is safe and the result schedule-independent *)
+    let groups = Fill.group_cache frame in
     let filled_distinct =
       Runtime.Pool.parmap ?pool ~chunk:1
         (timed_task fill_work
-           (Fill.fill_stmt_sketch ~min_support:config.Config.min_support frame
-              ~epsilon:config.Config.epsilon))
+           (Fill.fill_stmt_sketch ~min_support:config.Config.min_support
+              ~groups frame ~epsilon:config.Config.epsilon))
         distinct
     in
     let cache : (int list * int, Fill.filled option) Hashtbl.t =

@@ -65,37 +65,81 @@ let set t i v =
     codes.(i) <- c;
     { codes; dict; index }
 
+(* Batch update: one code-array copy for the whole change list, the
+   index copied only if some value is genuinely new. *)
 let update t changes =
-  List.fold_left (fun acc (i, v) -> set acc i v) t changes
+  match changes with
+  | [] -> t
+  | changes ->
+    let codes = Array.copy t.codes in
+    let index = ref t.index in
+    let fresh = ref [] in
+    let next = ref (Array.length t.dict) in
+    List.iter
+      (fun (i, v) ->
+        let c =
+          match Hashtbl.find_opt !index v with
+          | Some c -> c
+          | None ->
+            if !index == t.index then index := Hashtbl.copy t.index;
+            let c = !next in
+            Hashtbl.add !index v c;
+            fresh := v :: !fresh;
+            incr next;
+            c
+        in
+        codes.(i) <- c)
+      changes;
+    let dict =
+      match !fresh with
+      | [] -> t.dict
+      | fresh -> Array.append t.dict (Array.of_list (List.rev fresh))
+    in
+    { codes; dict; index = !index }
 
 (* Keep only the rows whose index satisfies [keep]; dictionary is preserved
    as-is (codes of dropped values simply become unused). *)
 let select t keep =
-  let acc = ref [] in
-  Array.iteri (fun i c -> if keep i then acc := c :: !acc) t.codes;
-  { t with codes = Array.of_list (List.rev !acc) }
+  let n = Array.length t.codes in
+  let scratch = Array.make n 0 in
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    if keep i then begin
+      scratch.(!m) <- t.codes.(i);
+      incr m
+    end
+  done;
+  { t with codes = Array.sub scratch 0 !m }
 
 let take t indices =
   let codes = Array.map (fun i -> t.codes.(i)) indices in
   { t with codes }
 
+(* Re-encode [b]'s cells against [a]'s dictionary; new values are
+   collected in a reversed list and appended to the dictionary once
+   (the old per-value [dict @ [v]] was quadratic in new values). *)
 let append a b =
-  let vb = to_values b in
-  let codes_b = Array.map (fun _ -> 0) vb in
-  let dict = ref (Array.to_list a.dict) in
+  let nb = Array.length b.codes in
+  let codes_b = Array.make nb 0 in
   let index = Hashtbl.copy a.index in
+  let fresh = ref [] in
   let next = ref (Array.length a.dict) in
-  Array.iteri
-    (fun i v ->
-      match Hashtbl.find_opt index v with
-      | Some c -> codes_b.(i) <- c
-      | None ->
-        Hashtbl.add index v !next;
-        dict := !dict @ [ v ];
-        codes_b.(i) <- !next;
-        incr next)
-    vb;
-  { codes = Array.append a.codes codes_b; dict = Array.of_list !dict; index }
+  for i = 0 to nb - 1 do
+    let v = b.dict.(b.codes.(i)) in
+    match Hashtbl.find_opt index v with
+    | Some c -> codes_b.(i) <- c
+    | None ->
+      Hashtbl.add index v !next;
+      fresh := v :: !fresh;
+      codes_b.(i) <- !next;
+      incr next
+  done;
+  let dict =
+    match !fresh with
+    | [] -> a.dict
+    | fresh -> Array.append a.dict (Array.of_list (List.rev fresh))
+  in
+  { codes = Array.append a.codes codes_b; dict; index }
 
 let counts t =
   let k = cardinality t in

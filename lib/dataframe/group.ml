@@ -1,0 +1,249 @@
+(* The one group-by kernel.
+
+   Every hot loop of the synthesis pipeline — conditional-independence
+   strata, the HAVING fill's per-GIVEN histograms, TANE's stripped
+   partitions, BIC family counts, feature-vector dedup — reduces to the
+   same primitive: group rows by a tuple of dictionary codes and count.
+   This module is that primitive, computed once and shared.
+
+   Key encoding picks between two paths that produce *identical* dense
+   group ids (numbered in order of first occurrence):
+
+   - mixed radix: when the product of the column cardinalities fits under
+     a cap, each row's composite key is the radix combination of its
+     codes; densification is a flat remap array (no hashing at all);
+   - hashed: otherwise, a hashtable over the per-row code tuples.
+
+   On top of the dense ids sits a CSR-style index (offsets + row indices
+   sorted by group), so callers can walk any group's rows without
+   allocating per-group lists. *)
+
+type t = {
+  ids : int array;      (* row -> dense group id, first-occurrence order *)
+  n_groups : int;
+  offsets : int array;  (* length n_groups + 1 *)
+  rows : int array;     (* row indices, grouped; ascending within a group *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Key encoding *)
+
+(* Product of the cardinalities with early abort: the historical
+   [max_strata] cap semantics of [Stat.Contingency.strata] — the fold
+   stops multiplying once past the cap, which also avoids overflow on
+   absurd cardinality products. *)
+let strata_count ~cap cards =
+  let prod =
+    List.fold_left (fun acc c -> if acc > cap then acc else acc * c) 1 cards
+  in
+  if prod > cap then None else Some prod
+
+(* Raw mixed-radix ids (not densified): id(i) = fold (id * card + code). *)
+let raw_ids codes cards n =
+  let ids = Array.make n 0 in
+  List.iter2
+    (fun cs card ->
+      for i = 0 to n - 1 do
+        ids.(i) <- (ids.(i) * card) + cs.(i)
+      done)
+    codes cards;
+  ids
+
+(* Exactly the historical [Contingency.strata]: per-row mixed-radix
+   stratum ids plus the stratum-space size, or [None] past the cap. *)
+let strata ~max_strata cond_codes cond_cards n =
+  if cond_codes = [] then Some (Array.make n 0, 1)
+  else
+    match strata_count ~cap:max_strata cond_cards with
+    | None -> None
+    | Some prod -> Some (raw_ids cond_codes cond_cards n, prod)
+
+(* Densify raw ids bounded by [space] via a flat remap array; dense ids
+   are assigned in order of first occurrence. *)
+let densify ids space =
+  let n = Array.length ids in
+  let remap = Array.make space (-1) in
+  let out = Array.make n 0 in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    let d = remap.(ids.(i)) in
+    if d >= 0 then out.(i) <- d
+    else begin
+      remap.(ids.(i)) <- !next;
+      out.(i) <- !next;
+      incr next
+    end
+  done;
+  (out, !next)
+
+(* Hashed fallback: same dense first-occurrence ids, any key space. *)
+let hashed_ids codes n =
+  let arrs = Array.of_list codes in
+  let d = Array.length arrs in
+  let tbl : (int array, int) Hashtbl.t = Hashtbl.create 256 in
+  let out = Array.make n 0 in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    let key = Array.init d (fun j -> arrs.(j).(i)) in
+    match Hashtbl.find_opt tbl key with
+    | Some g -> out.(i) <- g
+    | None ->
+      Hashtbl.add tbl key !next;
+      out.(i) <- !next;
+      incr next
+  done;
+  (out, !next)
+
+(* ------------------------------------------------------------------ *)
+(* CSR index *)
+
+let csr ids n_groups =
+  let n = Array.length ids in
+  let offsets = Array.make (n_groups + 1) 0 in
+  Array.iter (fun g -> offsets.(g + 1) <- offsets.(g + 1) + 1) ids;
+  for g = 0 to n_groups - 1 do
+    offsets.(g + 1) <- offsets.(g + 1) + offsets.(g)
+  done;
+  let cursor = Array.sub offsets 0 (max n_groups 1) in
+  let rows = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let g = ids.(i) in
+    rows.(cursor.(g)) <- i;
+    cursor.(g) <- cursor.(g) + 1
+  done;
+  (offsets, rows)
+
+let default_cap = 65_536
+
+let make ?(cap = default_cap) codes cards n =
+  if List.length codes <> List.length cards then
+    invalid_arg "Group.make: codes/cards mismatch";
+  List.iter
+    (fun cs ->
+      if Array.length cs <> n then invalid_arg "Group.make: length mismatch")
+    codes;
+  let ids, n_groups =
+    if n = 0 then ([||], 0)
+    else if codes = [] then (Array.make n 0, 1)
+    else
+      match strata_count ~cap cards with
+      | Some space -> densify (raw_ids codes cards n) space
+      | None -> hashed_ids codes n
+  in
+  let offsets, rows = csr ids n_groups in
+  { ids; n_groups; offsets; rows }
+
+let of_codes n codes =
+  let codes =
+    if Array.length codes = n then codes else Array.sub codes 0 n
+  in
+  let card = ref 0 in
+  Array.iter
+    (fun c ->
+      if c < 0 then invalid_arg "Group.of_codes: negative code";
+      if c >= !card then card := c + 1)
+    codes;
+  make [ codes ] [ !card ] n
+
+(* ------------------------------------------------------------------ *)
+(* Accessors and marginal helpers *)
+
+let ids t = t.ids
+let id t i = t.ids.(i)
+let n_groups t = t.n_groups
+let n_rows t = Array.length t.ids
+let offsets t = t.offsets
+let row_index t = t.rows
+let size t g = t.offsets.(g + 1) - t.offsets.(g)
+let counts t = Array.init t.n_groups (size t)
+let first_row t g = t.rows.(t.offsets.(g))
+let rows_of t g = Array.sub t.rows t.offsets.(g) (size t g)
+
+let iter_rows t g f =
+  for k = t.offsets.(g) to t.offsets.(g + 1) - 1 do
+    f t.rows.(k)
+  done
+
+(* Per-group histogram of a second code array: the conditional marginal
+   the HAVING fill, BIC scoring and stratified contingency tables all
+   need. One pass over the rows, one [card]-wide bucket array per
+   group. *)
+let histograms t codes ~card =
+  if Array.length codes <> Array.length t.ids then
+    invalid_arg "Group.histograms: length mismatch";
+  let h = Array.init t.n_groups (fun _ -> Array.make card 0) in
+  Array.iteri
+    (fun i g ->
+      let hist = h.(g) in
+      hist.(codes.(i)) <- hist.(codes.(i)) + 1)
+    t.ids;
+  h
+
+(* ------------------------------------------------------------------ *)
+(* Per-source memo cache *)
+
+(* One cache per code matrix (a frame's columns, an auxiliary sample
+   set): repeated groupings over the same column-index set — thousands
+   of enumerated sketches sharing a GIVEN set, stable-PC revisiting a
+   conditioning set across levels — are computed once. Lookups and the
+   compute itself run under one mutex, so (a) the cache is safe under
+   [Runtime.Pool.parmap] and (b) each distinct key is computed exactly
+   once, keeping the hit/miss counters schedule-independent. *)
+module Cache = struct
+  type group = t
+
+  type t = {
+    codes : int array array;
+    cards : int array;
+    n : int;
+    cap : int;
+    table : (int list, group) Hashtbl.t;
+    mutex : Mutex.t;
+  }
+
+  (* Registered lazily so merely linking dataframe doesn't populate the
+     default registry. *)
+  let hits = lazy (Obs.Metric.counter Obs.Metric.default "group.cache.hits")
+
+  let misses =
+    lazy (Obs.Metric.counter Obs.Metric.default "group.cache.misses")
+
+  let create ?(cap = default_cap) ~codes ~cards () =
+    if Array.length codes <> Array.length cards then
+      invalid_arg "Group.Cache.create: codes/cards mismatch";
+    let n = if Array.length codes = 0 then 0 else Array.length codes.(0) in
+    { codes; cards; n; cap; table = Hashtbl.create 64; mutex = Mutex.create () }
+
+  let length c =
+    Mutex.lock c.mutex;
+    let l = Hashtbl.length c.table in
+    Mutex.unlock c.mutex;
+    l
+
+  (* Grouping a column set is order-insensitive (dense first-occurrence
+     ids only depend on the row partition), so keys are normalized to
+     sorted column lists and [get cols] with any permutation shares one
+     entry. *)
+  let get c cols =
+    let key = List.sort_uniq Int.compare cols in
+    Mutex.lock c.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) @@ fun () ->
+    match Hashtbl.find_opt c.table key with
+    | Some g ->
+      Obs.Metric.incr (Lazy.force hits);
+      g
+    | None ->
+      Obs.Metric.incr (Lazy.force misses);
+      let g =
+        Obs.Span.with_ "group.key"
+          ~attrs:(fun () ->
+            [ ("cols", String.concat "," (List.map string_of_int key)) ])
+        @@ fun () ->
+        make ~cap:c.cap
+          (List.map (fun i -> c.codes.(i)) key)
+          (List.map (fun i -> c.cards.(i)) key)
+          c.n
+      in
+      Hashtbl.add c.table key g;
+      g
+end

@@ -1,0 +1,98 @@
+(** The one group-by kernel.
+
+    Groups rows by a tuple of dictionary-coded columns and exposes a
+    CSR-style index over the groups. Composite keys use a mixed-radix
+    fast path when the cardinality product fits under a cap, and a
+    hashed fallback otherwise; both paths assign identical dense group
+    ids, numbered in order of first occurrence. All of the pipeline's
+    stratification — CI-test strata, HAVING-fill histograms, stripped
+    partitions, BIC family counts — is built on this module. *)
+
+type t
+
+(** Cardinality product with the historical early-abort cap semantics
+    of [Stat.Contingency.strata]: [None] when the product exceeds
+    [cap]. *)
+val strata_count : cap:int -> int list -> int option
+
+(** Per-row mixed-radix stratum ids of a conditioning set plus the
+    stratum-space size, or [None] when the space exceeds [max_strata].
+    Exactly the historical [Stat.Contingency.strata] (ids are raw, not
+    densified; the empty set yields one stratum). *)
+val strata :
+  max_strata:int -> int array list -> int list -> int -> (int array * int) option
+
+(** Mixed-radix path chosen when the cardinality product is at most
+    this (the {!make} default cap). *)
+val default_cap : int
+
+(** [make codes cards n] groups the [n] rows by the given code columns.
+    Codes must lie in [0, card). [cap] (default {!default_cap}) bounds
+    the mixed-radix key space; larger products take the hashed path.
+    Raises [Invalid_argument] on ragged input. With no columns, all
+    rows form one group. *)
+val make : ?cap:int -> int array list -> int list -> int -> t
+
+(** Single-column grouping of the first [n] codes (cardinality inferred;
+    codes must be non-negative). *)
+val of_codes : int -> int array -> t
+
+(** Dense group id per row, in order of first occurrence. Do not
+    mutate. *)
+val ids : t -> int array
+
+val id : t -> int -> int
+val n_groups : t -> int
+val n_rows : t -> int
+
+(** CSR offsets, length [n_groups + 1]. Do not mutate. *)
+val offsets : t -> int array
+
+(** Row indices sorted by group (ascending within each group), indexed
+    by {!offsets}. Do not mutate. *)
+val row_index : t -> int array
+
+(** Rows in group [g]. *)
+val size : t -> int -> int
+
+(** Group sizes — the marginal distribution of the grouping. *)
+val counts : t -> int array
+
+(** First (lowest) row of a group: its first occurrence in row order,
+    usable as a representative row. *)
+val first_row : t -> int -> int
+
+(** Fresh array of group [g]'s rows, ascending. *)
+val rows_of : t -> int -> int array
+
+val iter_rows : t -> int -> (int -> unit) -> unit
+
+(** [histograms t codes ~card] counts, per group, the values of a
+    second code array: result.(g).(c) is the number of rows of group
+    [g] with [codes.(row) = c]. *)
+val histograms : t -> int array -> card:int -> int array array
+
+(** Per-source memo cache: one per code matrix (a frame's columns, an
+    auxiliary sample set), keyed by column-index sets, so repeated
+    groupings are computed once per synthesis run. Lookup and compute
+    run under a mutex — safe to share across [Runtime.Pool] domains,
+    and each distinct key is computed exactly once, keeping the
+    [group.cache.hits]/[group.cache.misses] counters in
+    [Obs.Metric.default] schedule-independent. Computing a missing
+    entry is wrapped in a [group.key] span. *)
+module Cache : sig
+  type group := t
+  type t
+
+  (** [create ~codes ~cards ()] caches groupings of the given columns;
+      [cap] is forwarded to {!make}. *)
+  val create :
+    ?cap:int -> codes:int array array -> cards:int array -> unit -> t
+
+  (** Grouping by the given column indices (order-insensitive; the key
+      is the sorted set). *)
+  val get : t -> int list -> group
+
+  (** Distinct column sets cached so far. *)
+  val length : t -> int
+end

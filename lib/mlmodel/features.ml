@@ -69,15 +69,56 @@ let encode_row t frame row =
          | None -> unknown_code t j)
        t.feature_cols)
 
+(* Per-column translation table from a frame's own dictionary codes to
+   the fitted codes: one hashtable lookup per *distinct* value instead
+   of one per cell. *)
+let remap_of t j col =
+  Array.map
+    (fun v ->
+      match Hashtbl.find_opt t.dicts.(j) v with
+      | Some c -> c
+      | None -> unknown_code t j)
+    (Dataframe.Column.dict col)
+
+(* Column-major encoding: one fitted code array per feature column, the
+   layout the group-by kernel's key encoder consumes directly (see
+   {!group_rows}). *)
+let encode_columns t frame =
+  Array.of_list
+    (List.mapi
+       (fun j name ->
+         let col = Frame.column_by_name frame name in
+         let remap = remap_of t j col in
+         Array.map (fun c -> remap.(c)) (Dataframe.Column.codes col))
+       t.feature_cols)
+
+(* Group the frame's rows by their full encoded feature vector via the
+   shared kernel: rows of one group are indistinguishable to any model
+   trained on this encoder, so downstream prediction runs once per
+   group. Returns the column-major encoding alongside the index. *)
+let group_rows t frame =
+  let cols = encode_columns t frame in
+  let g =
+    Dataframe.Group.make (Array.to_list cols) (Array.to_list t.cards)
+      (Frame.nrows frame)
+  in
+  (cols, g)
+
 (* Encode a whole frame: feature matrix plus label codes (labels absent
    from the training dictionary map to -1). *)
 let encode t frame =
   let n = Frame.nrows frame in
-  let xs = Array.init n (fun i -> encode_row t frame i) in
+  let cols = encode_columns t frame in
+  let d = Array.length cols in
+  let xs = Array.init n (fun i -> Array.init d (fun j -> cols.(j).(i))) in
+  let label_col = Frame.column_by_name frame t.label_col in
+  let label_remap =
+    Array.map
+      (fun v ->
+        match Hashtbl.find_opt t.label_dict v with Some c -> c | None -> -1)
+      (Dataframe.Column.dict label_col)
+  in
   let ys =
-    Array.init n (fun i ->
-        match Hashtbl.find_opt t.label_dict (Frame.get_by_name frame i t.label_col) with
-        | Some c -> c
-        | None -> -1)
+    Array.map (fun c -> label_remap.(c)) (Dataframe.Column.codes label_col)
   in
   (xs, ys)

@@ -14,5 +14,17 @@ val unknown_code : t -> int -> int
 (** Encode one row of any frame sharing the column names. *)
 val encode_row : t -> Dataframe.Frame.t -> int -> int array
 
+(** Column-major encoding: one fitted code array per feature column
+    (unseen values become the unknown code). One dictionary lookup per
+    distinct value, not per cell. *)
+val encode_columns : t -> Dataframe.Frame.t -> int array array
+
+(** Rows grouped by their full encoded feature vector, via the
+    {!Dataframe.Group} key encoder: rows in one group are
+    indistinguishable to models trained on this encoder. Returns the
+    column-major encoding alongside the group index. *)
+val group_rows :
+  t -> Dataframe.Frame.t -> int array array * Dataframe.Group.t
+
 (** Feature matrix plus label codes (unknown labels become [-1]). *)
 val encode : t -> Dataframe.Frame.t -> int array array * int array

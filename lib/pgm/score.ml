@@ -25,7 +25,10 @@ let data_of ~cards columns =
   { columns; cards; n }
 
 (* BIC score of variable [v] given a parent set: log-likelihood of the
-   conditional multinomial minus (log n / 2) * free parameters. *)
+   conditional multinomial minus (log n / 2) * free parameters. The
+   observed parent configurations are the group-by kernel's groups
+   (sparse in the full configuration space); the per-configuration
+   histograms of [v] come off one [Group.histograms] pass. *)
 let family_score data v parents =
   let n = data.n in
   if n = 0 then 0.0
@@ -34,35 +37,18 @@ let family_score data v parents =
     let parent_cards = List.map (fun p -> data.cards.(p)) parents in
     let parent_cols = List.map (fun p -> data.columns.(p)) parents in
     let xv = data.columns.(v) in
-    (* histogram per parent configuration (sparse) *)
-    let tbl : (int, int array) Hashtbl.t = Hashtbl.create 64 in
-    let config i =
-      List.fold_left2
-        (fun acc col c -> (acc * c) + col.(i))
-        0 parent_cols parent_cards
-    in
-    for i = 0 to n - 1 do
-      let key = config i in
-      let hist =
-        match Hashtbl.find_opt tbl key with
-        | Some h -> h
-        | None ->
-          let h = Array.make card 0 in
-          Hashtbl.add tbl key h;
-          h
-      in
-      hist.(xv.(i)) <- hist.(xv.(i)) + 1
-    done;
+    let g = Dataframe.Group.make parent_cols parent_cards n in
+    let hists = Dataframe.Group.histograms g xv ~card in
     let loglik = ref 0.0 in
-    Hashtbl.iter
-      (fun _ hist ->
-        let total = float_of_int (Array.fold_left ( + ) 0 hist) in
+    Array.iteri
+      (fun gid hist ->
+        let total = float_of_int (Dataframe.Group.size g gid) in
         Array.iter
           (fun c ->
             if c > 0 then
               loglik := !loglik +. (float_of_int c *. log (float_of_int c /. total)))
           hist)
-      tbl;
+      hists;
     let configs = List.fold_left ( * ) 1 parent_cards in
     let free_params = float_of_int (configs * (card - 1)) in
     !loglik -. (0.5 *. log (float_of_int n) *. free_params)

@@ -99,11 +99,11 @@ let conservative () =
    the significance and effect-size checks — the design-effect correction
    for non-iid samples (the circular-shift sampler reuses every row once
    per shift). *)
-let test spec xs ys cond_codes cond_cards =
+let test spec ?groups xs ys cond_codes cond_cards =
   Obs.Metric.incr (Lazy.force tests_counter);
   match
     Contingency.conditional ~kx:spec.kx ~ky:spec.ky ~max_strata:spec.max_strata
-      xs ys cond_codes cond_cards
+      ?groups xs ys cond_codes cond_cards
   with
   | None -> conservative ()
   | Some tables ->

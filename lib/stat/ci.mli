@@ -44,8 +44,18 @@ val effect_size : kx:int -> ky:int -> n:int -> float -> float
     [xs ⊥ ys | cond]. When the stratum space exceeds [spec.max_strata]
     or carries no signal, reports independence (the PC algorithm then
     drops the edge) — the failure mode of the identity sampler in
-    Table 8 of the paper. Pure and safe to call concurrently from
-    several domains. Increments the [ci.tests] counter (and
-    [ci.conservative] on the no-usable-signal path) in
+    Table 8 of the paper. [groups] supplies a precomputed group index
+    over the conditioning columns (typically from a
+    {!Dataframe.Group.Cache} shared across the tests of one sample
+    matrix), skipping the per-call stratification. Pure and safe to
+    call concurrently from several domains. Increments the [ci.tests]
+    counter (and [ci.conservative] on the no-usable-signal path) in
     [Obs.Metric.default]. *)
-val test : spec -> int array -> int array -> int array list -> int list -> result
+val test :
+  spec ->
+  ?groups:Dataframe.Group.t ->
+  int array ->
+  int array ->
+  int array list ->
+  int list ->
+  result

@@ -1,7 +1,15 @@
 (* Contingency tables over integer-coded columns.
 
    These feed both the conditional-independence tests that drive PC
-   structure learning and the FD baselines' violation counting. *)
+   structure learning and the FD baselines' violation counting.
+
+   Stratification is delegated to the shared group-by kernel
+   [Dataframe.Group]: [strata] is a thin wrapper over its mixed-radix
+   encoder, and [conditional] counts each stratum's two-way table off a
+   dense CSR group index — which callers that test many conditioning
+   sets over one sample matrix can precompute and cache. *)
+
+module Group = Dataframe.Group
 
 type table = { counts : int array array; kx : int; ky : int; total : int }
 
@@ -26,69 +34,40 @@ let two_way ~kx ~ky xs ys =
   done;
   { counts; kx; ky; total = n }
 
-(* Mixed-radix stratum identifier for a conditioning set. Returns a stratum
-   id per row plus the number of strata. Cardinality products are capped by
-   the caller via [max_strata]; we return [None] when exceeded so tests can
-   declare themselves underpowered instead of allocating huge tables. *)
-let strata ~max_strata cond_codes cond_cards n =
-  let k = List.length cond_codes in
-  if k = 0 then Some (Array.make n 0, 1)
-  else begin
-    let prod =
-      List.fold_left
-        (fun acc c -> if acc > max_strata then acc else acc * c)
-        1 cond_cards
-    in
-    if prod > max_strata then None
-    else begin
-      let ids = Array.make n 0 in
-      List.iter2
-        (fun codes card ->
-          for i = 0 to n - 1 do
-            ids.(i) <- (ids.(i) * card) + codes.(i)
-          done)
-        cond_codes cond_cards;
-      Some (ids, prod)
-    end
-  end
+(* Mixed-radix stratum identifier for a conditioning set: the group-by
+   kernel's encoder with the historical [max_strata] product-cap
+   semantics ([None] when exceeded, so tests can declare themselves
+   underpowered instead of allocating huge tables). *)
+let strata = Group.strata
 
 (* Stratified two-way tables: one per non-empty stratum of the conditioning
-   set. Strata are stored sparsely. [max_cells] bounds the total allocation
-   (distinct strata x kx x ky): very high-cardinality variables would
-   otherwise demand gigabytes — the practical reason identity-sampled CI
-   tests collapse on such data (paper Table 8). *)
-let conditional ~kx ~ky ~max_strata ?(max_cells = 4_000_000) xs ys cond_codes
-    cond_cards =
+   set, in first-occurrence order of the strata. [max_cells] bounds the
+   total allocation (distinct strata x kx x ky): very high-cardinality
+   variables would otherwise demand gigabytes — the practical reason
+   identity-sampled CI tests collapse on such data (paper Table 8).
+   [groups] short-circuits the grouping with a precomputed (typically
+   cached) index over the conditioning columns. *)
+let conditional ~kx ~ky ~max_strata ?(max_cells = 4_000_000) ?groups xs ys
+    cond_codes cond_cards =
   let n = Array.length xs in
-  match strata ~max_strata cond_codes cond_cards n with
+  match Group.strata_count ~cap:max_strata cond_cards with
   | None -> None
-  | Some (ids, _) when
-      (let distinct = Hashtbl.create 64 in
-       Array.iter (fun id -> Hashtbl.replace distinct id ()) ids;
-       Hashtbl.length distinct * kx * ky > max_cells) ->
-    None
-  | Some (ids, _) ->
-    let tbl : (int, int array array) Hashtbl.t = Hashtbl.create 64 in
-    for i = 0 to n - 1 do
-      let counts =
-        match Hashtbl.find_opt tbl ids.(i) with
-        | Some c -> c
-        | None ->
-          let c = Array.make_matrix kx ky 0 in
-          Hashtbl.add tbl ids.(i) c;
-          c
-      in
-      counts.(xs.(i)).(ys.(i)) <- counts.(xs.(i)).(ys.(i)) + 1
-    done;
-    let tables =
-      Hashtbl.fold
-        (fun _ counts acc ->
-          let total =
-            Array.fold_left
-              (fun a row -> a + Array.fold_left ( + ) 0 row)
-              0 counts
-          in
-          { counts; kx; ky; total } :: acc)
-        tbl []
+  | Some _ ->
+    let g =
+      match groups with
+      | Some g -> g
+      | None -> Group.make cond_codes cond_cards n
     in
-    Some tables
+    let n_groups = Group.n_groups g in
+    if n_groups * kx * ky > max_cells then None
+    else begin
+      let counts = Array.init n_groups (fun _ -> Array.make_matrix kx ky 0) in
+      let ids = Group.ids g in
+      for i = 0 to n - 1 do
+        let c = counts.(ids.(i)) in
+        c.(xs.(i)).(ys.(i)) <- c.(xs.(i)).(ys.(i)) + 1
+      done;
+      Some
+        (List.init n_groups (fun gid ->
+             { counts = counts.(gid); kx; ky; total = Group.size g gid }))
+    end

@@ -111,6 +111,39 @@ let test_partition_fd_error () =
   Alcotest.(check bool) "free -> city error > 0" true
     (Partition.fd_error free free_city > 0)
 
+(* The group-by-kernel-backed partitions match a direct Hashtbl
+   reference (the pre-kernel implementation) on the datagen datasets:
+   identical classes as row sets, singletons stripped. *)
+let reference_partition n codes =
+  let tbl : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  for i = n - 1 downto 0 do
+    Hashtbl.replace tbl codes.(i)
+      (i :: Option.value ~default:[] (Hashtbl.find_opt tbl codes.(i)))
+  done;
+  Hashtbl.fold
+    (fun _ rows acc ->
+      match rows with [] | [ _ ] -> acc | rows -> Array.of_list rows :: acc)
+    tbl []
+
+let test_partition_matches_reference_on_datagen () =
+  List.iter
+    (fun id ->
+      let _, frame = Datagen.Generate.dataset (Datagen.Spec.by_id id) in
+      let n = Frame.nrows frame in
+      List.iter
+        (fun j ->
+          let codes = Dataframe.Column.codes (Frame.column frame j) in
+          let p = Partition.of_codes n codes in
+          let sort_classes cs =
+            List.sort compare (List.map Array.to_list cs)
+          in
+          Alcotest.(check (list (list int)))
+            (Printf.sprintf "dataset %d column %d" id j)
+            (sort_classes (reference_partition n codes))
+            (sort_classes (Partition.classes p)))
+        (Frame.categorical_indices frame))
+    [ 3; 4; 6 ]
+
 (* ------------------------------------------------------------------ *)
 (* TANE *)
 
@@ -451,6 +484,8 @@ let () =
           Alcotest.test_case "stripping" `Quick test_partition_basic;
           Alcotest.test_case "product" `Quick test_partition_product;
           Alcotest.test_case "fd error" `Quick test_partition_fd_error;
+          Alcotest.test_case "matches reference on datagen" `Quick
+            test_partition_matches_reference_on_datagen;
         ] );
       ( "tane",
         [

@@ -6,6 +6,7 @@ module Column = Dataframe.Column
 module Frame = Dataframe.Frame
 module Csv = Dataframe.Csv
 module Split = Dataframe.Split
+module Group = Dataframe.Group
 
 let value = Alcotest.testable Value.pp Value.equal
 
@@ -224,6 +225,202 @@ let test_split_permutation_is_bijection () =
   Alcotest.(check bool) "bijection" true (Array.for_all (fun b -> b) seen)
 
 (* ------------------------------------------------------------------ *)
+(* Column regression: batch update and append dictionary growth *)
+
+let test_column_update_batch () =
+  let c = col_abc () in
+  let c' =
+    Column.update c
+      [ (0, Value.String "x"); (1, Value.String "y"); (3, Value.String "x") ]
+  in
+  Alcotest.(check value) "updated 0" (Value.String "x") (Column.get c' 0);
+  Alcotest.(check value) "updated 1" (Value.String "y") (Column.get c' 1);
+  Alcotest.(check value) "updated 3" (Value.String "x") (Column.get c' 3);
+  Alcotest.(check value) "untouched" (Value.String "a") (Column.get c' 2);
+  Alcotest.(check value) "original intact" (Value.String "a") (Column.get c 0);
+  Alcotest.(check int) "fresh values deduped in dict" 5 (Column.cardinality c');
+  Alcotest.(check int) "shared fresh code" (Column.code c' 0) (Column.code c' 3)
+
+let test_column_append_dict () =
+  (* appending a column with no new values must not grow the dictionary *)
+  let a = Column.of_list [ Value.Int 1; Value.Int 2; Value.Int 3 ] in
+  let b = Column.of_list [ Value.Int 3; Value.Int 1 ] in
+  let c = Column.append a b in
+  Alcotest.(check int) "no new dict entries" 3 (Column.cardinality c);
+  Alcotest.(check int) "remapped code" (Column.code c 2) (Column.code c 3);
+  (* and new values are appended after the existing dictionary *)
+  let d = Column.append a (Column.of_list [ Value.Int 9; Value.Int 9 ]) in
+  Alcotest.(check int) "one new entry" 4 (Column.cardinality d);
+  Alcotest.(check value) "new value decodes" (Value.Int 9) (Column.get d 4)
+
+(* ------------------------------------------------------------------ *)
+(* Group: the shared group-by kernel *)
+
+(* Brute-force reference: dense first-occurrence group ids via an
+   association list on full key tuples. *)
+let ref_ids codes n =
+  let key i = List.map (fun col -> col.(i)) codes in
+  let seen = ref [] in
+  let ids =
+    Array.init n (fun i ->
+        let k = key i in
+        match List.assoc_opt k !seen with
+        | Some g -> g
+        | None ->
+          let g = List.length !seen in
+          seen := (k, g) :: !seen;
+          g)
+  in
+  (ids, List.length !seen)
+
+let check_csr g =
+  let n = Group.n_rows g in
+  let k = Group.n_groups g in
+  let offsets = Group.offsets g in
+  let rows = Group.row_index g in
+  Alcotest.(check int) "offsets length" (k + 1) (Array.length offsets);
+  Alcotest.(check int) "offsets start" 0 offsets.(0);
+  Alcotest.(check int) "offsets end" n offsets.(k);
+  for gid = 0 to k - 1 do
+    Alcotest.(check bool) "offsets monotone" true (offsets.(gid) <= offsets.(gid + 1));
+    for p = offsets.(gid) to offsets.(gid + 1) - 1 do
+      Alcotest.(check int) "row id consistent" gid (Group.id g rows.(p));
+      if p > offsets.(gid) then
+        Alcotest.(check bool) "rows ascending" true (rows.(p - 1) < rows.(p))
+    done
+  done;
+  let seen = Array.make n false in
+  Array.iter (fun r -> seen.(r) <- true) rows;
+  Alcotest.(check bool) "rows are a permutation" true (Array.for_all Fun.id seen)
+
+let test_group_basic () =
+  let c0 = [| 0; 1; 0; 1; 0 |] and c1 = [| 2; 0; 2; 1; 0 |] in
+  let g = Group.make [ c0; c1 ] [ 2; 3 ] 5 in
+  Alcotest.(check (array int)) "first-occurrence ids" [| 0; 1; 0; 2; 3 |] (Group.ids g);
+  Alcotest.(check int) "n_groups" 4 (Group.n_groups g);
+  Alcotest.(check (array int)) "counts" [| 2; 1; 1; 1 |] (Group.counts g);
+  Alcotest.(check int) "size" 2 (Group.size g 0);
+  Alcotest.(check int) "first_row" 0 (Group.first_row g 0);
+  Alcotest.(check int) "first_row of late group" 4 (Group.first_row g 3);
+  Alcotest.(check (array int)) "rows_of" [| 0; 2 |] (Group.rows_of g 0);
+  check_csr g
+
+let test_group_degenerate () =
+  (* no columns: everything is one group *)
+  let g = Group.make [] [] 3 in
+  Alcotest.(check int) "one group" 1 (Group.n_groups g);
+  Alcotest.(check (array int)) "all zero ids" [| 0; 0; 0 |] (Group.ids g);
+  (* no rows *)
+  let g0 = Group.make [ [||] ] [ 4 ] 0 in
+  Alcotest.(check int) "empty has no groups" 0 (Group.n_groups g0);
+  check_csr g0
+
+let test_group_histograms () =
+  let c0 = [| 0; 1; 0; 1; 0 |] in
+  let v = [| 2; 0; 1; 0; 1 |] in
+  let g = Group.make [ c0 ] [ 2 ] 5 in
+  let h = Group.histograms g v ~card:3 in
+  Alcotest.(check (array int)) "group 0 hist" [| 0; 2; 1 |] h.(0);
+  Alcotest.(check (array int)) "group 1 hist" [| 2; 0; 0 |] h.(1)
+
+let test_group_strata () =
+  (* mixed-radix ids match the historical Contingency.strata formula *)
+  let c0 = [| 0; 1; 1 |] and c1 = [| 2; 0; 2 |] in
+  (match Group.strata ~max_strata:100 [ c0; c1 ] [ 2; 3 ] 3 with
+  | None -> Alcotest.fail "strata gave up unexpectedly"
+  | Some (ids, k) ->
+    Alcotest.(check int) "stratum space" 6 k;
+    (* id = c0 * 3 + c1 *)
+    Alcotest.(check (array int)) "mixed-radix ids" [| 2; 3; 5 |] ids);
+  (* empty conditioning set: one stratum *)
+  (match Group.strata ~max_strata:100 [] [] 3 with
+  | None -> Alcotest.fail "empty set gave up"
+  | Some (ids, k) ->
+    Alcotest.(check int) "one stratum" 1 k;
+    Alcotest.(check (array int)) "zero ids" [| 0; 0; 0 |] ids);
+  (* the product cap gives up exactly as before *)
+  Alcotest.(check bool) "give-up over cap" true
+    (Group.strata ~max_strata:4096 [ c0; c1 ] [ 100; 100 ] 3 = None);
+  Alcotest.(check (option int)) "strata_count under cap" (Some 6)
+    (Group.strata_count ~cap:100 [ 2; 3 ]);
+  Alcotest.(check (option int)) "strata_count over cap" None
+    (Group.strata_count ~cap:5 [ 2; 3 ])
+
+let test_group_cache () =
+  let codes = [| [| 0; 1; 0; 1 |]; [| 0; 0; 1; 1 |]; [| 1; 1; 1; 0 |] |] in
+  let cache = Group.Cache.create ~codes ~cards:[| 2; 2; 2 |] () in
+  let before =
+    let snap = Obs.Metric.snapshot Obs.Metric.default in
+    (List.assoc_opt "group.cache.hits" snap.Obs.Metric.counters,
+     List.assoc_opt "group.cache.misses" snap.Obs.Metric.counters)
+  in
+  let g1 = Group.Cache.get cache [ 0; 2 ] in
+  let g2 = Group.Cache.get cache [ 2; 0 ] in
+  Alcotest.(check bool) "same key, same group (physically)" true (g1 == g2);
+  Alcotest.(check int) "one entry" 1 (Group.Cache.length cache);
+  let g3 = Group.Cache.get cache [ 1 ] in
+  Alcotest.(check bool) "different key differs" true (g3 != g1);
+  Alcotest.(check int) "two entries" 2 (Group.Cache.length cache);
+  let after =
+    let snap = Obs.Metric.snapshot Obs.Metric.default in
+    (List.assoc_opt "group.cache.hits" snap.Obs.Metric.counters,
+     List.assoc_opt "group.cache.misses" snap.Obs.Metric.counters)
+  in
+  let v o = Option.value ~default:0 o in
+  (match (before, after) with
+  | (h0, m0), (h1, m1) ->
+    Alcotest.(check int) "one hit" 1 (v h1 - v h0);
+    Alcotest.(check int) "two misses" 2 (v m1 - v m0))
+
+let qcheck_codes =
+  (* two code columns with small cardinalities, 1-40 rows *)
+  QCheck.(list_of_size Gen.(1 -- 40) (pair (int_bound 3) (int_bound 5)))
+
+let columns_of_pairs rows =
+  let n = List.length rows in
+  let c0 = Array.of_list (List.map fst rows) in
+  let c1 = Array.of_list (List.map snd rows) in
+  (n, [ c0; c1 ], [ 4; 6 ])
+
+let qcheck_group_paths_agree =
+  QCheck.Test.make ~name:"mixed-radix and hashed paths assign equal ids" ~count:200
+    qcheck_codes (fun rows ->
+      let n, codes, cards = columns_of_pairs rows in
+      let fast = Group.make ~cap:Group.default_cap codes cards n in
+      let hashed = Group.make ~cap:1 codes cards n in
+      Group.ids fast = Group.ids hashed
+      && Group.counts fast = Group.counts hashed
+      && Group.offsets fast = Group.offsets hashed
+      && Group.row_index fast = Group.row_index hashed)
+
+let qcheck_group_matches_reference =
+  QCheck.Test.make ~name:"group ids match brute-force first-occurrence ids" ~count:200
+    qcheck_codes (fun rows ->
+      let n, codes, cards = columns_of_pairs rows in
+      let g = Group.make codes cards n in
+      let ids, k = ref_ids codes n in
+      Group.ids g = ids && Group.n_groups g = k)
+
+let qcheck_group_histograms =
+  QCheck.Test.make ~name:"group histograms match brute-force counts" ~count:200
+    qcheck_codes (fun rows ->
+      let n, codes, cards = columns_of_pairs rows in
+      let c0 = List.hd codes and c1 = List.nth codes 1 in
+      let g = Group.make [ c0 ] [ List.hd cards ] n in
+      let h = Group.histograms g c1 ~card:6 in
+      let ok = ref true in
+      for gid = 0 to Group.n_groups g - 1 do
+        for v = 0 to 5 do
+          let brute = ref 0 in
+          for i = 0 to n - 1 do
+            if Group.id g i = gid && c1.(i) = v then incr brute
+          done;
+          if h.(gid).(v) <> !brute then ok := false
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let qcheck_value_roundtrip =
@@ -290,6 +487,8 @@ let () =
           Alcotest.test_case "mode and counts" `Quick test_column_mode_counts;
           Alcotest.test_case "select and take" `Quick test_column_select_take;
           Alcotest.test_case "append" `Quick test_column_append;
+          Alcotest.test_case "batch update" `Quick test_column_update_batch;
+          Alcotest.test_case "append dictionary growth" `Quick test_column_append_dict;
         ] );
       ( "frame",
         [
@@ -315,8 +514,18 @@ let () =
           Alcotest.test_case "partition" `Quick test_split_partition;
           Alcotest.test_case "permutation bijection" `Quick test_split_permutation_is_bijection;
         ] );
+      ( "group",
+        [
+          Alcotest.test_case "basic" `Quick test_group_basic;
+          Alcotest.test_case "degenerate" `Quick test_group_degenerate;
+          Alcotest.test_case "histograms" `Quick test_group_histograms;
+          Alcotest.test_case "strata semantics" `Quick test_group_strata;
+          Alcotest.test_case "cache" `Quick test_group_cache;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ qcheck_value_roundtrip; qcheck_column_encoding;
-            qcheck_column_cardinality; qcheck_csv_roundtrip ] );
+            qcheck_column_cardinality; qcheck_csv_roundtrip;
+            qcheck_group_paths_agree; qcheck_group_matches_reference;
+            qcheck_group_histograms ] );
     ]
