@@ -1001,6 +1001,169 @@ let groupby_bench () =
   Printf.printf "group-by timings written to BENCH_group.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Validator: row-at-a-time interpreter vs the predicate-bytecode VM,
+   cold (compile + lower + execute) and cached (bytecode reused), at
+   10k / 100k / 1M rows. Writes BENCH_validate.json for the CI gate. *)
+
+let validate_bench () =
+  header "Validator: row interpreter vs predicate-bytecode VM";
+  (* postal-style determinacy chain with controllable cardinality: zip
+     decides city, city decides state, (zip, city) decides country. The
+     pair cardinality product exceeds the mixed-radix cap, so the third
+     statement exercises the hashed decision-table path. *)
+  let n_zip = 500 and n_city = 140 and n_state = 25 in
+  let zip_name z = Printf.sprintf "%05d" (10_000 + z) in
+  let city_name c = Printf.sprintf "city%d" c in
+  let state_name s = Printf.sprintf "st%d" s in
+  let city_of z = z mod n_city in
+  let state_of c = c mod n_state in
+  let country_of z c = if (z + c) mod 2 = 0 then "USA" else "EU" in
+  let schema =
+    Dataframe.Schema.make
+      [ Dataframe.Schema.categorical "zip"; Dataframe.Schema.categorical "city";
+        Dataframe.Schema.categorical "state";
+        Dataframe.Schema.categorical "country" ]
+  in
+  let make_frame n =
+    let rng = Stat.Rng.create 42 in
+    let zips = Array.init n (fun _ -> Stat.Rng.int rng n_zip) in
+    let corrupt p v alt = if Stat.Rng.float rng < p then alt else v in
+    let cities =
+      Array.map
+        (fun z -> corrupt 0.005 (city_of z) ((city_of z + 1) mod n_city))
+        zips
+    in
+    let states =
+      Array.map
+        (fun c -> corrupt 0.003 (state_of c) ((state_of c + 1) mod n_state))
+        cities
+    in
+    let col f xs =
+      Dataframe.Column.of_values (Array.map (fun x -> Value.String (f x)) xs)
+    in
+    let countries =
+      Array.init n (fun i -> Value.String (country_of zips.(i) cities.(i)))
+    in
+    Frame.of_columns schema
+      [ col zip_name zips; col city_name cities; col state_name states;
+        Dataframe.Column.of_values countries ]
+  in
+  let prog =
+    let eq attr v = { Guardrail.Dsl.attr; value = Value.String v } in
+    let b condition assignment =
+      Guardrail.Dsl.branch ~condition ~assignment:(Value.String assignment)
+    in
+    let zip_city =
+      Guardrail.Dsl.stmt ~given:[ 0 ] ~on:1
+        ~branches:
+          (List.init n_zip (fun z ->
+               b [ eq 0 (zip_name z) ] (city_name (city_of z))))
+    in
+    let city_state =
+      Guardrail.Dsl.stmt ~given:[ 1 ] ~on:2
+        ~branches:
+          (List.init n_city (fun c ->
+               b [ eq 1 (city_name c) ] (state_name (state_of c))))
+    in
+    let pair_country =
+      Guardrail.Dsl.stmt ~given:[ 0; 1 ] ~on:3
+        ~branches:
+          (List.init n_zip (fun z ->
+               b
+                 [ eq 0 (zip_name z); eq 1 (city_name (city_of z)) ]
+                 (country_of z (city_of z))))
+    in
+    Guardrail.Dsl.prog ~schema [ zip_city; city_state; pair_country ]
+  in
+  let sizes =
+    match Sys.getenv_opt "VALIDATE_SIZES" with
+    | Some s ->
+      List.filter_map int_of_string_opt (String.split_on_char ',' s)
+    | None -> [ 10_000; 100_000; 1_000_000 ]
+  in
+  let time reps f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  Printf.printf
+    "  %-9s %9s %11s %11s %11s %8s | %11s %11s %8s\n" "rows" "viol"
+    "rows(ms)" "vm-cold(ms)" "vm-hot(ms)" "speedup" "h-rows(ms)" "h-vm(ms)"
+    "speedup";
+  let records = ref [] in
+  List.iter
+    (fun n ->
+      let reps = if n >= 1_000_000 then 1 else if n >= 100_000 then 3 else 5 in
+      let frame = make_frame n in
+      let compiled = Validator.compile prog in
+      (* correctness first: the bitmap path must equal the reference *)
+      let flags_rows = Validator.detect_rows compiled frame in
+      let flags_vm = Validator.detect compiled frame in
+      if flags_rows <> flags_vm then begin
+        Printf.eprintf "VM/row-interpreter divergence at %d rows\n" n;
+        exit 1
+      end;
+      let n_viol =
+        Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 flags_rows
+      in
+      let rows_s = time reps (fun () -> Validator.detect_rows compiled frame) in
+      let cold_s =
+        time reps (fun () ->
+            (* a fresh compilation lowers the bytecode from scratch *)
+            Validator.detect (Validator.compile prog) frame)
+      in
+      let hot_s = time reps (fun () -> Validator.detect compiled frame) in
+      (* batch repair: the row path folds one whole-frame copy per
+         violation, so it is only measured at the smaller sizes *)
+      let handle_rows_s, handle_vm_s =
+        if n > 100_000 then (Float.nan, Float.nan)
+        else
+          ( time reps (fun () ->
+                Validator.handle_rows ~strategy:Validator.Rectify compiled frame),
+            time reps (fun () ->
+                Validator.handle ~strategy:Validator.Rectify compiled frame) )
+      in
+      let speedup a b = if b > 0.0 then a /. b else Float.infinity in
+      let handle_cells =
+        if Float.is_nan handle_rows_s then
+          Printf.sprintf "%11s %11s %8s" "-" "-" "-"
+        else
+          Printf.sprintf "%11.2f %11.2f %7.1fx" (handle_rows_s *. 1e3)
+            (handle_vm_s *. 1e3)
+            (speedup handle_rows_s handle_vm_s)
+      in
+      Printf.printf "  %-9d %9d %11.2f %11.2f %11.2f %7.1fx | %s\n%!" n n_viol
+        (rows_s *. 1e3) (cold_s *. 1e3) (hot_s *. 1e3) (speedup rows_s hot_s)
+        handle_cells;
+      let num v = Obs.Json.Num v in
+      records :=
+        Obs.Json.Obj
+          ([ ("n_rows", num (float_of_int n));
+             ("reps", num (float_of_int reps));
+             ("violating_rows", num (float_of_int n_viol));
+             ("detect_rows_s", num rows_s);
+             ("detect_vm_cold_s", num cold_s);
+             ("detect_vm_cached_s", num hot_s);
+             ("detect_speedup", num (speedup rows_s hot_s)) ]
+          @
+          if Float.is_nan handle_rows_s then []
+          else
+            [ ("handle_rows_s", num handle_rows_s);
+              ("handle_vm_s", num handle_vm_s);
+              ("handle_speedup", num (speedup handle_rows_s handle_vm_s)) ])
+        :: !records)
+    sizes;
+  let oc = open_out "BENCH_validate.json" in
+  output_string oc
+    (Obs.Json.to_string
+       (Obs.Json.Obj [ ("sizes", Obs.Json.List (List.rev !records)) ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "validator timings written to BENCH_validate.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let experiments =
@@ -1020,6 +1183,7 @@ let experiments =
     ("micro", micro);
     ("serve", serve_bench);
     ("groupby", groupby_bench);
+    ("validate", validate_bench);
   ]
 
 let () =

@@ -9,6 +9,23 @@
    The rectify strategy is the one that repairs ML-integrated queries in
    the evaluation (RQ2).
 
+   Compilation now goes through lib/vm: each statement becomes a
+   [Vm.Ruleset] (a decision table at value level), and frame-granular
+   entry points lower those rulesets to predicate bytecode executed over
+   the frame's dictionary-code arrays — per-row violation bitmaps
+   instead of a hashtable probe per row per statement. Lowered programs
+   are cached per frame (and reused across row subsets sharing
+   dictionaries) in a [Vm.Cache] carried by the compilation, so the
+   bytecode for a daemon table or a query's guard compiles exactly once.
+
+   The scalar path ({!check_values}) is a 1-row call into the VM's
+   value-level probe: one key-array allocation per statement, no per-row
+   list rebuilding.
+
+   The old row-at-a-time implementations survive as {!violations_rows} /
+   {!detect_rows} / {!handle_rows} — the reference the differential
+   suite and `bench validate` compare the VM against.
+
    Every checking entry point takes the *compiled* program: callers
    compile once with {!compile} and reuse the compilation across rows,
    frames and requests. There is deliberately no prog-taking shortcut —
@@ -43,68 +60,110 @@ let strategy_to_string = function
   | Coerce -> "coerce"
   | Rectify -> "rectify"
 
-(* Compiled form: each statement becomes a hash table from determinant
-   value tuples to the branch that matches them, so checking a row is
-   O(statements) instead of O(branches) — statements over high-cardinality
-   attributes have thousands of branches. *)
-type compiled_stmt = {
-  source : Dsl.stmt;
-  given : int array;
-  table : (Value.t list, Dsl.branch) Hashtbl.t;
+type compiled = {
+  prog : Dsl.prog;
+  stmts : Dsl.stmt array;
+  branches : Dsl.branch array array;  (* parallel to each ruleset's rules *)
+  rules : Vm.Ruleset.t array;         (* one per statement *)
+  cache : Vm.Cache.t;                 (* lowered bytecode, per frame *)
 }
 
-type compiled = { prog : Dsl.prog; compiled_stmts : compiled_stmt list }
-
 let compile (p : Dsl.prog) =
-  let compile_stmt (s : Dsl.stmt) =
-    let given = Array.of_list s.Dsl.given in
-    let table = Hashtbl.create (List.length s.Dsl.branches) in
-    List.iter
-      (fun (b : Dsl.branch) ->
-        (* conditions are sorted by attribute, matching [given] *)
-        let key = List.map (fun { Dsl.value; _ } -> value) b.Dsl.condition in
-        Hashtbl.replace table key b)
-      s.Dsl.branches;
-    { source = s; given; table }
+  let stmts = Array.of_list p.Dsl.stmts in
+  let branches =
+    Array.map
+      (fun (s : Dsl.stmt) ->
+        let k = List.length s.Dsl.given in
+        (* a branch whose condition covers only part of GIVEN can never
+           match a full determinant tuple; dropping it here keeps rule
+           indices aligned with the branch array *)
+        Array.of_list
+          (List.filter
+             (fun (b : Dsl.branch) -> List.length b.Dsl.condition = k)
+             s.Dsl.branches))
+      stmts
   in
-  { prog = p; compiled_stmts = List.map compile_stmt p.Dsl.stmts }
+  let rules =
+    Array.mapi
+      (fun i (s : Dsl.stmt) ->
+        Vm.Ruleset.make
+          ~given:(Array.of_list s.Dsl.given)
+          ~on:s.Dsl.on
+          (Array.map
+             (fun (b : Dsl.branch) ->
+               (* conditions are sorted by attribute, matching [given] *)
+               ( Array.of_list
+                   (List.map (fun { Dsl.value; _ } -> value) b.Dsl.condition),
+                 b.Dsl.assignment ))
+             branches.(i)))
+      stmts
+  in
+  { prog = p; stmts; branches; rules; cache = Vm.Cache.create rules }
 
 let source (c : compiled) = c.prog
 
-(* Violations of one materialized row. *)
+let make_violation c ~row ~stmt:s ~rule:r actual =
+  let branch = c.branches.(s).(r) in
+  {
+    row;
+    stmt = c.stmts.(s);
+    branch;
+    actual;
+    expected = branch.Dsl.assignment;
+  }
+
+(* Violations of one materialized row: the scalar 1-row VM entry. *)
 let check_values (c : compiled) values =
-  List.filter_map
-    (fun cs ->
-      let key = Array.to_list (Array.map (fun attr -> values.(attr)) cs.given) in
-      match Hashtbl.find_opt cs.table key with
-      | None -> None
-      | Some b ->
-        let actual = values.(cs.source.Dsl.on) in
-        if Value.equal actual b.Dsl.assignment then None
-        else
-          Some
-            {
-              row = -1;
-              stmt = cs.source;
-              branch = b;
-              actual;
-              expected = b.Dsl.assignment;
-            })
-    c.compiled_stmts
+  List.map
+    (fun (s, r) ->
+      make_violation c ~row:(-1) ~stmt:s ~rule:r values.(c.stmts.(s).Dsl.on))
+    (Vm.Exec.check_values c.rules values)
+
+(* Lowered bytecode for a frame (cached on frame identity, reused
+   across dictionary-sharing row subsets) plus its group cache. *)
+let verdicts (c : compiled) frame =
+  let program, groups = Vm.Cache.get c.cache frame in
+  Vm.Exec.run ~groups program frame
+
+(* Per-row violation bitmap — the batch detector output. *)
+let detect_bitmap (c : compiled) frame = (verdicts c frame).Vm.Exec.any
+
+(* Recover the violation list from the bitmaps: rows ascending, and
+   within a row statements in program order — exactly the order the
+   row-at-a-time path produced. The matched rule is recovered by one
+   value-level probe per (violating row, statement). *)
+let violations_of_verdicts (c : compiled) frame (v : Vm.Exec.verdicts) =
+  let acc = ref [] in
+  Vm.Bitmap.iteri_set v.Vm.Exec.any (fun row ->
+      for s = 0 to Array.length c.stmts - 1 do
+        if Vm.Bitmap.get v.Vm.Exec.per_stmt.(s) row then begin
+          let rs = c.rules.(s) in
+          let key =
+            Array.map (fun a -> Frame.get frame row a) (Vm.Ruleset.given rs)
+          in
+          match Vm.Ruleset.find rs key with
+          | Some r ->
+            acc :=
+              make_violation c ~row ~stmt:s ~rule:r
+                (Frame.get frame row c.stmts.(s).Dsl.on)
+              :: !acc
+          | None ->
+            (* the bytecode matched this row through the same decision
+               table; a value-level probe cannot disagree *)
+            assert false
+        end
+      done);
+  List.rev !acc
 
 (* All violations over a frame. *)
 let violations (c : compiled) frame =
-  let acc = ref [] in
-  for i = Frame.nrows frame - 1 downto 0 do
-    let vs = check_values c (Frame.row frame i) in
-    acc := List.map (fun v -> { v with row = i }) vs @ !acc
-  done;
-  !acc
+  violations_of_verdicts c frame (verdicts c frame)
 
 (* Per-row violation flags: the detector output scored in Table 3. *)
 let detect (c : compiled) frame =
-  let flags = Array.make (Frame.nrows frame) false in
-  List.iter (fun v -> flags.(v.row) <- true) (violations c frame);
+  let v = verdicts c frame in
+  let flags = Array.make v.Vm.Exec.n false in
+  Vm.Bitmap.iteri_set v.Vm.Exec.any (fun i -> flags.(i) <- true);
   flags
 
 let describe schema v =
@@ -113,6 +172,16 @@ let describe schema v =
     Value.pp v.actual
     (Pretty.pp_branch schema v.stmt.Dsl.on)
     v.branch Value.pp v.expected
+
+let repair strategy frame vs =
+  match strategy with
+  | Ignore | Raise -> frame
+  | Coerce ->
+    Frame.set_cells frame
+      (List.map (fun v -> (v.row, v.stmt.Dsl.on, Value.Null)) vs)
+  | Rectify ->
+    Frame.set_cells frame
+      (List.map (fun v -> (v.row, v.stmt.Dsl.on, v.expected)) vs)
 
 (* Apply a handling strategy. Returns the (possibly repaired) frame plus
    the violations found. *)
@@ -123,22 +192,58 @@ let handle ?(strategy = Ignore) (c : compiled) frame =
   | Raise ->
     (match vs with
      | [] -> (frame, [])
-     | v :: _ ->
-       raise (Violation_error (describe (Frame.schema frame) v)))
+     | v :: _ -> raise (Violation_error (describe (Frame.schema frame) v)))
+  | Coerce | Rectify -> (repair strategy frame vs, vs)
+
+(* Warm the bytecode cache for a frame (e.g. at daemon LOAD). *)
+let prepare (c : compiled) frame = ignore (Vm.Cache.get c.cache frame)
+
+(* The lowered program for a frame, for callers that pin it alongside
+   their own per-table state. *)
+let bytecode (c : compiled) frame = fst (Vm.Cache.get c.cache frame)
+
+(* ------------------------------------------------------------------ *)
+(* Row-at-a-time reference path: one materialized row and one decision-
+   table probe per statement per row. Kept as the semantic baseline the
+   differential tests and `bench validate` measure the VM against. *)
+
+let violations_rows (c : compiled) frame =
+  let acc = ref [] in
+  for i = Frame.nrows frame - 1 downto 0 do
+    let values = Frame.row frame i in
+    let vs =
+      List.map
+        (fun (s, r) ->
+          make_violation c ~row:i ~stmt:s ~rule:r values.(c.stmts.(s).Dsl.on))
+        (Vm.Exec.check_values c.rules values)
+    in
+    acc := vs @ !acc
+  done;
+  !acc
+
+let detect_rows (c : compiled) frame =
+  let flags = Array.make (Frame.nrows frame) false in
+  List.iter (fun v -> flags.(v.row) <- true) (violations_rows c frame);
+  flags
+
+let handle_rows ?(strategy = Ignore) (c : compiled) frame =
+  let vs = violations_rows c frame in
+  match strategy with
+  | Ignore -> (frame, vs)
+  | Raise ->
+    (match vs with
+     | [] -> (frame, [])
+     | v :: _ -> raise (Violation_error (describe (Frame.schema frame) v)))
   | Coerce ->
-    let repaired =
-      List.fold_left
+    ( List.fold_left
         (fun f v -> Frame.set f v.row v.stmt.Dsl.on Value.Null)
-        frame vs
-    in
-    (repaired, vs)
+        frame vs,
+      vs )
   | Rectify ->
-    let repaired =
-      List.fold_left
+    ( List.fold_left
         (fun f v -> Frame.set f v.row v.stmt.Dsl.on v.expected)
-        frame vs
-    in
-    (repaired, vs)
+        frame vs,
+      vs )
 
 (* Re-resolve a program's attribute indices by name against another
    schema, so constraints synthesized on a training split can be applied

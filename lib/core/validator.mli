@@ -3,7 +3,10 @@
 
     Every checking entry point takes a {!compiled} program: call
     {!compile} once and reuse the compilation across rows, frames and
-    requests. *)
+    requests. Frame-granular entry points ({!violations}, {!detect},
+    {!detect_bitmap}, {!handle}) run on lib/vm predicate bytecode —
+    lowered once per frame (cached, and shared across row subsets that
+    keep the same dictionaries) and executed as columnar bitmap ops. *)
 
 type violation = {
   row : int;
@@ -20,8 +23,9 @@ exception Violation_error of string
 val strategy_of_string : string -> strategy option
 val strategy_to_string : strategy -> string
 
-(** Statements compiled into determinant-tuple hash tables: checking a row
-    is O(statements) instead of O(branches). *)
+(** Statements compiled into [Vm.Ruleset] decision tables plus a
+    per-frame bytecode cache: checking is O(statements) per row on the
+    scalar path and columnar on the batch path. *)
 type compiled
 
 val compile : Dsl.prog -> compiled
@@ -32,17 +36,42 @@ val source : compiled -> Dsl.prog
 (** Violations of one materialized row ([row] field is [-1]). *)
 val check_values : compiled -> Dataframe.Value.t array -> violation list
 
-(** All violations over a frame. *)
+(** All violations over a frame: rows ascending, statements in program
+    order within a row. *)
 val violations : compiled -> Dataframe.Frame.t -> violation list
 
 (** Per-row violation flags — the detector output scored in Table 3. *)
 val detect : compiled -> Dataframe.Frame.t -> bool array
 
+(** Per-row violation bitmap (the batch detector's native output; bit
+    [i] set iff row [i] violates some statement). *)
+val detect_bitmap : compiled -> Dataframe.Frame.t -> Vm.Bitmap.t
+
 val describe : Dataframe.Schema.t -> violation -> string
 
 (** Apply a strategy (default [Ignore]); [Raise] raises
-    {!Violation_error} on the first violation. *)
+    {!Violation_error} on the first violation. [Coerce]/[Rectify]
+    repair all offending cells in one batch update. *)
 val handle :
+  ?strategy:strategy ->
+  compiled ->
+  Dataframe.Frame.t ->
+  Dataframe.Frame.t * violation list
+
+(** Lower (and cache) the bytecode for a frame ahead of first use. *)
+val prepare : compiled -> Dataframe.Frame.t -> unit
+
+(** The lowered program for a frame, for callers that pin the bytecode
+    alongside their own per-table state. Cached like {!prepare}. *)
+val bytecode : compiled -> Dataframe.Frame.t -> Vm.Program.t
+
+(** Row-at-a-time reference implementations — the pre-VM semantics the
+    differential suite and [bench validate] compare against. *)
+val violations_rows : compiled -> Dataframe.Frame.t -> violation list
+
+val detect_rows : compiled -> Dataframe.Frame.t -> bool array
+
+val handle_rows :
   ?strategy:strategy ->
   compiled ->
   Dataframe.Frame.t ->

@@ -56,6 +56,29 @@ let set t row col v =
   columns.(col) <- Column.set columns.(col) row v;
   { t with columns }
 
+(* Batch cell update: one Column.update per touched column instead of a
+   whole-frame copy per cell. Within a column, updates apply in list
+   order, so the result matches folding [set] over the list. *)
+let set_cells t cells =
+  match cells with
+  | [] -> t
+  | _ ->
+    let by_col = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun (row, col, v) ->
+        if not (Hashtbl.mem by_col col) then order := col :: !order;
+        Hashtbl.replace by_col col
+          ((row, v) :: Option.value ~default:[] (Hashtbl.find_opt by_col col)))
+      cells;
+    let columns = Array.copy t.columns in
+    List.iter
+      (fun col ->
+        columns.(col) <-
+          Column.update columns.(col) (List.rev (Hashtbl.find by_col col)))
+      !order;
+    { t with columns }
+
 (* Integer code matrix, one code array per column: the representation the
    synthesis pipeline and the baselines operate on. *)
 let code_matrix t = Array.map Column.codes t.columns

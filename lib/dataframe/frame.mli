@@ -28,6 +28,11 @@ val rows : t -> Value.t array list
 (** Functional single-cell update. *)
 val set : t -> int -> int -> Value.t -> t
 
+(** Functional batch update of [(row, col, value)] cells: one column
+    rebuild per touched column. Equivalent to folding {!set} over the
+    list (within a cell, later updates win). *)
+val set_cells : t -> (int * int * Value.t) list -> t
+
 (** Per-column code arrays — the representation the synthesis pipeline
     operates on. Do not mutate. *)
 val code_matrix : t -> int array array

@@ -76,10 +76,10 @@ let accuracy t frame ~label =
   if n = 0 then Float.nan
   else begin
     let preds = predict_frame t frame in
+    let labels = Frame.column_by_name frame label in
     let correct = ref 0 in
     for i = 0 to n - 1 do
-      if Value.equal preds.(i) (Frame.get_by_name frame i label) then
-        incr correct
+      if Value.equal preds.(i) (Dataframe.Column.get labels i) then incr correct
     done;
     float_of_int !correct /. float_of_int n
   end

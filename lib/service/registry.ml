@@ -13,6 +13,7 @@ type program = {
   text : string;                            (* .grl source as received *)
   prog : Guardrail.Dsl.prog;
   compiled : Guardrail.Validator.compiled;
+  bytecode : Vm.Program.t;  (* lowered once against the table's frame *)
 }
 
 type entry = {
@@ -31,7 +32,11 @@ let with_lock t f =
 
 let compile_program frame text =
   let prog = Guardrail.Parse.prog (Frame.schema frame) text in
-  { text; prog; compiled = Guardrail.Validator.compile prog }
+  let compiled = Guardrail.Validator.compile prog in
+  (* lower (and pin) the guard bytecode for the daemon table now, so
+     every Detect/Rectify/Sql request over it starts on a warm cache *)
+  let bytecode = Guardrail.Validator.bytecode compiled frame in
+  { text; prog; compiled; bytecode }
 
 let load t ~name ?program ?model_label frame =
   let program = Option.map (compile_program frame) program in

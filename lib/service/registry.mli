@@ -7,6 +7,10 @@ type program = {
   text : string;                  (** .grl source as received *)
   prog : Guardrail.Dsl.prog;
   compiled : Guardrail.Validator.compiled;
+  bytecode : Vm.Program.t;
+      (** guard bytecode lowered once against the table's frame at
+          load/guard time; requests over the table execute it from the
+          compilation's warm cache *)
 }
 
 type entry = {

@@ -20,8 +20,12 @@ type context = {
   models : (string, Mlmodel.Ensemble.t) Hashtbl.t;  (* keyed by target name *)
   (* the installed guard, pre-compiled against its own schema; queries
      over tables with an identical column layout reuse the compilation,
-     others re-bind by column name per query *)
+     others re-bind by column name through [rebound] *)
   mutable guard : (Guardrail.Validator.compiled * Guardrail.Validator.strategy) option;
+  (* re-bound guard compilations keyed by column-name layout, so a view
+     with a different layout compiles (and lowers its bytecode) once,
+     not once per query; most recent first, bounded *)
+  mutable rebound : (string list * Guardrail.Validator.compiled) list;
 }
 
 type stats = {
@@ -39,16 +43,24 @@ type result = {
 }
 
 let create () =
-  { tables = Hashtbl.create 8; models = Hashtbl.create 8; guard = None }
+  {
+    tables = Hashtbl.create 8;
+    models = Hashtbl.create 8;
+    guard = None;
+    rebound = [];
+  }
 
 let register_table ctx name frame = Hashtbl.replace ctx.tables name frame
 
 let register_model ctx ~target model = Hashtbl.replace ctx.models target model
 
 let set_guard ctx ?(strategy = Guardrail.Validator.Rectify) compiled =
-  ctx.guard <- Some (compiled, strategy)
+  ctx.guard <- Some (compiled, strategy);
+  ctx.rebound <- []
 
-let clear_guard ctx = ctx.guard <- None
+let clear_guard ctx =
+  ctx.guard <- None;
+  ctx.rebound <- []
 
 (* Row environment: materialized (possibly repaired) values plus the
    prediction per target. *)
@@ -185,11 +197,40 @@ let find_model ctx target =
 
 let now () = Unix.gettimeofday ()
 
-(* Build a one-row frame so the ensemble's encoder can read named
-   columns. *)
-let predict_value model schema values =
-  let frame = Frame.of_rows schema [ values ] in
-  Mlmodel.Ensemble.predict_row model frame 0
+(* Retained rebound-guard layouts (most recent first). *)
+let rebound_limit = 4
+
+(* The guard compilation fitting [schema]: the installed one when the
+   column layout matches, a cached-or-fresh name-rebound compilation
+   otherwise. Caching the rebound compilation keeps its VM bytecode
+   cache alive across queries, so a view's guard lowers once. *)
+let guard_for ctx schema table_name =
+  match ctx.guard with
+  | None -> None
+  | Some (compiled, strategy) ->
+    let prog = Guardrail.Validator.source compiled in
+    let names = Dataframe.Schema.names schema in
+    if Dataframe.Schema.names prog.Guardrail.Dsl.schema = names then
+      Some (compiled, strategy)
+    else begin
+      match List.assoc_opt names ctx.rebound with
+      | Some c -> Some (c, strategy)
+      | None ->
+        (try
+           let c =
+             Guardrail.Validator.compile
+               (Guardrail.Validator.rebind prog schema)
+           in
+           ctx.rebound <-
+             (names, c)
+             :: List.filteri (fun i _ -> i < rebound_limit - 1) ctx.rebound;
+           Some (c, strategy)
+         with Invalid_argument msg ->
+           raise
+             (Runtime_error
+                (Printf.sprintf "guard does not fit table %S: %s" table_name
+                   msg)))
+    end
 
 let run ctx sql =
   Obs.Span.with_ "sql.query" @@ fun () ->
@@ -200,95 +241,63 @@ let run ctx sql =
   let n = Frame.nrows frame in
   (* When the queried table has the guard's exact column layout, reuse the
      compilation built once in [set_guard]; otherwise (views may order or
-     extend columns differently) re-bind by column name and compile for
-     this query. *)
-  let guard =
-    match ctx.guard with
-    | None -> None
-    | Some (compiled, strategy) ->
-      let prog = Guardrail.Validator.source compiled in
-      let same_layout =
-        Dataframe.Schema.names prog.Guardrail.Dsl.schema
-        = Dataframe.Schema.names schema
-      in
-      if same_layout then Some (compiled, strategy)
-      else
-        (try
-           Some
-             ( Guardrail.Validator.compile
-                 (Guardrail.Validator.rebind prog schema),
-               strategy )
-         with Invalid_argument msg ->
-           raise
-             (Runtime_error
-                (Printf.sprintf "guard does not fit table %S: %s"
-                   plan.Plan.table msg)))
-  in
+     extend columns differently) the name-rebound compilation is built
+     once per layout and cached on the context. *)
+  let guard = guard_for ctx schema plan.Plan.table in
   let guardrail_s = ref 0.0 in
   let inference_s = ref 0.0 in
   let violations = ref 0 in
   let rows_predicted = ref 0 in
   (* scan + pre-filter *)
-  let envs = ref [] in
+  let kept = ref [] in
   for i = n - 1 downto 0 do
     let values = Frame.row frame i in
     let env0 = { schema; values; predictions = [] } in
     let keep =
       List.for_all (fun e -> truthy (eval env0 e)) plan.Plan.pre_filter
     in
-    if keep then envs := env0 :: !envs
+    if keep then kept := (i, env0) :: !kept
   done;
-  (* prediction with guardrail interception *)
+  (* prediction with guardrail interception: surviving rows are gathered
+     into a sub-frame (sharing the table's dictionaries, so the guard's
+     bytecode is reused), vetted in one batch over the VM's violation
+     bitmaps, repaired in one batch update, and predicted in one
+     predict_frame call per target *)
   let envs =
-    if not plan.Plan.uses_predict then !envs
+    if not plan.Plan.uses_predict then List.map snd !kept
     else begin
-      List.map
-        (fun env ->
-          incr rows_predicted;
-          let values =
-            match guard with
-            | None -> env.values
-            | Some (compiled, strategy) ->
-              let t0 = now () in
-              let vs = Guardrail.Validator.check_values compiled env.values in
-              let repaired =
-                match strategy, vs with
-                | _, [] -> env.values
-                | Guardrail.Validator.Ignore, _ -> env.values
-                | Guardrail.Validator.Raise, v :: _ ->
-                  raise
-                    (Guardrail.Validator.Violation_error
-                       (Guardrail.Validator.describe schema v))
-                | Guardrail.Validator.Coerce, vs ->
-                  let out = Array.copy env.values in
-                  List.iter
-                    (fun (v : Guardrail.Validator.violation) ->
-                      out.(v.Guardrail.Validator.stmt.Guardrail.Dsl.on) <- Value.Null)
-                    vs;
-                  out
-                | Guardrail.Validator.Rectify, vs ->
-                  let out = Array.copy env.values in
-                  List.iter
-                    (fun (v : Guardrail.Validator.violation) ->
-                      out.(v.Guardrail.Validator.stmt.Guardrail.Dsl.on) <-
-                        v.Guardrail.Validator.expected)
-                    vs;
-                  out
-              in
-              violations := !violations + List.length vs;
-              guardrail_s := !guardrail_s +. (now () -. t0);
-              repaired
-          in
-          let t1 = now () in
-          let predictions =
-            List.map
-              (fun target ->
-                (target, predict_value (find_model ctx target) schema values))
-              plan.Plan.predict_targets
-          in
-          inference_s := !inference_s +. (now () -. t1);
-          { env with values; predictions })
-        !envs
+      let idx = Array.of_list (List.map fst !kept) in
+      rows_predicted := Array.length idx;
+      let sub = Frame.take frame idx in
+      let sub =
+        match guard with
+        | None -> sub
+        | Some (compiled, strategy) ->
+          let t0 = now () in
+          let finish () = guardrail_s := !guardrail_s +. (now () -. t0) in
+          (match Guardrail.Validator.handle ~strategy compiled sub with
+           | repaired, vs ->
+             violations := !violations + List.length vs;
+             finish ();
+             repaired
+           | exception e ->
+             finish ();
+             raise e)
+      in
+      let t1 = now () in
+      let preds =
+        List.map
+          (fun target ->
+            (target, Mlmodel.Ensemble.predict_frame (find_model ctx target) sub))
+          plan.Plan.predict_targets
+      in
+      inference_s := !inference_s +. (now () -. t1);
+      List.init (Array.length idx) (fun j ->
+          {
+            schema;
+            values = Frame.row sub j;
+            predictions = List.map (fun (t, arr) -> (t, arr.(j))) preds;
+          })
     end
   in
   (* post-filter *)

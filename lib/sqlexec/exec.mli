@@ -25,7 +25,8 @@ val register_model : context -> target:string -> Mlmodel.Ensemble.t -> unit
 (** Install a compiled guardrail applied to every row before prediction
     (default strategy: [Rectify]). Queries over tables with the guard's
     exact column layout reuse the compilation as-is; other layouts are
-    re-bound by column name per query. *)
+    re-bound by column name once and cached (with their lowered VM
+    bytecode) on the context. *)
 val set_guard :
   context ->
   ?strategy:Guardrail.Validator.strategy ->

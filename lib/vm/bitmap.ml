@@ -1,0 +1,127 @@
+(* Dense per-row bitmaps, the value domain of the predicate VM.
+
+   One bit per row, backed by [Bytes] padded to a whole number of 64-bit
+   words so the logical connectives run word-at-a-time. The invariant
+   maintained by every operation is that the padding bits past [length]
+   are zero, which makes [count] a straight popcount over the buffer and
+   lets [equal] compare bytes. *)
+
+type t = { bits : Bytes.t; length : int }
+
+let bytes_needed n = (n + 7) / 8
+
+(* buffer size: payload bytes rounded up to a multiple of 8 *)
+let buffer_len n = (bytes_needed n + 7) / 8 * 8
+
+let create n =
+  if n < 0 then invalid_arg "Vm.Bitmap.create: negative length";
+  { bits = Bytes.make (buffer_len n) '\000'; length = n }
+
+let length t = t.length
+
+let check t i =
+  if i < 0 || i >= t.length then invalid_arg "Vm.Bitmap: index out of bounds"
+
+let unsafe_get t i =
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let get t i =
+  check t i;
+  unsafe_get t i
+
+let set t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits b) lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits b) land lnot (1 lsl (i land 7))))
+
+let copy t = { t with bits = Bytes.copy t.bits }
+
+let data t = t.bits
+
+(* Zero every bit at index >= length: the padding invariant. *)
+let mask_tail t =
+  let payload = bytes_needed t.length in
+  let rem = t.length land 7 in
+  if rem > 0 then begin
+    let b = payload - 1 in
+    Bytes.unsafe_set t.bits b
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits b) land ((1 lsl rem) - 1)))
+  end;
+  for b = payload to Bytes.length t.bits - 1 do
+    Bytes.unsafe_set t.bits b '\000'
+  done
+
+let fill_all t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\255';
+  mask_tail t
+
+let clear_all t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let same_length a b =
+  if a.length <> b.length then invalid_arg "Vm.Bitmap: length mismatch"
+
+let binop f dst src =
+  same_length dst src;
+  for w = 0 to (Bytes.length dst.bits / 8) - 1 do
+    let o = w * 8 in
+    Bytes.set_int64_ne dst.bits o
+      (f (Bytes.get_int64_ne dst.bits o) (Bytes.get_int64_ne src.bits o))
+  done
+
+let and_in dst src = binop Int64.logand dst src
+let or_in dst src = binop Int64.logor dst src
+
+(* dst := dst AND NOT src *)
+let andnot_in dst src = binop (fun a b -> Int64.logand a (Int64.lognot b)) dst src
+
+let not_in dst =
+  for w = 0 to (Bytes.length dst.bits / 8) - 1 do
+    let o = w * 8 in
+    Bytes.set_int64_ne dst.bits o (Int64.lognot (Bytes.get_int64_ne dst.bits o))
+  done;
+  mask_tail dst
+
+let popcount8 =
+  Array.init 256 (fun i ->
+      let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+      go i 0)
+
+let count t =
+  let acc = ref 0 in
+  for b = 0 to Bytes.length t.bits - 1 do
+    acc := !acc + Array.unsafe_get popcount8 (Char.code (Bytes.unsafe_get t.bits b))
+  done;
+  !acc
+
+let is_empty t = count t = 0
+
+let equal a b = a.length = b.length && Bytes.equal a.bits b.bits
+
+let iteri_set t f =
+  for b = 0 to bytes_needed t.length - 1 do
+    let byte = Char.code (Bytes.unsafe_get t.bits b) in
+    if byte <> 0 then begin
+      let base = b lsl 3 in
+      for k = 0 to 7 do
+        if byte land (1 lsl k) <> 0 then f (base + k)
+      done
+    end
+  done
+
+let to_bool_array t = Array.init t.length (unsafe_get t)
+
+let of_bool_array flags =
+  let t = create (Array.length flags) in
+  Array.iteri (fun i b -> if b then set t i) flags;
+  t
+
+let pp ppf t =
+  Fmt.pf ppf "%d/%d" (count t) t.length

@@ -1,0 +1,49 @@
+(** Dense per-row bitmaps — the value domain of the predicate VM.
+
+    One bit per row over [Bytes] padded to whole 64-bit words, so the
+    logical connectives run word-at-a-time. Bits past [length] are kept
+    zero by every operation. *)
+
+type t
+
+(** All-zero bitmap of the given bit length. *)
+val create : int -> t
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val copy : t -> t
+
+(** The backing buffer. Owned by the VM interpreter; callers must not
+    mutate it. *)
+val data : t -> Bytes.t
+
+(** Re-establish the zero-padding invariant after raw [data] writes. *)
+val mask_tail : t -> unit
+
+val fill_all : t -> unit
+val clear_all : t -> unit
+
+(** In-place connectives; raise [Invalid_argument] on length mismatch. *)
+val and_in : t -> t -> unit
+
+val or_in : t -> t -> unit
+
+(** [andnot_in dst src]: [dst := dst AND NOT src]. *)
+val andnot_in : t -> t -> unit
+
+val not_in : t -> unit
+
+(** Number of set bits. *)
+val count : t -> int
+
+val is_empty : t -> bool
+val equal : t -> t -> bool
+
+(** Apply [f] to every set index, ascending. *)
+val iteri_set : t -> (int -> unit) -> unit
+
+val to_bool_array : t -> bool array
+val of_bool_array : bool array -> t
+val pp : Format.formatter -> t -> unit

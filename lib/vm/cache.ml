@@ -1,0 +1,73 @@
+(* Bytecode cache: one per compiled validator program.
+
+   Entries are keyed by frame physical identity — frames are immutable
+   records, so [==] identifies "the same batch seen again" (a daemon
+   table, the frame a query keeps re-validating). Each entry couples
+   the lowered bytecode with that frame's Group cache so decision-table
+   partitions are computed once and shared with every other consumer of
+   the frame's groupings.
+
+   On an identity miss we still try to reuse a dict-compatible lowering
+   from another entry (row subsets share dictionaries with their
+   parent), so e.g. validating take/filter derivatives of a cached
+   frame never re-lowers. Lookup and compute run under a mutex, like
+   Group.Cache, keeping the hit/miss counters schedule-independent. *)
+
+module Frame = Dataframe.Frame
+module Group = Dataframe.Group
+
+type entry = {
+  frame : Frame.t;
+  program : Program.t;
+  groups : Group.Cache.t;
+}
+
+type t = {
+  rules : Ruleset.t array;
+  cap : int;
+  max_entries : int;
+  mutex : Mutex.t;
+  mutable entries : entry list;  (* most recently inserted first *)
+}
+
+let hits = lazy (Obs.Metric.counter Obs.Metric.default "vm.cache.hits")
+let misses = lazy (Obs.Metric.counter Obs.Metric.default "vm.cache.misses")
+
+let default_max_entries = 8
+
+let create ?(cap = Lower.default_cap) ?(max_entries = default_max_entries) rules
+    =
+  if max_entries < 1 then invalid_arg "Vm.Cache.create: max_entries < 1";
+  { rules; cap; max_entries; mutex = Mutex.create (); entries = [] }
+
+let rec truncate k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | e :: rest -> e :: truncate (k - 1) rest
+
+let get t frame =
+  Mutex.protect t.mutex @@ fun () ->
+  match List.find_opt (fun e -> e.frame == frame) t.entries with
+  | Some e ->
+    Obs.Metric.incr (Lazy.force hits);
+    (e.program, e.groups)
+  | None ->
+    Obs.Metric.incr (Lazy.force misses);
+    let program =
+      match
+        List.find_opt (fun e -> Program.compatible e.program frame) t.entries
+      with
+      | Some e -> e.program
+      | None -> Lower.lower ~cap:t.cap frame t.rules
+    in
+    let groups =
+      Group.Cache.create ~cap:t.cap ~codes:(Frame.code_matrix frame)
+        ~cards:(Frame.cardinalities frame) ()
+    in
+    t.entries <-
+      truncate t.max_entries ({ frame; program; groups } :: t.entries);
+    (program, groups)
+
+let length t = Mutex.protect t.mutex @@ fun () -> List.length t.entries
+
+let rules t = t.rules

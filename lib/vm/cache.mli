@@ -1,0 +1,17 @@
+(** Bytecode cache: frame-identity-keyed lowered programs plus the
+    frame's group cache, so each (program, table) pair compiles once
+    and decision-table partitions are shared. Thread-safe; counts
+    [vm.cache.hits]/[vm.cache.misses] in [Obs.Metric.default]. *)
+
+type t
+
+(** [create rules] caches lowerings of [rules]. [max_entries] bounds
+    the number of retained frames (oldest dropped first). *)
+val create : ?cap:int -> ?max_entries:int -> Ruleset.t array -> t
+
+(** Bytecode and group cache for this frame: cached on physical
+    identity, re-lowered (or dict-compatibly reused) on miss. *)
+val get : t -> Dataframe.Frame.t -> Program.t * Dataframe.Group.Cache.t
+
+val length : t -> int
+val rules : t -> Ruleset.t array

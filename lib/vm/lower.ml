@@ -1,0 +1,264 @@
+(* Lowering: rulesets -> predicate bytecode, against one frame.
+
+   Every literal is resolved to the dictionary code it carries in the
+   target frame. Key tuples resolve structurally (the dictionary's own
+   hashtable), so a rule whose key mentions a value the frame has never
+   seen can match no row and is dropped from the lowered key index (it
+   still participates in the scalar path, which works at value level).
+   Accepted ON codes resolve with [Value.equal], which can alias several
+   dictionary entries (Int 1 / Float 1.0) — hence the expect-mask pool.
+
+   Strategy per statement, in order of preference:
+
+   - mask form, single GIVEN column: effective rules are bucketed by
+     their expect encoding; each bucket becomes EQ/IN + NE/IN + AND(N),
+     OR-ed into the statement register. Chosen when the bucket count is
+     small — the whole statement then runs as a handful of fused
+     column scans with no per-row key construction at all.
+   - mask form, few multi-column rules: one EQ/AND chain per rule.
+   - table form, everything else: one TABLE op. Rows are partitioned by
+     the GIVEN columns through the shared Dataframe.Group CSR index
+     (mixed-radix key under the cap, hashed above it) and each
+     partition probes the rule index once — O(rows + partitions)
+     regardless of rule count. *)
+
+module Column = Dataframe.Column
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+module Group = Dataframe.Group
+
+let default_cap = Group.default_cap
+
+(* Buckets with more distinct expects than this fall back to TABLE. *)
+let max_mask_buckets = 8
+
+(* Multi-column statements with more effective rules than this fall
+   back to TABLE. *)
+let max_mask_rules = 4
+
+type builder = {
+  mutable ops : Op.t list;             (* reversed *)
+  mutable n_ops : int;
+  mutable sets : Bytes.t list;         (* reversed *)
+  mutable n_sets : int;
+  mutable masks : Bytes.t list;        (* reversed *)
+  mutable n_masks : int;
+  mutable tables : Program.table list; (* reversed *)
+  mutable n_tables : int;
+}
+
+let emit b op =
+  b.ops <- op :: b.ops;
+  b.n_ops <- b.n_ops + 1
+
+let add_set b bytes =
+  b.sets <- bytes :: b.sets;
+  b.n_sets <- b.n_sets + 1;
+  b.n_sets - 1
+
+let add_mask b bytes =
+  b.masks <- bytes :: b.masks;
+  b.n_masks <- b.n_masks + 1;
+  b.n_masks - 1
+
+let add_table b table =
+  b.tables <- table :: b.tables;
+  b.n_tables <- b.n_tables + 1;
+  b.n_tables - 1
+
+let code_mask ~card codes =
+  let bytes = Bytes.make ((card + 7) / 8) '\000' in
+  List.iter
+    (fun c ->
+      Bytes.set bytes (c lsr 3)
+        (Char.chr (Char.code (Bytes.get bytes (c lsr 3)) lor (1 lsl (c land 7)))))
+    codes;
+  bytes
+
+(* Accepted ON codes per assignment, Value.equal-tolerant: dictionary
+   entries are bucketed once under a canonical key (numerics by float
+   value), so each rule costs one lookup instead of a dictionary scan. *)
+let accepted_codes on_dict =
+  let canonical = function Value.Int i -> Value.Float (float_of_int i) | v -> v in
+  let buckets : (Value.t, int list) Hashtbl.t =
+    Hashtbl.create (max 16 (Array.length on_dict))
+  in
+  Array.iteri
+    (fun c v ->
+      let k = canonical v in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt buckets k) in
+      Hashtbl.replace buckets k (c :: prev))
+    on_dict;
+  fun assignment ->
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt buckets (canonical assignment)))
+
+let radix_key cards key =
+  let acc = ref 0 in
+  Array.iteri (fun j c -> acc := (!acc * cards.(j)) + c) key;
+  !acc
+
+let lower_stmt b ~cap frame ~s1 ~s2 ~dst rs =
+  let given = Ruleset.given rs in
+  let on = Ruleset.on rs in
+  let k = Array.length given in
+  let cols = Array.map (Frame.column frame) given in
+  let on_col = Frame.column frame on in
+  let cards = Array.map Column.cardinality cols in
+  let on_card = Column.cardinality on_col in
+  let accepted = accepted_codes (Column.dict on_col) in
+  (* expect encoding per rule *)
+  let expect =
+    Array.init (Ruleset.n_rules rs) (fun r ->
+        match accepted (Ruleset.rule rs r).Ruleset.assignment with
+        | [] -> Program.expect_none
+        | [ c ] -> Program.expect_single c
+        | cs -> Program.expect_mask (add_mask b (code_mask ~card:on_card cs)))
+  in
+  (* effective rules: resolvable key tuples, last duplicate wins *)
+  let keyed : (int array, int) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  for r = 0 to Ruleset.n_rules rs - 1 do
+    let rule = Ruleset.rule rs r in
+    let key =
+      try Some (Array.mapi (fun j v -> Option.get (Column.code_of_value cols.(j) v)) rule.Ruleset.key)
+      with Invalid_argument _ -> None
+    in
+    match key with
+    | None -> ()
+    | Some key ->
+      if not (Hashtbl.mem keyed key) then order := key :: !order;
+      Hashtbl.replace keyed key r
+  done;
+  let effective =
+    List.rev_map (fun key -> (key, Hashtbl.find keyed key)) !order
+  in
+  let m = List.length effective in
+  (* emit the matched-and-violating mask for one expect encoding, ANDed
+     into s1 (which holds the matched mask) and OR-ed into dst *)
+  let emit_expect e =
+    if e >= 0 then begin
+      emit b (Op.Ne { col = on; code = e; dst = s2 });
+      emit b (Op.And { src = s2; dst = s1 })
+    end
+    else if e <> Program.expect_none then begin
+      (* aliased expect: accepted codes as an IN set over the ON column *)
+      let mask = List.nth (List.rev b.masks) (Program.mask_index e) in
+      let set = add_set b (Bytes.copy mask) in
+      emit b (Op.In { col = on; set; dst = s2 });
+      emit b (Op.Andn { src = s2; dst = s1 })
+    end;
+    emit b (Op.Or { src = s1; dst })
+  in
+  if m = 0 then ()  (* no rule can match this frame: register stays zero *)
+  else begin
+    (* bucket single-column statements by expect encoding *)
+    let buckets =
+      if k <> 1 then None
+      else begin
+        let by_expect : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+        let order = ref [] in
+        List.iter
+          (fun (key, r) ->
+            let e = expect.(r) in
+            if not (Hashtbl.mem by_expect e) then order := e :: !order;
+            Hashtbl.replace by_expect e
+              (key.(0) :: Option.value ~default:[] (Hashtbl.find_opt by_expect e)))
+          effective;
+        if List.length !order <= max_mask_buckets then
+          Some (List.rev_map (fun e -> (e, List.rev (Hashtbl.find by_expect e))) !order)
+        else None
+      end
+    in
+    match buckets with
+    | Some buckets ->
+      List.iter
+        (fun (e, codes) ->
+          (match codes with
+           | [ c ] -> emit b (Op.Eq { col = given.(0); code = c; dst = s1 })
+           | cs ->
+             let set = add_set b (code_mask ~card:cards.(0) cs) in
+             emit b (Op.In { col = given.(0); set; dst = s1 }));
+          emit_expect e)
+        buckets
+    | None when m <= max_mask_rules ->
+      List.iter
+        (fun (key, r) ->
+          emit b (Op.Eq { col = given.(0); code = key.(0); dst = s1 });
+          for j = 1 to k - 1 do
+            emit b (Op.Eq { col = given.(j); code = key.(j); dst = s2 });
+            emit b (Op.And { src = s2; dst = s1 })
+          done;
+          emit_expect expect.(r))
+        effective
+    | None ->
+      let key =
+        match Group.strata_count ~cap (Array.to_list cards) with
+        | Some space ->
+          let flat = Array.make (max space 1) (-1) in
+          List.iter (fun (key, r) -> flat.(radix_key cards key) <- r) effective;
+          Program.Radix flat
+        | None ->
+          let h = Hashtbl.create (2 * m) in
+          List.iter (fun (key, r) -> Hashtbl.replace h key r) effective;
+          Program.Hashed h
+      in
+      let table =
+        add_table b { Program.source = rs; given; cards; on; key; expect }
+      in
+      emit b (Op.Table { table; dst })
+  end
+
+let lower ?(cap = default_cap) frame (rules : Ruleset.t array) =
+  Obs.Span.with_ "vm.compile"
+    ~attrs:(fun () ->
+      [ ("stmts", string_of_int (Array.length rules));
+        ("rows", string_of_int (Frame.nrows frame)) ])
+  @@ fun () ->
+  let ncols = Frame.ncols frame in
+  Array.iter
+    (fun rs ->
+      Array.iter
+        (fun c ->
+          if c < 0 || c >= ncols then
+            invalid_arg "Vm.Lower.lower: ruleset column out of range")
+        (Ruleset.given rs);
+      if Ruleset.on rs >= ncols then
+        invalid_arg "Vm.Lower.lower: ruleset column out of range")
+    rules;
+  let n_stmts = Array.length rules in
+  let b =
+    { ops = []; n_ops = 0; sets = []; n_sets = 0; masks = []; n_masks = 0;
+      tables = []; n_tables = 0 }
+  in
+  let s1 = n_stmts and s2 = n_stmts + 1 in
+  Array.iteri (fun i rs -> lower_stmt b ~cap frame ~s1 ~s2 ~dst:i rs) rules;
+  (* referenced columns and their dictionaries *)
+  let seen = Hashtbl.create 16 in
+  let cols = ref [] in
+  Array.iter
+    (fun rs ->
+      Array.iter
+        (fun c ->
+          if not (Hashtbl.mem seen c) then begin
+            Hashtbl.add seen c ();
+            cols := c :: !cols
+          end)
+        (Array.append (Ruleset.given rs) [| Ruleset.on rs |]))
+    rules;
+  let cols = Array.of_list (List.rev !cols) in
+  let p =
+    {
+      Program.source = rules;
+      ops = Array.of_list (List.rev b.ops);
+      n_regs = (if n_stmts = 0 then 0 else n_stmts + 2);
+      stmt_reg = Array.init n_stmts (fun i -> i);
+      sets = Array.of_list (List.rev b.sets);
+      masks = Array.of_list (List.rev b.masks);
+      tables = Array.of_list (List.rev b.tables);
+      cols;
+      dicts = Array.map (fun c -> Column.dict (Frame.column frame c)) cols;
+    }
+  in
+  Obs.Span.add_attr "ops" (string_of_int (Program.n_ops p));
+  Obs.Span.add_attr "tables" (string_of_int (Program.n_tables p));
+  p

@@ -1,0 +1,50 @@
+(* The predicate-bytecode instruction set.
+
+   A program is a flat array of these ops, interpreted in order by
+   Vm.Exec against the dictionary-code arrays of one frame. Operands
+   index three pools carried by the program: bitmap registers (dense
+   per-row bitmaps), in-set masks ([sets], one bit per dictionary code
+   of some column), and lowered decision tables ([tables]).
+
+     EQ    col imm dst     dst[i] := codes(col)[i] = imm
+     NE    col imm dst     dst[i] := codes(col)[i] <> imm
+     IN    col set dst     dst[i] := sets(set) contains codes(col)[i]
+     AND   src dst         dst &= src
+     OR    src dst         dst |= src
+     ANDN  src dst         dst &= ~src
+     NOT   dst             dst := ~dst
+     TABLE tbl dst         decision-table probe: rows are partitioned by
+                           the table's GIVEN columns via the Dataframe.Group
+                           CSR index; each partition's representative key
+                           tuple selects a rule; dst[i] := 1 iff row i's
+                           partition has a rule and the row's ON code is
+                           not accepted by it
+     ANY   tbl src dst     group-scoped reduce over the same partitions:
+                           dst[i] := OR of src over row i's partition
+
+   EQ/NE are the compare-immediate forms, IN the in-set bitmask form;
+   together with the connectives they lower small statements without any
+   per-row hashing, and TABLE covers the general case by reusing the
+   cached group index instead of re-hashing rows. *)
+
+type t =
+  | Eq of { col : int; code : int; dst : int }
+  | Ne of { col : int; code : int; dst : int }
+  | In of { col : int; set : int; dst : int }
+  | And of { src : int; dst : int }
+  | Or of { src : int; dst : int }
+  | Andn of { src : int; dst : int }
+  | Not of { dst : int }
+  | Table of { table : int; dst : int }
+  | Any of { table : int; src : int; dst : int }
+
+let pp ppf = function
+  | Eq { col; code; dst } -> Fmt.pf ppf "EQ    c%d #%d -> r%d" col code dst
+  | Ne { col; code; dst } -> Fmt.pf ppf "NE    c%d #%d -> r%d" col code dst
+  | In { col; set; dst } -> Fmt.pf ppf "IN    c%d s%d -> r%d" col set dst
+  | And { src; dst } -> Fmt.pf ppf "AND   r%d -> r%d" src dst
+  | Or { src; dst } -> Fmt.pf ppf "OR    r%d -> r%d" src dst
+  | Andn { src; dst } -> Fmt.pf ppf "ANDN  r%d -> r%d" src dst
+  | Not { dst } -> Fmt.pf ppf "NOT   r%d" dst
+  | Table { table; dst } -> Fmt.pf ppf "TABLE t%d -> r%d" table dst
+  | Any { table; src; dst } -> Fmt.pf ppf "ANY   t%d r%d -> r%d" table src dst

@@ -1,0 +1,51 @@
+(** A lowered predicate program: flat bytecode plus the constant pools
+    (in-set masks, decision tables) it indexes, with every literal
+    resolved to dictionary codes of one frame. *)
+
+type key_index =
+  | Radix of int array                    (** radix combination → rule, -1 none *)
+  | Hashed of (int array, int) Hashtbl.t  (** code tuple → rule *)
+
+type table = {
+  source : Ruleset.t;
+  given : int array;
+  cards : int array;
+  on : int;
+  key : key_index;
+  expect : int array;
+}
+
+(** Encodings of a rule's accepted-ON-code set in [table.expect]. *)
+val expect_none : int
+
+val expect_single : int -> int
+val expect_mask : int -> int
+
+(** Mask-pool index of an [expect] value [<= -2]. *)
+val mask_index : int -> int
+
+type t = {
+  source : Ruleset.t array;
+  ops : Op.t array;
+  n_regs : int;
+  stmt_reg : int array;
+  sets : Bytes.t array;
+  masks : Bytes.t array;
+  tables : table array;
+  cols : int array;
+  dicts : Dataframe.Value.t array array;
+}
+
+val source : t -> Ruleset.t array
+val n_stmts : t -> int
+val n_ops : t -> int
+val n_tables : t -> int
+
+(** Does the frame still carry (physically) the dictionaries this
+    program was lowered against? Row subsets made with
+    [Frame.take]/[Frame.filter] share dictionaries and stay
+    compatible. *)
+val compatible : t -> Dataframe.Frame.t -> bool
+
+(** Disassembly, for debugging and tests. *)
+val pp : Format.formatter -> t -> unit

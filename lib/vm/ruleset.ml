@@ -1,0 +1,66 @@
+(* The VM's source IR: a decision table over dictionary-encoded columns.
+
+   One ruleset is one GUARDRAIL statement flattened to value level: rows
+   whose [given] columns match a rule's key tuple are expected to carry
+   the rule's assignment in the [on] column; anything else is a
+   violation. Key matching is structural (hashtable) equality — exactly
+   the probe the row-at-a-time validator performs — while the expected
+   value is compared with [Value.equal] (numeric-tolerant), again
+   mirroring the row interpreter. The lowering pass (Vm.Lower) turns
+   rulesets into bytecode; [check_row] is the scalar 1-row entry point
+   the batch path shares with per-row callers. *)
+
+module Value = Dataframe.Value
+
+type rule = {
+  key : Value.t array;      (* one literal per GIVEN column, in given order *)
+  assignment : Value.t;
+}
+
+type t = {
+  given : int array;        (* column indices, strictly ascending *)
+  on : int;                 (* dependent column *)
+  rules : rule array;
+  table : (Value.t array, int) Hashtbl.t;  (* key tuple -> rule index *)
+}
+
+let make ~given ~on rules =
+  let k = Array.length given in
+  if k = 0 then invalid_arg "Vm.Ruleset.make: empty GIVEN set";
+  for j = 1 to k - 1 do
+    if given.(j - 1) >= given.(j) then
+      invalid_arg "Vm.Ruleset.make: GIVEN columns must be strictly ascending"
+  done;
+  if Array.exists (fun g -> g = on) given then
+    invalid_arg "Vm.Ruleset.make: dependent column in GIVEN";
+  let rules =
+    Array.map
+      (fun (key, assignment) ->
+        if Array.length key <> k then
+          invalid_arg "Vm.Ruleset.make: key arity mismatch";
+        { key; assignment })
+      rules
+  in
+  (* last rule wins on duplicate keys, matching Hashtbl.replace in the
+     historical compiled form *)
+  let table = Hashtbl.create (max 16 (Array.length rules)) in
+  Array.iteri (fun i r -> Hashtbl.replace table r.key i) rules;
+  { given; on; rules; table }
+
+let given t = t.given
+let on t = t.on
+let n_rules t = Array.length t.rules
+let rule t i = t.rules.(i)
+
+let find t key = Hashtbl.find_opt t.table key
+
+(* Scalar probe of one materialized row: the matched-and-violating rule,
+   if any. One key-array allocation per call — the whole of the former
+   per-row cost (the row interpreter rebuilt a cons list per statement
+   per row). *)
+let check_row t (values : Value.t array) =
+  let key = Array.map (fun a -> Array.unsafe_get values a) t.given in
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some i ->
+    if Value.equal values.(t.on) t.rules.(i).assignment then None else Some i

@@ -1,0 +1,36 @@
+(** The VM's source IR: one decision table per GUARDRAIL statement.
+
+    Rows whose [given] columns match a rule's key tuple must carry the
+    rule's assignment in the [on] column. Key matching is structural
+    (hashtable) equality; the assignment check uses
+    [Dataframe.Value.equal] — both exactly as the row-at-a-time
+    validator behaves. *)
+
+type rule = {
+  key : Dataframe.Value.t array;  (** per GIVEN column, in given order *)
+  assignment : Dataframe.Value.t;
+}
+
+type t
+
+(** [make ~given ~on rules]: [given] must be strictly ascending and not
+    contain [on]; every key must have [Array.length given] entries. On
+    duplicate keys the last rule wins. *)
+val make :
+  given:int array ->
+  on:int ->
+  (Dataframe.Value.t array * Dataframe.Value.t) array ->
+  t
+
+val given : t -> int array
+val on : t -> int
+val n_rules : t -> int
+val rule : t -> int -> rule
+
+(** Rule index for a key tuple, if any. *)
+val find : t -> Dataframe.Value.t array -> int option
+
+(** Scalar probe of one materialized row: [Some rule] iff the row
+    matches that rule's key and its [on] value differs from the rule's
+    assignment. One key-array allocation per call. *)
+val check_row : t -> Dataframe.Value.t array -> int option

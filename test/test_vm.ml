@@ -1,0 +1,472 @@
+(* Differential tests for the predicate-bytecode VM: on random programs
+   and random frames the batch (bitmap) validator must agree bit-for-bit
+   with the row-at-a-time reference path, including the awkward corners
+   — empty frames, all-violating rows, Int/Float dictionary aliasing,
+   duplicate decision keys, and high-cardinality determinant spaces that
+   push grouping past the mixed-radix cap. Plus unit tests for the
+   bitmap kernel, the ANY reduce, set_cells and the bytecode cache. *)
+
+module Value = Dataframe.Value
+module Schema = Dataframe.Schema
+module Frame = Dataframe.Frame
+module Rng = Stat.Rng
+module Dsl = Guardrail.Dsl
+module Validator = Guardrail.Validator
+
+let s v = Value.String v
+
+(* ---------------------------------------------------------------- *)
+(* Random cases: a value pool rich in Int/Float aliases and values
+   that never occur in any frame, so lowering hits resolvable and
+   unresolvable keys, aliased expects and expect_none. *)
+
+let pool =
+  Value.
+    [|
+      Int 1; Float 1.0; Int 2; Float 2.0; Int 3; String "a"; String "b";
+      String "c"; Bool true; Null; String "never-in-frame";
+    |]
+
+let rand_value rng = pool.(Rng.int rng (Array.length pool))
+
+let rand_subset rng k avail =
+  let arr = Array.of_list avail in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  List.sort Int.compare (Array.to_list (Array.sub arr 0 k))
+
+let rand_case seed =
+  let rng = Rng.create seed in
+  let ncols = 4 in
+  let nrows = Rng.int rng 121 in
+  let schema =
+    Schema.make
+      (List.init ncols (fun i -> Schema.categorical (Printf.sprintf "c%d" i)))
+  in
+  let rows =
+    List.init nrows (fun _ ->
+        Array.init ncols (fun _ ->
+            (* frames never contain the "never-in-frame" sentinel *)
+            let rec pick () =
+              match rand_value rng with
+              | Value.String "never-in-frame" -> pick ()
+              | v -> v
+            in
+            pick ()))
+  in
+  let frame = Frame.of_rows schema rows in
+  let n_stmts = 1 + Rng.int rng 3 in
+  let stmts =
+    List.init n_stmts (fun _ ->
+        let on = Rng.int rng ncols in
+        let avail = List.filter (fun c -> c <> on) (List.init ncols Fun.id) in
+        let k = 1 + Rng.int rng 2 in
+        let given = rand_subset rng k avail in
+        let n_b = 1 + Rng.int rng 6 in
+        let branches =
+          List.init n_b (fun _ ->
+              let condition =
+                List.filter_map
+                  (fun a ->
+                    (* occasionally drop an equality: a partial condition
+                       is unreachable and must stay unreachable *)
+                    if List.length given > 1 && Rng.float rng < 0.15 then None
+                    else Some { Dsl.attr = a; value = rand_value rng })
+                  given
+              in
+              let condition =
+                match condition with
+                | [] -> [ { Dsl.attr = List.hd given; value = rand_value rng } ]
+                | c -> c
+              in
+              Dsl.branch ~condition ~assignment:(rand_value rng))
+        in
+        Dsl.stmt ~given ~on ~branches)
+  in
+  (frame, Dsl.prog ~schema stmts)
+
+(* ---------------------------------------------------------------- *)
+(* Equality of the two paths' outputs *)
+
+let violation_eq (a : Validator.violation) (b : Validator.violation) =
+  a.Validator.row = b.Validator.row
+  && Dsl.equal_stmt a.Validator.stmt b.Validator.stmt
+  && Dsl.equal_branch a.Validator.branch b.Validator.branch
+  && Value.equal a.Validator.actual b.Validator.actual
+  && Value.equal a.Validator.expected b.Validator.expected
+
+let violations_eq a b =
+  List.length a = List.length b && List.for_all2 violation_eq a b
+
+let frames_eq a b =
+  Frame.nrows a = Frame.nrows b
+  && Frame.ncols a = Frame.ncols b
+  && (let ok = ref true in
+      for i = 0 to Frame.nrows a - 1 do
+        for j = 0 to Frame.ncols a - 1 do
+          if not (Value.equal (Frame.get a i j) (Frame.get b i j)) then
+            ok := false
+        done
+      done;
+      !ok)
+
+let check_differential frame prog =
+  let c = Validator.compile prog in
+  let vm = Validator.violations c frame in
+  let rows = Validator.violations_rows c frame in
+  if not (violations_eq vm rows) then
+    Alcotest.failf "violations diverge: vm=%d rows=%d" (List.length vm)
+      (List.length rows);
+  let d_vm = Validator.detect c frame in
+  let d_rows = Validator.detect_rows c frame in
+  Alcotest.(check (array bool)) "detect" d_rows d_vm;
+  let bm = Validator.detect_bitmap c frame in
+  Alcotest.(check int) "bitmap count"
+    (Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 d_rows)
+    (Vm.Bitmap.count bm);
+  List.iter
+    (fun strategy ->
+      let f_vm, v_vm = Validator.handle ~strategy c frame in
+      let f_rows, v_rows = Validator.handle_rows ~strategy c frame in
+      if not (violations_eq v_vm v_rows) then
+        Alcotest.fail "handle violations diverge";
+      if not (frames_eq f_vm f_rows) then
+        Alcotest.failf "repaired frames diverge (%s)"
+          (Validator.strategy_to_string strategy))
+    [ Validator.Rectify; Validator.Coerce ];
+  (* scalar path: per-row check_values agrees with the batch rows *)
+  for i = 0 to Frame.nrows frame - 1 do
+    let scalar = Validator.check_values c (Frame.row frame i) in
+    let batch =
+      List.filter_map
+        (fun v ->
+          if v.Validator.row = i then Some { v with Validator.row = -1 }
+          else None)
+        rows
+    in
+    if not (violations_eq scalar batch) then
+      Alcotest.failf "scalar/batch diverge at row %d" i
+  done
+
+let qcheck_differential =
+  QCheck.Test.make ~name:"vm equals row interpreter on random cases"
+    ~count:150 QCheck.(int_bound 100_000)
+    (fun seed ->
+      let frame, prog = rand_case seed in
+      check_differential frame prog;
+      true)
+
+(* ---------------------------------------------------------------- *)
+(* Directed cases *)
+
+let postal_schema () =
+  Schema.make
+    [ Schema.categorical "postal_code"; Schema.categorical "city" ]
+
+let postal_prog schema =
+  let branches =
+    List.map
+      (fun (z, c) ->
+        Dsl.branch
+          ~condition:[ { Dsl.attr = 0; value = s z } ]
+          ~assignment:(s c))
+      [ ("94704", "Berkeley"); ("94612", "Oakland"); ("89501", "Reno") ]
+  in
+  Dsl.prog ~schema [ Dsl.stmt ~given:[ 0 ] ~on:1 ~branches ]
+
+let test_empty_frame () =
+  let schema = postal_schema () in
+  let frame = Frame.of_rows schema [] in
+  let c = Validator.compile (postal_prog schema) in
+  Alcotest.(check int) "no violations" 0
+    (List.length (Validator.violations c frame));
+  Alcotest.(check int) "detect length" 0 (Array.length (Validator.detect c frame));
+  Alcotest.(check int) "bitmap" 0 (Vm.Bitmap.count (Validator.detect_bitmap c frame))
+
+let test_all_violating () =
+  let schema = postal_schema () in
+  let rows = List.init 77 (fun _ -> [| s "94704"; s "Oakland" |]) in
+  let frame = Frame.of_rows schema rows in
+  let c = Validator.compile (postal_prog schema) in
+  check_differential frame (postal_prog schema);
+  Alcotest.(check int) "all rows flagged" 77
+    (Vm.Bitmap.count (Validator.detect_bitmap c frame));
+  let repaired, vs = Validator.handle ~strategy:Validator.Rectify c frame in
+  Alcotest.(check int) "all repaired" 77 (List.length vs);
+  Alcotest.(check int) "fixpoint" 0
+    (List.length (Validator.violations c repaired))
+
+let test_high_cardinality_hashed () =
+  (* two determinant columns whose cardinality product exceeds the
+     mixed-radix cap: both the decision-table key index and the group
+     kernel must take their hashed paths *)
+  let schema =
+    Schema.make
+      [ Schema.categorical "a"; Schema.categorical "b"; Schema.categorical "y" ]
+  in
+  let rng = Rng.create 7 in
+  let rows =
+    List.init 2000 (fun i ->
+        let a = Printf.sprintf "a%d" (i mod 300) in
+        let b = Printf.sprintf "b%d" (Rng.int rng 347) in
+        [| s a; s b; s (if Rng.int rng 10 = 0 then "bad" else "ok") |])
+  in
+  let frame = Frame.of_rows schema rows in
+  (* enough multi-column rules to force the TABLE lowering *)
+  let branches =
+    List.init 8 (fun j ->
+        Dsl.branch
+          ~condition:
+            [ { Dsl.attr = 0; value = s (Printf.sprintf "a%d" j) };
+              { Dsl.attr = 1; value = s (Printf.sprintf "b%d" j) } ]
+          ~assignment:(s "ok"))
+  in
+  let prog = Dsl.prog ~schema [ Dsl.stmt ~given:[ 0; 1 ] ~on:2 ~branches ] in
+  check_differential frame prog;
+  (* sanity: the lowering really produced a hashed decision table *)
+  let c = Validator.compile prog in
+  let p = Validator.bytecode c frame in
+  Alcotest.(check int) "one table" 1 (Vm.Program.n_tables p);
+  (match p.Vm.Program.tables.(0).Vm.Program.key with
+   | Vm.Program.Hashed _ -> ()
+   | Vm.Program.Radix _ -> Alcotest.fail "expected hashed key index")
+
+let test_alias_expect () =
+  (* Int 1 and Float 1.0 are distinct dictionary codes but equal under
+     Value.equal: a rule assigning Int 1 must accept both codes *)
+  let schema = Schema.make [ Schema.categorical "k"; Schema.numeric "v" ] in
+  let frame =
+    Frame.of_rows schema
+      [
+        [| s "x"; Value.Int 1 |];
+        [| s "x"; Value.Float 1.0 |];
+        [| s "x"; Value.Int 2 |];
+      ]
+  in
+  let prog =
+    Dsl.prog ~schema
+      [
+        Dsl.stmt ~given:[ 0 ] ~on:1
+          ~branches:
+            [
+              Dsl.branch
+                ~condition:[ { Dsl.attr = 0; value = s "x" } ]
+                ~assignment:(Value.Int 1);
+            ];
+      ]
+  in
+  check_differential frame prog;
+  let c = Validator.compile prog in
+  let flags = Validator.detect c frame in
+  Alcotest.(check (array bool)) "only Int 2 violates"
+    [| false; false; true |] flags
+
+let test_duplicate_keys_last_wins () =
+  let schema = postal_schema () in
+  let frame = Frame.of_rows schema [ [| s "94704"; s "Berkeley" |] ] in
+  let dup =
+    Dsl.prog ~schema
+      [
+        Dsl.stmt ~given:[ 0 ] ~on:1
+          ~branches:
+            [
+              Dsl.branch
+                ~condition:[ { Dsl.attr = 0; value = s "94704" } ]
+                ~assignment:(s "Berkeley");
+              Dsl.branch
+                ~condition:[ { Dsl.attr = 0; value = s "94704" } ]
+                ~assignment:(s "Oakland");
+            ];
+      ]
+  in
+  check_differential frame dup;
+  let c = Validator.compile dup in
+  (* the later branch (Oakland) wins, so Berkeley is now the violation *)
+  match Validator.violations c frame with
+  | [ v ] ->
+    Alcotest.(check bool) "expects Oakland" true
+      (Value.equal v.Validator.expected (s "Oakland"))
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+let test_subset_reuses_lowering () =
+  (* Frame.take shares dictionaries, so validating a row subset must
+     work (and agree with the reference) without re-registering dicts *)
+  let schema = postal_schema () in
+  let rows =
+    List.init 64 (fun i ->
+        [| s (if i mod 2 = 0 then "94704" else "94612");
+           s (if i mod 8 = 0 then "Reno" else "Berkeley") |])
+  in
+  let frame = Frame.of_rows schema rows in
+  let prog = postal_prog schema in
+  let c = Validator.compile prog in
+  ignore (Validator.detect c frame);
+  let sub = Frame.take frame (Array.init 10 (fun i -> i * 3)) in
+  check_differential sub prog;
+  Alcotest.(check (array bool)) "subset detect"
+    (Validator.detect_rows c sub) (Validator.detect c sub)
+
+(* ---------------------------------------------------------------- *)
+(* Bytecode cache counters *)
+
+let test_cache_counters () =
+  let hits = Obs.Metric.counter Obs.Metric.default "vm.cache.hits" in
+  let misses = Obs.Metric.counter Obs.Metric.default "vm.cache.misses" in
+  let schema = postal_schema () in
+  let frame =
+    Frame.of_rows schema [ [| s "94704"; s "Berkeley" |]; [| s "94612"; s "Reno" |] ]
+  in
+  let c = Validator.compile (postal_prog schema) in
+  let h0 = Obs.Metric.counter_value hits in
+  let m0 = Obs.Metric.counter_value misses in
+  ignore (Validator.detect c frame);
+  ignore (Validator.detect c frame);
+  ignore (Validator.violations c frame);
+  Alcotest.(check int) "one miss"
+    1 (Obs.Metric.counter_value misses - m0);
+  Alcotest.(check int) "two hits"
+    2 (Obs.Metric.counter_value hits - h0)
+
+(* ---------------------------------------------------------------- *)
+(* Bitmap kernel *)
+
+let test_bitmap_tail () =
+  let b = Vm.Bitmap.create 13 in
+  Alcotest.(check int) "empty" 0 (Vm.Bitmap.count b);
+  Vm.Bitmap.not_in b;
+  Alcotest.(check int) "all after not" 13 (Vm.Bitmap.count b);
+  Vm.Bitmap.fill_all b;
+  Alcotest.(check int) "all after fill" 13 (Vm.Bitmap.count b);
+  Vm.Bitmap.clear_all b;
+  Vm.Bitmap.set b 12;
+  Alcotest.(check bool) "bit 12" true (Vm.Bitmap.get b 12);
+  Alcotest.(check int) "one" 1 (Vm.Bitmap.count b)
+
+let qcheck_bitmap_ops =
+  QCheck.Test.make ~name:"bitmap connectives match bool arrays" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_bound 100) bool)
+              (list_of_size Gen.(int_bound 100) bool))
+    (fun (xs, ys) ->
+      let n = min (List.length xs) (List.length ys) in
+      let a = Array.of_list xs and b = Array.of_list ys in
+      let a = Array.sub a 0 n and b = Array.sub b 0 n in
+      let check op_name op expect =
+        let x = Vm.Bitmap.of_bool_array a in
+        let y = Vm.Bitmap.of_bool_array b in
+        op x y;
+        let got = Vm.Bitmap.to_bool_array x in
+        let want = Array.init n (fun i -> expect a.(i) b.(i)) in
+        if got <> want then
+          QCheck.Test.fail_reportf "%s diverges at n=%d" op_name n
+      in
+      check "and" Vm.Bitmap.and_in (fun x y -> x && y);
+      check "or" Vm.Bitmap.or_in (fun x y -> x || y);
+      check "andnot" Vm.Bitmap.andnot_in (fun x y -> x && not y);
+      check "not" (fun x _ -> Vm.Bitmap.not_in x) (fun x _ -> not x);
+      (* iteri_set ascending *)
+      let x = Vm.Bitmap.of_bool_array a in
+      let seen = ref [] in
+      Vm.Bitmap.iteri_set x (fun i -> seen := i :: !seen);
+      let asc = List.rev !seen in
+      asc = List.sort Int.compare asc
+      && List.length asc = Vm.Bitmap.count x)
+
+(* ---------------------------------------------------------------- *)
+(* The ANY group-scoped reduce *)
+
+let test_any_reduce () =
+  (* table-lowered statement, then ANY over the statement register:
+     every row of a partition containing a violation gets flagged *)
+  let schema = Schema.make [ Schema.categorical "g"; Schema.categorical "y" ] in
+  let rows =
+    (* 10 keys to exceed the mask-bucket bound and force TABLE *)
+    List.concat
+      (List.init 10 (fun j ->
+           let g = Printf.sprintf "g%d" j in
+           let ok = Printf.sprintf "y%d" j in
+           [ [| s g; s ok |]; [| s g; s (if j = 3 then "bad" else ok) |] ]))
+  in
+  let frame = Frame.of_rows schema rows in
+  let branches =
+    List.init 10 (fun j ->
+        Dsl.branch
+          ~condition:[ { Dsl.attr = 0; value = s (Printf.sprintf "g%d" j) } ]
+          ~assignment:(s (Printf.sprintf "y%d" j)))
+  in
+  let prog = Dsl.prog ~schema [ Dsl.stmt ~given:[ 0 ] ~on:1 ~branches ] in
+  let c = Validator.compile prog in
+  let p = Validator.bytecode c frame in
+  Alcotest.(check int) "table lowering" 1 (Vm.Program.n_tables p);
+  let reg = p.Vm.Program.stmt_reg.(0) in
+  let p' =
+    {
+      p with
+      Vm.Program.ops =
+        Array.append p.Vm.Program.ops
+          [| Vm.Op.Any { table = 0; src = reg; dst = reg } |];
+    }
+  in
+  let v = Vm.Exec.run p' frame in
+  (* only group g3 contains a violation; ANY must flag both its rows *)
+  let flags = Vm.Bitmap.to_bool_array v.Vm.Exec.any in
+  Array.iteri
+    (fun i f ->
+      let expected = i = 6 || i = 7 in
+      if f <> expected then Alcotest.failf "row %d: got %b" i f)
+    flags
+
+(* ---------------------------------------------------------------- *)
+(* Frame.set_cells *)
+
+let qcheck_set_cells =
+  QCheck.Test.make ~name:"set_cells equals folded set" ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let frame, _ = rand_case seed in
+      QCheck.assume (Frame.nrows frame > 0);
+      let n_updates = Rng.int rng 20 in
+      let cells =
+        List.init n_updates (fun _ ->
+            ( Rng.int rng (Frame.nrows frame),
+              Rng.int rng (Frame.ncols frame),
+              pool.(Rng.int rng (Array.length pool)) ))
+      in
+      let batch = Frame.set_cells frame cells in
+      let folded =
+        List.fold_left (fun f (r, c, v) -> Frame.set f r c v) frame cells
+      in
+      frames_eq batch folded)
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "bitmap",
+        [
+          Alcotest.test_case "tail invariant" `Quick test_bitmap_tail;
+          QCheck_alcotest.to_alcotest qcheck_bitmap_ops;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest qcheck_differential;
+          Alcotest.test_case "empty frame" `Quick test_empty_frame;
+          Alcotest.test_case "all violating" `Quick test_all_violating;
+          Alcotest.test_case "hashed high cardinality" `Quick
+            test_high_cardinality_hashed;
+          Alcotest.test_case "Int/Float alias expect" `Quick test_alias_expect;
+          Alcotest.test_case "duplicate keys last wins" `Quick
+            test_duplicate_keys_last_wins;
+          Alcotest.test_case "row subsets" `Quick test_subset_reuses_lowering;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "cache counters" `Quick test_cache_counters;
+          Alcotest.test_case "any reduce" `Quick test_any_reduce;
+        ] );
+      ( "dataframe",
+        [ QCheck_alcotest.to_alcotest qcheck_set_cells ] );
+    ]
