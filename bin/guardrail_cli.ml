@@ -197,9 +197,16 @@ let sockaddr_of socket host port =
   | None, Some p -> Unix.ADDR_INET (Unix.inet_addr_of_string host, p)
   | None, None -> failwith "pass --socket PATH or --port PORT"
 
-let serve socket host port pool timeout preloads =
+let serve socket host port pool timeout max_connections max_inflight shards
+    preloads =
   try
-    let registry = Service.Registry.create () in
+    let config =
+      Service.Server.Config.make ~pool_size:pool ~read_timeout_s:timeout
+        ~max_connections ~max_inflight ~shards ()
+    in
+    let registry =
+      Service.Registry.create ~shards:config.Service.Server.Config.shards ()
+    in
     List.iter
       (fun spec ->
         let name, csv_path, grl_path = parse_preload spec in
@@ -214,12 +221,6 @@ let serve socket host port pool timeout preloads =
                (Guardrail.Dsl.stmt_count p.Service.Registry.prog)
            | None -> ""))
       preloads;
-    let config =
-      { Service.Server.default_config with
-        Service.Server.pool_size = pool;
-        read_timeout_s = timeout;
-      }
-    in
     let server = Service.Server.create ~config registry in
     let addr = Service.Server.bind server (sockaddr_of socket host port) in
     (* SIGINT/SIGTERM drain in-flight requests, then run returns *)
@@ -244,6 +245,9 @@ let serve socket host port pool timeout preloads =
   | Unix.Unix_error (err, fn, _) ->
     Printf.eprintf "serve: %s: %s\n" fn (Unix.error_message err);
     2
+  | Invalid_argument msg ->
+    Printf.eprintf "serve: %s\n" msg;
+    2
 
 (* ------------------------------------------------------------------ *)
 (* request *)
@@ -260,14 +264,14 @@ let do_request client command table data constraints label strategy_name query
   in
   match command with
   | "ping" ->
-    (match Service.Client.request_exn client P.Ping with
+    (match Service.Client.call_exn client P.Ping with
      | P.Ok_reply msg -> print_endline msg; 0
      | _ -> failwith "unexpected reply")
   | "load" ->
     let csv = read_file (required "--data" data) in
     let program = Option.map read_file constraints in
     (match
-       Service.Client.request_exn client
+       Service.Client.call_exn client
          (P.Load { table = required "--table" table; csv; program;
                    model_label = label })
      with
@@ -279,7 +283,7 @@ let do_request client command table data constraints label strategy_name query
   | "guard" ->
     let program = read_file (required "--constraints" constraints) in
     (match
-       Service.Client.request_exn client
+       Service.Client.call_exn client
          (P.Guard { table = required "--table" table; program })
      with
      | P.Ok_reply msg -> Printf.eprintf "%s\n" msg; 0
@@ -287,7 +291,7 @@ let do_request client command table data constraints label strategy_name query
   | "detect" ->
     let csv = Option.map read_file data in
     (match
-       Service.Client.request_exn client
+       Service.Client.call_exn client
          (P.Detect { table = required "--table" table; csv })
      with
      | P.Detections { flags; violations } ->
@@ -307,7 +311,7 @@ let do_request client command table data constraints label strategy_name query
     in
     let csv = Option.map read_file data in
     (match
-       Service.Client.request_exn client
+       Service.Client.call_exn client
          (P.Rectify { table = required "--table" table; strategy; csv })
      with
      | P.Rectified { csv; violations } ->
@@ -319,7 +323,7 @@ let do_request client command table data constraints label strategy_name query
      | _ -> failwith "unexpected reply")
   | "sql" ->
     (match
-       Service.Client.request_exn client
+       Service.Client.call_exn client
          (P.Sql { query = required "--query" query; guard_table })
      with
      | P.Sql_result { csv; rows; violations; guardrail_ms; inference_ms; _ } ->
@@ -330,7 +334,7 @@ let do_request client command table data constraints label strategy_name query
        0
      | _ -> failwith "unexpected reply")
   | "tables" ->
-    (match Service.Client.request_exn client P.Tables with
+    (match Service.Client.call_exn client P.Tables with
      | P.Table_list infos ->
        List.iter
          (fun (i : P.table_info) ->
@@ -342,19 +346,19 @@ let do_request client command table data constraints label strategy_name query
        0
      | _ -> failwith "unexpected reply")
   | "stats" ->
-    (match Service.Client.request_exn client P.Stats with
+    (match Service.Client.call_exn client P.Stats with
      | P.Stats_reply { rendered; _ } -> print_string rendered; 0
      | _ -> failwith "unexpected reply")
   | "shutdown" ->
-    (match Service.Client.request_exn client P.Shutdown with
+    (match Service.Client.call_exn client P.Shutdown with
      | P.Shutting_down -> Printf.eprintf "daemon shutting down\n"; 0
      | _ -> failwith "unexpected reply")
   | "trace-start" ->
-    (match Service.Client.request_exn client (P.Trace { enable = true }) with
+    (match Service.Client.call_exn client (P.Trace { enable = true }) with
      | P.Ok_reply msg -> Printf.eprintf "%s\n" msg; 0
      | _ -> failwith "unexpected reply")
   | "trace-stop" ->
-    (match Service.Client.request_exn client (P.Trace { enable = false }) with
+    (match Service.Client.call_exn client (P.Trace { enable = false }) with
      | P.Ok_reply json ->
        (match output with
         | Some path -> write_file path json
@@ -534,6 +538,26 @@ let serve_cmd =
       & info [ "timeout" ] ~docv:"SECS"
           ~doc:"Idle-connection read timeout (0 disables).")
   in
+  let max_connections =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Concurrent connections multiplexed by the event loop; \
+                excess waits in the listen backlog.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 32
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Admitted in-flight requests per connection; excess is \
+                answered with BUSY (load shedding).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Independently locked table-registry partitions.")
+  in
   let preload =
     Arg.(
       value & opt_all string []
@@ -546,7 +570,9 @@ let serve_cmd =
        ~doc:"Run the guardrail daemon: load datasets and constraint \
              programs once, then answer DETECT/RECTIFY/SQL requests \
              concurrently until SIGINT or a SHUTDOWN request.")
-    Term.(const serve $ socket_arg $ host_arg $ port_arg $ pool $ timeout $ preload)
+    Term.(
+      const serve $ socket_arg $ host_arg $ port_arg $ pool $ timeout
+      $ max_connections $ max_inflight $ shards $ preload)
 
 let request_cmd =
   let command =

@@ -61,6 +61,12 @@ let gauge reg name =
 
 let set g v = Atomic.set g v
 
+(* Monotone high-water update: lock-free CAS loop, safe under concurrent
+   [set]/[set_max] from any domain. *)
+let rec set_max g v =
+  let cur = Atomic.get g in
+  if v > cur && not (Atomic.compare_and_set g cur v) then set_max g v
+
 let gauge_value g = Atomic.get g
 
 let histogram ?(bounds = default_latency_bounds) reg name =

@@ -20,6 +20,12 @@ val counter_value : counter -> int
 
 val gauge : registry -> string -> gauge
 val set : gauge -> float -> unit
+
+(** [set_max g v] raises [g] to [v] if [v] is larger — a lock-free
+    high-water mark (e.g. peak queue depth), safe under concurrent
+    updates from any domain. *)
+val set_max : gauge -> float -> unit
+
 val gauge_value : gauge -> float
 
 (** Upper bucket bounds in seconds: 0.1ms … 1s, log-ish spacing, plus

@@ -145,6 +145,13 @@ let parmap ?pool ?chunk f xs =
     in
     List.concat (map_list t (List.map f) (chunks ~size:chunk xs))
 
+(* Jobs accepted but not yet finished: queued plus executing. *)
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.jobs + t.active in
+  Mutex.unlock t.mutex;
+  n
+
 (* Block until every queued job has finished. *)
 let wait_idle t =
   Mutex.lock t.mutex;

@@ -42,6 +42,10 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
     inside a job running on the same pool. *)
 val parmap : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 
+(** Jobs accepted but not yet finished (queued plus executing) — the
+    pool's live queue depth, e.g. for a backlog gauge. *)
+val pending : t -> int
+
 (** Block until the queue is empty and no job is running. *)
 val wait_idle : t -> unit
 

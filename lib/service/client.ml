@@ -1,27 +1,34 @@
-(* Blocking client for the serving daemon — used by `guardrail request`,
-   the tests and the serving benchmark. One request in flight per
-   connection; responses arrive in request order. *)
+(* Connection-handle client for the serving daemon — used by
+   `guardrail request`, the tests and the serving benchmark. A handle
+   supports single calls ([call]) and batched pipelining ([pipeline]):
+   the server answers every request on a connection in arrival order,
+   so a batch's replies are matched to its requests positionally. *)
 
 exception Server_error of string
 
 type t = { fd : Unix.file_descr; max_response_bytes : int }
 
-let connect ?(max_response_bytes = Protocol.default_max_frame) addr =
+let connect ?(max_response_bytes = Protocol.default_max_frame) ?timeout_s addr =
   let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
   (try
      Unix.connect fd addr;
      (match addr with
       | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
-      | Unix.ADDR_UNIX _ -> ())
+      | Unix.ADDR_UNIX _ -> ());
+     (* receive deadline: a reply blocked longer than this raises
+        Unix_error (EAGAIN, "recv", _) instead of hanging forever *)
+     Option.iter
+       (fun s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s)
+       timeout_s
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
   { fd; max_response_bytes }
 
-let connect_unix ?max_response_bytes path =
-  connect ?max_response_bytes (Unix.ADDR_UNIX path)
+let connect_unix ?max_response_bytes ?timeout_s path =
+  connect ?max_response_bytes ?timeout_s (Unix.ADDR_UNIX path)
 
-let connect_tcp ?max_response_bytes ~host ~port () =
+let connect_tcp ?max_response_bytes ?timeout_s ~host ~port () =
   let addr =
     try Unix.inet_addr_of_string host
     with Failure _ ->
@@ -32,22 +39,45 @@ let connect_tcp ?max_response_bytes ~host ~port () =
        | exception Not_found ->
          raise (Server_error (Printf.sprintf "cannot resolve host %S" host)))
   in
-  connect ?max_response_bytes (Unix.ADDR_INET (addr, port))
+  connect ?max_response_bytes ?timeout_s (Unix.ADDR_INET (addr, port))
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let request t req =
-  Protocol.write_frame t.fd (Protocol.encode_request req);
+let read_response t =
   match Protocol.read_frame ~max_bytes:t.max_response_bytes t.fd with
   | Some payload -> Protocol.decode_response payload
   | None -> raise (Protocol.Error "connection closed before the response")
 
-(* [request] but server-side errors raise instead of returning. *)
-let request_exn t req =
-  match request t req with
+let call t req =
+  Protocol.write_frame t.fd (Protocol.encode_request req);
+  read_response t
+
+(* [call] but server-side errors raise instead of returning. *)
+let call_exn t req =
+  match call t req with
   | Protocol.Error_reply msg -> raise (Server_error msg)
   | resp -> resp
 
-let with_connection ?max_response_bytes addr f =
-  let t = connect ?max_response_bytes addr in
+let pipeline t reqs =
+  (* Concatenate every frame into ONE write. Besides the syscall saving,
+     this makes the batch arrive at the server as a single readable
+     chunk, so the whole batch is admitted (or shed) before any reply is
+     flushed — which keeps the Busy_reply tests deterministic. *)
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun req -> Buffer.add_string buf (Protocol.frame (Protocol.encode_request req)))
+    reqs;
+  let s = Buffer.contents buf in
+  let n = String.length s in
+  let rec write_all off =
+    if off < n then write_all (off + Unix.write_substring t.fd s off (n - off))
+  in
+  write_all 0;
+  List.map (fun _ -> read_response t) reqs
+
+let request = call
+let request_exn = call_exn
+
+let with_connection ?max_response_bytes ?timeout_s addr f =
+  let t = connect ?max_response_bytes ?timeout_s addr in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,25 +1,54 @@
-(** Blocking client for the serving daemon. One request in flight per
-    connection; responses arrive in request order. *)
+(** Blocking connection-handle client for the serving daemon.
 
-(** Raised by {!request_exn} on an [Error_reply], and on resolution
+    A handle is obtained with {!connect} (or the unix/tcp shorthands),
+    used via {!call} / {!pipeline}, and released with {!close}. The
+    server answers every request on a connection in arrival order, so
+    {!pipeline}'s replies match its requests positionally. A handle is
+    not itself thread-safe: callers wanting concurrency open one
+    connection per thread. *)
+
+(** Raised by {!call_exn} on an [Error_reply], and on resolution
     failures in {!connect_tcp}. *)
 exception Server_error of string
 
 type t
 
-val connect : ?max_response_bytes:int -> Unix.sockaddr -> t
-val connect_unix : ?max_response_bytes:int -> string -> t
-val connect_tcp : ?max_response_bytes:int -> host:string -> port:int -> unit -> t
+(** [connect ?max_response_bytes ?timeout_s addr] opens a connection.
+    [timeout_s] sets a receive deadline ([SO_RCVTIMEO]): a reply that
+    stalls longer raises [Unix.Unix_error (EAGAIN, _, _)] rather than
+    blocking forever. *)
+val connect : ?max_response_bytes:int -> ?timeout_s:float -> Unix.sockaddr -> t
+
+val connect_unix : ?max_response_bytes:int -> ?timeout_s:float -> string -> t
+
+val connect_tcp :
+  ?max_response_bytes:int -> ?timeout_s:float -> host:string -> port:int ->
+  unit -> t
 
 (** Send one request, block for its response. Raises [Protocol.Error] on
     an undecodable or truncated reply and [Unix.Unix_error] on transport
     failure. *)
-val request : t -> Protocol.request -> Protocol.response
+val call : t -> Protocol.request -> Protocol.response
 
-(** {!request}, but an [Error_reply] raises {!Server_error}. *)
-val request_exn : t -> Protocol.request -> Protocol.response
+(** {!call}, but an [Error_reply] raises {!Server_error}. *)
+val call_exn : t -> Protocol.request -> Protocol.response
+
+(** [pipeline t reqs] writes every request as one batch (a single
+    [write] of the concatenated frames), then reads exactly
+    [List.length reqs] responses; the i-th response answers the i-th
+    request. Requests past the server's in-flight budget come back as
+    [Busy_reply]. Raises like {!call}; on an exception the connection
+    is out of sync and should be closed. *)
+val pipeline : t -> Protocol.request list -> Protocol.response list
 
 val close : t -> unit
 
+(** Deprecated name for {!call}, kept for existing callers. *)
+val request : t -> Protocol.request -> Protocol.response
+
+(** Deprecated name for {!call_exn}, kept for existing callers. *)
+val request_exn : t -> Protocol.request -> Protocol.response
+
+(** Run [f] over a fresh connection, closing it on every exit path. *)
 val with_connection :
-  ?max_response_bytes:int -> Unix.sockaddr -> (t -> 'a) -> 'a
+  ?max_response_bytes:int -> ?timeout_s:float -> Unix.sockaddr -> (t -> 'a) -> 'a

@@ -27,6 +27,8 @@ type snapshot = {
   connections : int;
   protocol_errors : int;
   served : int;               (* requests answered, errors included *)
+  sheds : int;                (* requests refused by admission control *)
+  inflight_peak : int;        (* high-water mark of admitted requests *)
   commands : command_stats list;  (* sorted by command name *)
 }
 
@@ -35,6 +37,9 @@ type t = {
   started : float;
   connections : Obs.Metric.counter;
   protocol_errors : Obs.Metric.counter;
+  sheds : Obs.Metric.counter;
+  inflight : Obs.Metric.gauge;
+  inflight_peak : Obs.Metric.gauge;
 }
 
 let create () =
@@ -44,11 +49,21 @@ let create () =
     started = Unix.gettimeofday ();
     connections = Obs.Metric.counter registry "connections";
     protocol_errors = Obs.Metric.counter registry "protocol_errors";
+    sheds = Obs.Metric.counter registry "sheds";
+    inflight = Obs.Metric.gauge registry "inflight";
+    inflight_peak = Obs.Metric.gauge registry "inflight_peak";
   }
 
 let connection t = Obs.Metric.incr t.connections
 
 let protocol_error t = Obs.Metric.incr t.protocol_errors
+
+let shed t = Obs.Metric.incr t.sheds
+
+let set_inflight t n =
+  let v = float_of_int n in
+  Obs.Metric.set t.inflight v;
+  Obs.Metric.set_max t.inflight_peak v
 
 let latency_name command = "cmd." ^ command ^ ".latency"
 let errors_name command = "cmd." ^ command ^ ".errors"
@@ -94,11 +109,18 @@ let snapshot t =
       s.Obs.Metric.histograms
     (* histogram snapshots are name-sorted, so commands already are *)
   in
+  let gauge name =
+    match List.assoc_opt name s.Obs.Metric.gauges with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
   {
     uptime_s = Unix.gettimeofday () -. t.started;
     connections = counter "connections";
     protocol_errors = counter "protocol_errors";
     served = List.fold_left (fun acc c -> acc + c.count) 0 commands;
+    sheds = counter "sheds";
+    inflight_peak = gauge "inflight_peak";
     commands;
   }
 
@@ -114,8 +136,9 @@ let bucket_label i =
 let render (s : snapshot) =
   let buf = Buffer.create 512 in
   Printf.bprintf buf
-    "uptime %.1fs, %d connection(s), %d request(s) served, %d protocol error(s)\n"
-    s.uptime_s s.connections s.served s.protocol_errors;
+    "uptime %.1fs, %d connection(s), %d request(s) served, %d protocol error(s), %d shed, peak inflight %d\n"
+    s.uptime_s s.connections s.served s.protocol_errors s.sheds
+    s.inflight_peak;
   List.iter
     (fun c ->
       Printf.bprintf buf "%-9s %6d req  %4d err  mean %7.2fms  max %7.2fms\n"

@@ -1,8 +1,10 @@
 (** Live serving metrics: per-command counters and log-scale latency
     histograms, backed by a private [Obs.Metric] registry (this module
     holds no counting logic of its own). All operations are
-    thread-safe. The {!snapshot} shape and {!render} text are part of
-    the STATS wire reply and must stay byte-stable. *)
+    thread-safe. The STATS wire reply ([Protocol.Stats_reply]) is built
+    from a subset of {!snapshot} and must stay byte-stable; additions
+    (sheds, inflight peak) surface only through {!snapshot} itself and
+    the {!render} text. *)
 
 type t
 
@@ -13,6 +15,14 @@ val connection : t -> unit
 
 (** Count a malformed frame / undecodable request. *)
 val protocol_error : t -> unit
+
+(** Count a request refused by admission control (answered with
+    [Busy_reply]). *)
+val shed : t -> unit
+
+(** Publish the current number of admitted in-flight requests; also
+    advances the monotone peak reported as [inflight_peak]. *)
+val set_inflight : t -> int -> unit
 
 (** Record one answered request under its command key. *)
 val record : t -> command:string -> ok:bool -> seconds:float -> unit
@@ -35,6 +45,8 @@ type snapshot = {
   connections : int;
   protocol_errors : int;
   served : int;
+  sheds : int;          (** requests refused by admission control *)
+  inflight_peak : int;  (** high-water mark of admitted requests *)
   commands : command_stats list;  (** sorted by command name *)
 }
 

@@ -87,6 +87,9 @@ type response =
     }
   | Shutting_down
   | Error_reply of string
+  | Busy_reply
+      (* admission control shed the request (per-connection or global
+         in-flight budget exhausted); the connection stays usable *)
 
 let request_command = function
   | Ping -> "PING"
@@ -384,7 +387,13 @@ let encode_response r =
    | Shutting_down -> put_u8 buf 8
    | Error_reply msg ->
      put_u8 buf 9;
-     put_str buf msg);
+     put_str buf msg
+   | Busy_reply ->
+     (* appended in protocol version 1: new tag, no existing encoding
+        changed. A client only ever receives it after overrunning the
+        server's in-flight budget, so clients that keep one request in
+        flight per connection never see the new tag. *)
+     put_u8 buf 10);
   Buffer.contents buf
 
 let decode_response payload =
@@ -424,6 +433,7 @@ let decode_response payload =
       Stats_reply { uptime_s; connections; served; commands; rendered }
     | 8 -> Shutting_down
     | 9 -> Error_reply (get_str c)
+    | 10 -> Busy_reply
     | t -> error "unknown response tag %d" t
   in
   finish c r
@@ -437,18 +447,24 @@ let rec write_all fd s off len =
     write_all fd s (off + n) (len - n)
   end
 
-let write_frame fd payload =
+(* Payload with its 4-byte length prefix, as one string — the unit the
+   event-driven server buffers and the pipelining client batches. *)
+let frame payload =
   let n = String.length payload in
   if n > 0xffff_ffff then error "frame too large to encode: %d bytes" n;
-  (* header and payload in ONE write: two small writes tickle Nagle +
-     delayed-ACK on TCP, adding ~40ms per request *)
   let frame = Bytes.create (4 + n) in
   Bytes.set frame 0 (Char.chr ((n lsr 24) land 0xff));
   Bytes.set frame 1 (Char.chr ((n lsr 16) land 0xff));
   Bytes.set frame 2 (Char.chr ((n lsr 8) land 0xff));
   Bytes.set frame 3 (Char.chr (n land 0xff));
   Bytes.blit_string payload 0 frame 4 n;
-  write_all fd (Bytes.unsafe_to_string frame) 0 (4 + n)
+  Bytes.unsafe_to_string frame
+
+let write_frame fd payload =
+  (* header and payload in ONE write: two small writes tickle Nagle +
+     delayed-ACK on TCP, adding ~40ms per request *)
+  let f = frame payload in
+  write_all fd f 0 (String.length f)
 
 (* Read exactly [len] bytes; [None] if EOF strikes before the first byte
    (a clean close between frames when [eof_ok]). *)

@@ -83,6 +83,12 @@ type response =
     }
   | Shutting_down
   | Error_reply of string
+  | Busy_reply
+      (** admission control shed the request — the server's
+          per-connection or global in-flight budget was exhausted. The
+          connection stays usable; retry later. Appended in protocol
+          version 1 (new tag, no existing encoding changed): clients
+          that keep at most one request in flight never receive it. *)
 
 (** Metrics key of a request (e.g. ["DETECT"]). *)
 val request_command : request -> string
@@ -91,6 +97,12 @@ val encode_request : request -> string
 val decode_request : string -> request
 val encode_response : response -> string
 val decode_response : string -> response
+
+(** [frame payload] is the payload preceded by its 4-byte big-endian
+    length — the on-wire frame as one string, for callers that buffer
+    writes (the event-loop server) or batch several frames into a
+    single [write] (the pipelining client). *)
+val frame : string -> string
 
 (** Write one length-prefixed frame (handles short writes). *)
 val write_frame : Unix.file_descr -> string -> unit

@@ -1,10 +1,19 @@
-(* Thread-safe table registry: the daemon's compile-once cache. A table
-   entry carries the frame, its constraint program parsed AND compiled
-   exactly once at load/guard time, and an optional prediction model —
-   per-request work on the hot paths is then pure table lookups.
+(* Thread-safe sharded table registry: the daemon's compile-once cache.
+   A table entry carries the frame, its constraint program parsed AND
+   compiled exactly once at load/guard time, and an optional prediction
+   model — per-request work on the hot paths is then pure table lookups.
+
+   The table map is split into N independently-locked shards keyed by
+   the hash of the table name, so concurrent requests for different
+   tables never contend on one global mutex. An [entry] is an immutable
+   snapshot handle: [find] returns the whole record, and a concurrent
+   [load]/[set_program] replaces the shard's binding with a NEW record
+   rather than mutating the old one, so a handle obtained before the
+   replace keeps pinning its frame, compiled program and VM bytecode
+   for as long as the caller holds it.
 
    The expensive steps (CSV parse, program parse + compile, model
-   training) run outside the mutex; only the map insert/lookup is
+   training) run outside the shard mutex; only the map insert/lookup is
    locked. Concurrent loads of the same name are last-write-wins. *)
 
 module Frame = Dataframe.Frame
@@ -22,13 +31,25 @@ type entry = {
   model : (string * Mlmodel.Ensemble.t) option;  (* label, ensemble *)
 }
 
-type t = { mutex : Mutex.t; tables : (string, entry) Hashtbl.t }
+type shard = { mutex : Mutex.t; tables : (string, entry) Hashtbl.t }
 
-let create () = { mutex = Mutex.create (); tables = Hashtbl.create 8 }
+type t = { shards : shard array }
 
-let with_lock t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let create ?(shards = 8) () =
+  if shards < 1 then invalid_arg "Registry.create: shards must be >= 1";
+  {
+    shards =
+      Array.init shards (fun _ ->
+          { mutex = Mutex.create (); tables = Hashtbl.create 8 });
+  }
+
+let shard_count t = Array.length t.shards
+
+let shard_of t name = t.shards.(Hashtbl.hash name mod Array.length t.shards)
+
+let with_lock shard f =
+  Mutex.lock shard.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock shard.mutex) f
 
 let compile_program frame text =
   let prog = Guardrail.Parse.prog (Frame.schema frame) text in
@@ -49,24 +70,37 @@ let load t ~name ?program ?model_label frame =
       model_label
   in
   let entry = { frame; program; model } in
-  with_lock t (fun () -> Hashtbl.replace t.tables name entry);
+  let shard = shard_of t name in
+  with_lock shard (fun () -> Hashtbl.replace shard.tables name entry);
   entry
 
-let find t name = with_lock t (fun () -> Hashtbl.find_opt t.tables name)
+let find t name =
+  let shard = shard_of t name in
+  with_lock shard (fun () -> Hashtbl.find_opt shard.tables name)
 
 let set_program t ~name text =
   match find t name with
   | None -> raise Not_found
   | Some entry ->
     let entry = { entry with program = Some (compile_program entry.frame text) } in
-    with_lock t (fun () -> Hashtbl.replace t.tables name entry);
+    let shard = shard_of t name in
+    with_lock shard (fun () -> Hashtbl.replace shard.tables name entry);
     entry
 
-let remove t name = with_lock t (fun () -> Hashtbl.remove t.tables name)
+let remove t name =
+  let shard = shard_of t name in
+  with_lock shard (fun () -> Hashtbl.remove shard.tables name)
 
-let count t = with_lock t (fun () -> Hashtbl.length t.tables)
+let count t =
+  Array.fold_left
+    (fun acc shard ->
+      acc + with_lock shard (fun () -> Hashtbl.length shard.tables))
+    0 t.shards
 
 let list t =
-  with_lock t (fun () ->
-      Hashtbl.fold (fun name entry acc -> (name, entry) :: acc) t.tables [])
+  Array.fold_left
+    (fun acc shard ->
+      with_lock shard (fun () ->
+          Hashtbl.fold (fun name entry l -> (name, entry) :: l) shard.tables acc))
+    [] t.shards
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,7 +1,15 @@
-(** Thread-safe table registry — the daemon's compile-once cache. Each
-    entry holds a frame, its constraint program parsed and compiled
-    exactly once, and an optional prediction model, so request handling
-    never re-parses or re-compiles. *)
+(** Thread-safe sharded table registry — the daemon's compile-once
+    cache. Each entry holds a frame, its constraint program parsed and
+    compiled exactly once, and an optional prediction model, so request
+    handling never re-parses or re-compiles.
+
+    The map is split across N independently-locked shards by table-name
+    hash; requests for different tables proceed without contending on a
+    global mutex. {!entry} is an immutable snapshot handle: a record
+    returned by {!find}/{!load} keeps pinning its frame, compiled
+    program and VM bytecode even if the table is concurrently replaced
+    or removed — replacement installs a new record, it never mutates an
+    existing one. *)
 
 type program = {
   text : string;                  (** .grl source as received *)
@@ -21,7 +29,12 @@ type entry = {
 
 type t
 
-val create : unit -> t
+(** [create ?shards ()] builds a registry with [shards] independently
+    locked partitions (default 8; must be >= 1). *)
+val create : ?shards:int -> unit -> t
+
+(** Number of partitions fixed at {!create} time. *)
+val shard_count : t -> int
 
 (** Register (or replace) a table. Parses and compiles [program] against
     the frame's schema and trains an ensemble on [model_label] if given —

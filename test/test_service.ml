@@ -70,6 +70,7 @@ let sample_responses : P.response list =
         rendered = "ok\n" };
     P.Shutting_down;
     P.Error_reply "boom";
+    P.Busy_reply;
   ]
 
 let test_request_roundtrip () =
@@ -288,6 +289,8 @@ let test_metrics_render_golden () =
       connections = 2;
       protocol_errors = 1;
       served = 3;
+      sheds = 4;
+      inflight_peak = 5;
       commands =
         [
           {
@@ -302,7 +305,8 @@ let test_metrics_render_golden () =
     }
   in
   Alcotest.(check string) "render text is stable"
-    ("uptime 12.3s, 2 connection(s), 3 request(s) served, 1 protocol error(s)\n"
+    ("uptime 12.3s, 2 connection(s), 3 request(s) served, 1 protocol \
+      error(s), 4 shed, peak inflight 5\n"
    ^ "DETECT         2 req     1 err  mean  101.00ms  max  200.00ms\n"
    ^ "          latency: <=3ms:1 <=300ms:1\n")
     (Service.Metrics.render s)
@@ -354,6 +358,67 @@ let test_registry_set_program () =
     (match Service.Registry.set_program reg ~name:"people" "GIVEN nope ON" with
      | exception Guardrail.Parse.Error _ -> true
      | _ -> false)
+
+let test_registry_sharded () =
+  let reg = Service.Registry.create ~shards:4 () in
+  Alcotest.(check int) "shard_count" 4 (Service.Registry.shard_count reg);
+  (* names spread across shards; count/list fold over all of them *)
+  let names = List.init 20 (Printf.sprintf "table%02d") in
+  List.iter
+    (fun name ->
+      let (_ : Service.Registry.entry) =
+        Service.Registry.load reg ~name (Dataframe.Csv.of_string people_csv)
+      in
+      ())
+    names;
+  Alcotest.(check int) "count over shards" 20 (Service.Registry.count reg);
+  Alcotest.(check (list string)) "list is name-sorted over shards" names
+    (List.map fst (Service.Registry.list reg));
+  Alcotest.(check bool) "shards must be >= 1" true
+    (match Service.Registry.create ~shards:0 () with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* An entry handle is an immutable snapshot: replacing the table behind
+   it must not disturb the frame/program the handle pins — exactly what
+   a worker mid-request relies on while another client re-loads. *)
+let test_registry_snapshot_across_replace () =
+  let reg = Service.Registry.create ~shards:2 () in
+  let frame = Dataframe.Csv.of_string people_csv in
+  let handle =
+    Service.Registry.load reg ~name:"people" ~program:people_program frame
+  in
+  let violations flags =
+    Array.fold_left (fun n b -> if b then n + 1 else n) 0 flags
+  in
+  let expected =
+    match handle.Service.Registry.program with
+    | Some p -> violations (Validator.detect p.Service.Registry.compiled frame)
+    | None -> Alcotest.fail "program missing at load"
+  in
+  let replacer =
+    Domain.spawn (fun () ->
+        for _ = 1 to 50 do
+          let fresh = Dataframe.Csv.of_string "name,dept,grade\nzed,ops,junior\n" in
+          ignore (Service.Registry.load reg ~name:"people" fresh)
+        done)
+  in
+  (* the handle keeps answering from its pinned compilation throughout *)
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "handle frame pinned" true (handle.Service.Registry.frame == frame);
+    match handle.Service.Registry.program with
+    | None -> Alcotest.fail "handle lost its program"
+    | Some p ->
+      let flags = Validator.detect p.Service.Registry.compiled frame in
+      Alcotest.(check int) "handle detect stable" expected (violations flags)
+  done;
+  Domain.join replacer;
+  (* the table itself now shows the replacement *)
+  match Service.Registry.find reg "people" with
+  | Some e ->
+    Alcotest.(check int) "replacement visible" 1
+      (Frame.nrows e.Service.Registry.frame)
+  | None -> Alcotest.fail "table vanished"
 
 (* ------------------------------------------------------------------ *)
 (* Server dispatch (no socket) *)
@@ -411,13 +476,11 @@ let test_dispatch_detect_matches_offline () =
 
 let loopback = Unix.ADDR_INET (Unix.inet_addr_loopback, 0)
 
-let start_server ?(pool_size = 4) registry =
+let start_server ?(pool_size = 4) ?config registry =
   let config =
-    { Service.Server.default_config with
-      Service.Server.pool_size;
-      accept_poll_s = 0.02;
-      read_timeout_s = 10.0;
-    }
+    match config with
+    | Some c -> c
+    | None -> Service.Server.Config.make ~pool_size ~read_timeout_s:10.0 ()
   in
   let server = Service.Server.create ~config registry in
   let addr = Service.Server.bind server loopback in
@@ -463,14 +526,14 @@ let test_loopback_concurrent_clients () =
     Service.Client.with_connection addr (fun c ->
         let detections =
           match
-            Service.Client.request_exn c (P.Detect { table = "data"; csv = None })
+            Service.Client.call_exn c (P.Detect { table = "data"; csv = None })
           with
           | P.Detections { flags; violations } -> (flags, violations)
           | _ -> failwith "expected detections"
         in
         let sql =
           match
-            Service.Client.request_exn c
+            Service.Client.call_exn c
               (P.Sql { query = sql_query; guard_table = None })
           with
           | P.Sql_result { columns; csv; rows; _ } -> (columns, csv, rows)
@@ -509,7 +572,7 @@ let test_loopback_concurrent_clients () =
     results;
   (* STATS agrees with what the clients sent *)
   Service.Client.with_connection addr (fun c ->
-      match Service.Client.request_exn c P.Stats with
+      match Service.Client.call_exn c P.Stats with
       | P.Stats_reply { commands; connections; _ } ->
         let count name =
           match List.find_opt (fun s -> s.P.command = name) commands with
@@ -551,7 +614,7 @@ let test_loopback_malformed_keeps_serving () =
   Unix.close fd;
   (* a fresh client also still works *)
   Service.Client.with_connection addr (fun c ->
-      match Service.Client.request_exn c P.Ping with
+      match Service.Client.call_exn c P.Ping with
       | P.Ok_reply "pong" -> ()
       | _ -> Alcotest.fail "server wedged after malformed request");
   let stats = Service.Metrics.snapshot (Service.Server.metrics server) in
@@ -569,10 +632,10 @@ let test_loopback_shutdown_drains () =
   let server, addr, runner = start_server ~pool_size:2 registry in
   (* park some requests, then shut down via the protocol *)
   Service.Client.with_connection addr (fun c ->
-      (match Service.Client.request_exn c (P.Detect { table = "people"; csv = None }) with
+      (match Service.Client.call_exn c (P.Detect { table = "people"; csv = None }) with
        | P.Detections _ -> ()
        | _ -> Alcotest.fail "detect failed");
-      match Service.Client.request_exn c P.Shutdown with
+      match Service.Client.call_exn c P.Shutdown with
       | P.Shutting_down -> ()
       | _ -> Alcotest.fail "expected Shutting_down");
   (* run returns: accept loop stopped and pool drained *)
@@ -590,17 +653,12 @@ let test_unix_domain_socket () =
   let path = Filename.temp_file "guardrail" ".sock" in
   Unix.unlink path;
   let registry = Service.Registry.create () in
-  let config =
-    { Service.Server.default_config with
-      Service.Server.pool_size = 1;
-      accept_poll_s = 0.02;
-    }
-  in
+  let config = Service.Server.Config.make ~pool_size:1 () in
   let server = Service.Server.create ~config registry in
   let (_ : Unix.sockaddr) = Service.Server.bind server (Unix.ADDR_UNIX path) in
   let runner = Domain.spawn (fun () -> Service.Server.run server) in
   let c = Service.Client.connect_unix path in
-  (match Service.Client.request_exn c P.Ping with
+  (match Service.Client.call_exn c P.Ping with
    | P.Ok_reply "pong" -> ()
    | _ -> Alcotest.fail "unix socket ping failed");
   Service.Client.close c;
@@ -626,19 +684,19 @@ let test_loopback_trace () =
       in
       (* stopping before starting is an error *)
       expect_server_error "trace-stop without trace-start should error"
-        (fun () -> Service.Client.request_exn c (P.Trace { enable = false }));
-      (match Service.Client.request_exn c (P.Trace { enable = true }) with
+        (fun () -> Service.Client.call_exn c (P.Trace { enable = false }));
+      (match Service.Client.call_exn c (P.Trace { enable = true }) with
        | P.Ok_reply _ -> ()
        | _ -> Alcotest.fail "trace-start failed");
       (* double start is an error, and must not clobber the collector *)
       expect_server_error "second trace-start should error" (fun () ->
-          Service.Client.request_exn c (P.Trace { enable = true }));
+          Service.Client.call_exn c (P.Trace { enable = true }));
       (match
-         Service.Client.request_exn c (P.Detect { table = "data"; csv = None })
+         Service.Client.call_exn c (P.Detect { table = "data"; csv = None })
        with
        | P.Detections _ -> ()
        | _ -> Alcotest.fail "detect failed");
-      match Service.Client.request_exn c (P.Trace { enable = false }) with
+      match Service.Client.call_exn c (P.Trace { enable = false }) with
       | P.Ok_reply json ->
         let events = Obs.Trace.events_of_chrome_json json in
         Alcotest.(check bool) "trace has a DETECT span" true
@@ -650,6 +708,157 @@ let test_loopback_trace () =
              (fun (e : Obs.Collector.event) -> e.Obs.Collector.name = "TRACE")
              events)
       | _ -> Alcotest.fail "trace-stop failed");
+  Service.Server.stop server;
+  Domain.join runner
+
+(* ------------------------------------------------------------------ *)
+(* Event loop: incremental framing, pipelining, admission control *)
+
+let test_config_validation () =
+  Alcotest.(check bool) "pool_size 0 rejected" true
+    (match Service.Server.Config.make ~pool_size:0 () with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "negative timeout rejected" true
+    (match Service.Server.Config.make ~read_timeout_s:(-1.0) () with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "max_inflight 0 rejected" true
+    (match Service.Server.Config.make ~max_inflight:0 () with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  let c =
+    Service.Server.Config.(
+      default |> with_pool_size 2 |> with_max_inflight 7 |> with_shards 3)
+  in
+  Alcotest.(check int) "with_pool_size" 2 c.Service.Server.Config.pool_size;
+  Alcotest.(check int) "with_max_inflight" 7 c.Service.Server.Config.max_inflight;
+  Alcotest.(check int) "with_shards" 3 c.Service.Server.Config.shards
+
+(* A request frame delivered one byte per write: the loop must assemble
+   it across chunk boundaries and answer normally. *)
+let test_split_frames_byte_by_byte () =
+  let registry = Service.Registry.create () in
+  let server, addr, runner = start_server ~pool_size:1 registry in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.connect fd addr;
+  let frame = Service.Protocol.frame (P.encode_request P.Ping) in
+  String.iteri
+    (fun i _ ->
+      let (_ : int) = Unix.write_substring fd frame i 1 in
+      (* give the event loop a chance to observe every fragment alone *)
+      if i land 1 = 0 then Unix.sleepf 0.001)
+    frame;
+  (match P.read_frame fd with
+   | Some payload ->
+     (match P.decode_response payload with
+      | P.Ok_reply "pong" -> ()
+      | _ -> Alcotest.fail "expected pong from split frame")
+   | None -> Alcotest.fail "connection died on split frame");
+  (* two frames concatenated with the second cut mid-payload: the first
+     must be answered while the tail waits for its missing bytes *)
+  let two = frame ^ frame in
+  let cut = String.length frame + 3 in
+  let (_ : int) = Unix.write_substring fd two 0 cut in
+  (match P.read_frame fd with
+   | Some payload ->
+     (match P.decode_response payload with
+      | P.Ok_reply "pong" -> ()
+      | _ -> Alcotest.fail "expected pong for the complete head frame")
+   | None -> Alcotest.fail "connection died on partial tail");
+  let (_ : int) =
+    Unix.write_substring fd two cut (String.length two - cut)
+  in
+  (match P.read_frame fd with
+   | Some payload ->
+     (match P.decode_response payload with
+      | P.Ok_reply "pong" -> ()
+      | _ -> Alcotest.fail "expected pong once the tail completed")
+   | None -> Alcotest.fail "connection died completing the tail");
+  Unix.close fd;
+  Service.Server.stop server;
+  Domain.join runner
+
+(* N pipelined requests on one connection: replies arrive in request
+   order even though a pool of 4 may finish them out of order. Each
+   DETECT names a distinct missing table, so each Error_reply embeds
+   which request it answers. *)
+let test_pipeline_replies_in_order () =
+  let registry = Service.Registry.create () in
+  let server, addr, runner = start_server ~pool_size:4 registry in
+  Service.Client.with_connection addr (fun c ->
+      let n = 24 in
+      let reqs =
+        List.init n (fun i ->
+            P.Detect { table = Printf.sprintf "ghost%02d" i; csv = None })
+      in
+      let resps = Service.Client.pipeline c reqs in
+      Alcotest.(check int) "one reply per request" n (List.length resps);
+      List.iteri
+        (fun i resp ->
+          match resp with
+          | P.Error_reply msg ->
+            Alcotest.(check bool)
+              (Printf.sprintf "reply %d answers request %d" i i)
+              true
+              (contains ~needle:(Printf.sprintf "ghost%02d" i) msg)
+          | _ -> Alcotest.fail "expected an unknown-table error")
+        resps);
+  Service.Server.stop server;
+  Domain.join runner
+
+(* Saturating max_inflight yields Busy_reply for the overflow — in
+   position, with the connection still usable — and the sheds surface
+   in the metrics. The whole batch goes out in one write, so it is
+   parsed (and admitted/shed) before any reply is drained, making the
+   split deterministic regardless of worker speed. *)
+let test_busy_reply_on_saturation () =
+  let path = Filename.temp_file "guardrail" ".sock" in
+  Unix.unlink path;
+  let registry = Service.Registry.create () in
+  let config =
+    Service.Server.Config.make ~pool_size:1 ~max_inflight:2
+      ~read_timeout_s:10.0 ()
+  in
+  let server, _, runner =
+    let server = Service.Server.create ~config registry in
+    let addr = Service.Server.bind server (Unix.ADDR_UNIX path) in
+    let runner = Domain.spawn (fun () -> Service.Server.run server) in
+    (server, addr, runner)
+  in
+  let c = Service.Client.connect_unix path in
+  let n = 6 in
+  let resps = Service.Client.pipeline c (List.init n (fun _ -> P.Ping)) in
+  let oks, busys =
+    List.fold_left
+      (fun (oks, busys) -> function
+        | P.Ok_reply "pong" -> (oks + 1, busys)
+        | P.Busy_reply -> (oks, busys + 1)
+        | _ -> Alcotest.fail "unexpected reply under saturation")
+      (0, 0) resps
+  in
+  Alcotest.(check int) "admitted = max_inflight" 2 oks;
+  Alcotest.(check int) "overflow shed" (n - 2) busys;
+  (* the shed replies hold their positions: heads admitted, tail busy *)
+  (match resps with
+   | P.Ok_reply _ :: P.Ok_reply _ :: rest ->
+     List.iter
+       (function
+         | P.Busy_reply -> ()
+         | _ -> Alcotest.fail "expected Busy_reply after the admitted head")
+       rest
+   | _ -> Alcotest.fail "admitted replies must come first");
+  (* the connection is still usable after being shed *)
+  (match Service.Client.call_exn c P.Ping with
+   | P.Ok_reply "pong" -> ()
+   | _ -> Alcotest.fail "connection unusable after Busy_reply");
+  let s = Service.Metrics.snapshot (Service.Server.metrics server) in
+  Alcotest.(check int) "sheds counted" (n - 2) s.Service.Metrics.sheds;
+  Alcotest.(check bool) "inflight peak recorded" true
+    (s.Service.Metrics.inflight_peak >= 1);
+  Alcotest.(check bool) "sheds in rendered stats" true
+    (contains ~needle:"4 shed" (Service.Metrics.render s));
+  Service.Client.close c;
   Service.Server.stop server;
   Domain.join runner
 
@@ -688,6 +897,9 @@ let () =
         [
           Alcotest.test_case "load/find/compile-once" `Quick test_registry_load_find;
           Alcotest.test_case "set_program" `Quick test_registry_set_program;
+          Alcotest.test_case "sharded" `Quick test_registry_sharded;
+          Alcotest.test_case "snapshot across replace" `Quick
+            test_registry_snapshot_across_replace;
         ] );
       ( "dispatch",
         [
@@ -704,5 +916,11 @@ let () =
           Alcotest.test_case "shutdown drains" `Quick test_loopback_shutdown_drains;
           Alcotest.test_case "unix socket" `Quick test_unix_domain_socket;
           Alcotest.test_case "trace lifecycle" `Quick test_loopback_trace;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "split frames" `Quick test_split_frames_byte_by_byte;
+          Alcotest.test_case "pipelined in order" `Quick
+            test_pipeline_replies_in_order;
+          Alcotest.test_case "busy reply sheds" `Quick
+            test_busy_reply_on_saturation;
         ] );
     ]
