@@ -1,0 +1,28 @@
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in path in
+    let rec loop lineno acc =
+      match input_line ic with
+      | exception End_of_file -> Ok (List.rev acc)
+      | line when String.trim line = "" -> loop (lineno + 1) acc
+      | line -> (
+        match Result.run_of_json (Obs.Json.parse line) with
+        | Ok run -> loop (lineno + 1) (run :: acc)
+        | Error msg ->
+          Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+        | exception Obs.Json.Parse_error msg ->
+          Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> loop 1 [])
+  end
+
+let append path run =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Obs.Json.to_string (Result.run_to_json run));
+      output_char oc '\n')
+
+let latest = function [] -> None | runs -> Some (List.nth runs (List.length runs - 1))

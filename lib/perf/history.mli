@@ -1,0 +1,14 @@
+(** Append-only run history: one {!Result.run} JSON object per line
+    (JSONL), committed at [bench/history.jsonl]. The last line is the
+    blessed baseline CI gates against; [bench record] appends. *)
+
+(** Runs in file order (oldest first). A missing file is an empty
+    history, not an error; a malformed line is an [Error] naming the
+    line number. Blank lines are skipped. *)
+val load : string -> (Result.run list, string) result
+
+(** Append one run as a single line, creating the file if needed. *)
+val append : string -> Result.run -> unit
+
+(** Last (most recent) run, if any. *)
+val latest : Result.run list -> Result.run option

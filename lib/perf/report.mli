@@ -1,0 +1,11 @@
+(** Markdown trajectory report over a run history, shaped for
+    [$GITHUB_STEP_SUMMARY]: one table row per metric with best /
+    baseline / current columns, delta, and a sparkline of the
+    metric's trend across the history. *)
+
+(** [markdown runs] renders oldest-to-newest [runs]. The last run is
+    "current", the one before it "baseline", and "best" is taken
+    over the whole history respecting each metric's direction.
+    Returns a self-contained markdown fragment; an empty history
+    renders an explanatory stub. *)
+val markdown : Result.run list -> string

@@ -1,0 +1,67 @@
+(** The one result schema every benchmark suite emits.
+
+    A {!metric} is a single measured number plus the policy for
+    gating it: direction, relative tolerance against a baseline, and
+    an optional machine-independent hard bound. A {!run} bundles one
+    harness invocation's metrics with the repo revision and a
+    fingerprint of every knob that shaped the workload, so runs are
+    only ever compared like-for-like. *)
+
+type direction = Higher_better | Lower_better
+
+type metric = {
+  suite : string;        (** e.g. ["validate"] *)
+  workload : string;     (** e.g. ["rows=50000"] *)
+  name : string;         (** e.g. ["detect_speedup"] *)
+  value : float;
+  unit_ : string;        (** ["s"], ["x"], ["req/s"], ["rate"], ... *)
+  direction : direction;
+  gated : bool;          (** participates in [compare]'s exit code *)
+  tolerance : float;     (** allowed relative regression vs baseline *)
+  bound : float option;
+      (** hard floor (higher-better) or cap (lower-better) enforced
+          even without a baseline; e.g. a speedup that must stay
+          >= 1.0 for the optimised path to be worth keeping *)
+}
+
+(** Smart constructor; defaults: [Lower_better] (a time),
+    ungated, tolerance 0.25, no bound. *)
+val metric :
+  suite:string ->
+  workload:string ->
+  name:string ->
+  value:float ->
+  unit_:string ->
+  ?direction:direction ->
+  ?gated:bool ->
+  ?tolerance:float ->
+  ?bound:float ->
+  unit ->
+  metric
+
+(** ["suite/workload/name"] — the identity used to align runs. *)
+val key : metric -> string
+
+type run = {
+  schema_version : int;
+  rev : string;           (** repo revision the run measured *)
+  unix_time : float;      (** seconds since epoch, for the report *)
+  fingerprint : string;   (** hash of every workload knob; see {!fingerprint} *)
+  results : metric list;
+}
+
+val schema_version : int
+
+val make_run :
+  rev:string -> unix_time:float -> fingerprint:string -> metric list -> run
+
+(** FNV-1a over the canonical [key=value] rendering of the knobs.
+    Two runs compare only if their fingerprints agree. *)
+val fingerprint : (string * string) list -> string
+
+(** Current repo revision: [$GUARDRAIL_BENCH_REV], else
+    [git rev-parse --short HEAD], else ["unknown"]. *)
+val current_rev : unit -> string
+
+val run_to_json : run -> Obs.Json.t
+val run_of_json : Obs.Json.t -> (run, string) result

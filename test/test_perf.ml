@@ -1,0 +1,383 @@
+(* Tests for lib/perf: the comparator's threshold math (improvement,
+   within-tolerance, regression, hard bounds, missing metrics, first
+   runs), fingerprint discipline, run JSON round-trips, the JSONL
+   history file, the stable-measurement runner, and the markdown
+   report. *)
+
+module R = Perf.Result
+module C = Perf.Compare
+
+let m ?(suite = "s") ?(workload = "w") ?(direction = R.Lower_better)
+    ?(gated = true) ?(tolerance = 0.10) ?bound ~name ~value () =
+  R.metric ~suite ~workload ~name ~value ~unit_:"u" ~direction ~gated
+    ~tolerance ?bound ()
+
+let run ?(fingerprint = "fp") metrics =
+  R.make_run ~rev:"r0" ~unix_time:0.0 ~fingerprint metrics
+
+let compare_single ~baseline ~current =
+  match
+    C.compare_runs ~baseline:(Some (run [ baseline ])) ~current:(run [ current ])
+  with
+  | [ row ] -> row
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows)
+
+let verdict =
+  Alcotest.testable
+    (fun ppf v ->
+      Format.pp_print_string ppf
+        (match v with
+         | C.Improved -> "improved"
+         | C.Within -> "within"
+         | C.Regressed -> "regressed"
+         | C.Bound_violated -> "bound_violated"
+         | C.Missing -> "missing"
+         | C.Added -> "added"))
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Threshold math *)
+
+let test_within_tolerance () =
+  (* lower-better time moves 5% worse under a 10% tolerance *)
+  let row =
+    compare_single
+      ~baseline:(m ~name:"t" ~value:1.00 ())
+      ~current:(m ~name:"t" ~value:1.05 ())
+  in
+  Alcotest.check verdict "within" C.Within row.C.verdict;
+  (match row.C.delta with
+   | Some d -> Alcotest.(check bool) "delta is -5%" true (Float.abs (d +. 0.05) < 1e-9)
+   | None -> Alcotest.fail "delta expected");
+  (* and exactly at the threshold (binary-exact values) is still
+     within, not a regression *)
+  let row =
+    compare_single
+      ~baseline:(m ~tolerance:0.5 ~name:"t" ~value:1.0 ())
+      ~current:(m ~tolerance:0.5 ~name:"t" ~value:1.5 ())
+  in
+  Alcotest.check verdict "at threshold" C.Within row.C.verdict
+
+let test_regression_lower_better () =
+  let row =
+    compare_single
+      ~baseline:(m ~name:"t" ~value:1.00 ())
+      ~current:(m ~name:"t" ~value:1.25 ())
+  in
+  Alcotest.check verdict "regressed" C.Regressed row.C.verdict
+
+let test_regression_higher_better () =
+  let row =
+    compare_single
+      ~baseline:(m ~direction:R.Higher_better ~name:"speedup" ~value:20.0 ())
+      ~current:(m ~direction:R.Higher_better ~name:"speedup" ~value:17.0 ())
+  in
+  Alcotest.check verdict "regressed" C.Regressed row.C.verdict;
+  let row =
+    compare_single
+      ~baseline:(m ~direction:R.Higher_better ~name:"speedup" ~value:20.0 ())
+      ~current:(m ~direction:R.Higher_better ~name:"speedup" ~value:25.0 ())
+  in
+  Alcotest.check verdict "improved" C.Improved row.C.verdict
+
+let test_improvement_never_fails () =
+  (* a big improvement on a lower-better metric is not a regression *)
+  let rows =
+    C.compare_runs
+      ~baseline:(Some (run [ m ~name:"t" ~value:1.0 () ]))
+      ~current:(run [ m ~name:"t" ~value:0.1 () ])
+  in
+  Alcotest.(check int) "no failures" 0 (List.length (C.failures rows));
+  Alcotest.check verdict "improved" C.Improved (List.hd rows).C.verdict
+
+let test_bound_violation () =
+  (* a speedup that collapses below its hard floor fails even when the
+     baseline-relative tolerance would forgive it *)
+  let row =
+    compare_single
+      ~baseline:
+        (m ~direction:R.Higher_better ~tolerance:0.99 ~bound:1.0
+           ~name:"speedup" ~value:1.4 ())
+      ~current:
+        (m ~direction:R.Higher_better ~tolerance:0.99 ~bound:1.0
+           ~name:"speedup" ~value:0.8 ())
+  in
+  Alcotest.check verdict "bound violated" C.Bound_violated row.C.verdict;
+  (* bounds bind without any baseline too *)
+  let rows =
+    C.compare_runs ~baseline:None
+      ~current:
+        (run
+           [ m ~direction:R.Higher_better ~bound:1.0 ~name:"speedup"
+               ~value:0.5 () ])
+  in
+  Alcotest.(check int) "first-run bound failure" 1
+    (List.length (C.failures rows))
+
+let test_missing_metric_fails () =
+  let rows =
+    C.compare_runs
+      ~baseline:
+        (Some (run [ m ~name:"kept" ~value:1.0 (); m ~name:"lost" ~value:1.0 () ]))
+      ~current:(run [ m ~name:"kept" ~value:1.0 () ])
+  in
+  let fails = C.failures rows in
+  Alcotest.(check int) "one failure" 1 (List.length fails);
+  Alcotest.check verdict "missing" C.Missing (List.hd fails).C.verdict;
+  (* an ungated metric may come and go freely *)
+  let rows =
+    C.compare_runs
+      ~baseline:(Some (run [ m ~gated:false ~name:"info" ~value:1.0 () ]))
+      ~current:(run [])
+  in
+  Alcotest.(check int) "ungated missing ok" 0 (List.length (C.failures rows))
+
+let test_first_run_no_baseline () =
+  let rows =
+    C.compare_runs ~baseline:None ~current:(run [ m ~name:"t" ~value:9.9 () ])
+  in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  Alcotest.check verdict "added" C.Added (List.hd rows).C.verdict;
+  Alcotest.(check int) "no failures" 0 (List.length (C.failures rows))
+
+let test_added_metric_passes () =
+  let rows =
+    C.compare_runs
+      ~baseline:(Some (run [ m ~name:"old" ~value:1.0 () ]))
+      ~current:(run [ m ~name:"old" ~value:1.0 (); m ~name:"new" ~value:5.0 () ])
+  in
+  Alcotest.(check int) "no failures" 0 (List.length (C.failures rows));
+  let added = List.find (fun r -> r.C.key = "s/w/new") rows in
+  Alcotest.check verdict "added" C.Added added.C.verdict
+
+let test_ungated_regression_passes () =
+  let rows =
+    C.compare_runs
+      ~baseline:(Some (run [ m ~gated:false ~name:"t" ~value:1.0 () ]))
+      ~current:(run [ m ~gated:false ~name:"t" ~value:100.0 () ])
+  in
+  Alcotest.check verdict "still judged" C.Regressed (List.hd rows).C.verdict;
+  Alcotest.(check int) "but not a failure" 0 (List.length (C.failures rows))
+
+let test_thresholds_come_from_current () =
+  (* the current run's tolerance governs, not the baseline's frozen one *)
+  let rows =
+    C.compare_runs
+      ~baseline:(Some (run [ m ~tolerance:0.01 ~name:"t" ~value:1.0 () ]))
+      ~current:(run [ m ~tolerance:0.50 ~name:"t" ~value:1.3 () ])
+  in
+  Alcotest.check verdict "current tolerance wins" C.Within
+    (List.hd rows).C.verdict
+
+let test_fingerprint_mismatch () =
+  Alcotest.check_raises "mismatch raises"
+    (C.Fingerprint_mismatch { baseline = "a"; current = "b" })
+    (fun () ->
+      ignore
+        (C.compare_runs
+           ~baseline:(Some (run ~fingerprint:"a" []))
+           ~current:(run ~fingerprint:"b" [])))
+
+let test_zero_baseline () =
+  (* identical zeros compare clean; a move off zero is judged by sign *)
+  let row =
+    compare_single
+      ~baseline:(m ~name:"z" ~value:0.0 ())
+      ~current:(m ~name:"z" ~value:0.0 ())
+  in
+  Alcotest.check verdict "zero vs zero" C.Within row.C.verdict;
+  let row =
+    compare_single
+      ~baseline:(m ~name:"z" ~value:0.0 ())
+      ~current:(m ~name:"z" ~value:0.5 ())
+  in
+  Alcotest.check verdict "worse off zero" C.Regressed row.C.verdict
+
+(* ------------------------------------------------------------------ *)
+(* Schema round-trip, fingerprint, history *)
+
+let sample_run () =
+  run ~fingerprint:"cafe"
+    [ m ~name:"a" ~value:1.5 ();
+      m ~direction:R.Higher_better ~gated:true ~tolerance:0.85 ~bound:1.0
+        ~name:"b" ~value:19.25 ();
+      m ~gated:false ~name:"c" ~value:0.0 () ]
+
+let test_run_json_roundtrip () =
+  let r = sample_run () in
+  let json = Obs.Json.to_string (R.run_to_json r) in
+  match R.run_of_json (Obs.Json.parse json) with
+  | Error msg -> Alcotest.fail msg
+  | Ok r' ->
+    Alcotest.(check bool) "round-trips" true (r = r');
+    (* re-parsed run self-compares to zero delta and no failures *)
+    let rows = C.compare_runs ~baseline:(Some r') ~current:r in
+    Alcotest.(check int) "no failures" 0 (List.length (C.failures rows));
+    List.iter
+      (fun row ->
+        match row.C.delta with
+        | Some d -> Alcotest.(check (float 0.0)) "zero delta" 0.0 d
+        | None -> Alcotest.fail "delta expected")
+      rows
+
+let test_run_json_rejects_bad_version () =
+  let j =
+    Obs.Json.parse
+      {|{"schema_version":99,"rev":"r","unix_time":0,"fingerprint":"f","results":[]}|}
+  in
+  match R.run_of_json j with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "version 99 accepted"
+
+let test_fingerprint_order_independent () =
+  let a = R.fingerprint [ ("x", "1"); ("y", "2") ] in
+  let b = R.fingerprint [ ("y", "2"); ("x", "1") ] in
+  let c = R.fingerprint [ ("x", "1"); ("y", "3") ] in
+  Alcotest.(check string) "order-independent" a b;
+  Alcotest.(check bool) "value-sensitive" true (a <> c);
+  Alcotest.(check int) "16 hex chars" 16 (String.length a)
+
+let test_history_roundtrip () =
+  let path = Filename.temp_file "perf_history" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      (match Perf.History.load path with
+       | Ok [] -> ()
+       | Ok _ -> Alcotest.fail "missing file should be empty history"
+       | Error msg -> Alcotest.fail msg);
+      let r1 = sample_run () in
+      let r2 = { r1 with R.rev = "r1" } in
+      Perf.History.append path r1;
+      Perf.History.append path r2;
+      match Perf.History.load path with
+      | Error msg -> Alcotest.fail msg
+      | Ok runs ->
+        Alcotest.(check int) "two runs" 2 (List.length runs);
+        (match Perf.History.latest runs with
+         | Some r -> Alcotest.(check string) "latest is last" "r1" r.R.rev
+         | None -> Alcotest.fail "latest expected");
+        Alcotest.(check bool) "first run intact" true (List.hd runs = r1))
+
+let test_history_rejects_garbage () =
+  let path = Filename.temp_file "perf_history" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{not json\n";
+      close_out oc;
+      match Perf.History.load path with
+      | Error msg ->
+        Alcotest.(check bool) "names the line" true
+          (String.length msg > 0
+           && String.index_opt msg ':' <> None)
+      | Ok _ -> Alcotest.fail "garbage accepted")
+
+(* ------------------------------------------------------------------ *)
+(* Measurement runner *)
+
+let test_measure_sample_invariants () =
+  let calls = ref 0 in
+  let s =
+    Perf.Measure.run ~warmup:2 ~reps:5 ~gc_compact:false (fun () -> incr calls)
+  in
+  Alcotest.(check int) "warmup + reps calls" 7 !calls;
+  Alcotest.(check int) "reps recorded" 5 s.Perf.Measure.reps;
+  Alcotest.(check bool) "min <= median" true
+    (s.Perf.Measure.min_s <= s.Perf.Measure.median_s);
+  Alcotest.(check bool) "median <= max" true
+    (s.Perf.Measure.median_s <= s.Perf.Measure.max_s);
+  Alcotest.(check bool) "spread >= 0" true (Perf.Measure.spread s >= 0.0)
+
+let test_measure_inner_batching () =
+  let calls = ref 0 in
+  let s =
+    Perf.Measure.run ~warmup:0 ~reps:2 ~inner:50 ~gc_compact:false (fun () ->
+        incr calls)
+  in
+  Alcotest.(check int) "inner x reps calls" 100 !calls;
+  Alcotest.(check bool) "per-call time" true (s.Perf.Measure.min_s >= 0.0)
+
+let test_monotonic_clock_advances () =
+  let t0 = Perf.Measure.now_s () in
+  let t1 = Perf.Measure.now_s () in
+  Alcotest.(check bool) "non-decreasing" true (t1 >= t0)
+
+(* ------------------------------------------------------------------ *)
+(* Report *)
+
+let test_report_markdown () =
+  let r1 = sample_run () in
+  let r2 = { r1 with R.rev = "r1" } in
+  let md = Perf.Report.markdown [ r1; r2 ] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
+        (let len = String.length needle in
+         let rec scan i =
+           i + len <= String.length md
+           && (String.sub md i len = needle || scan (i + 1))
+         in
+         scan 0))
+    [ "## Benchmark trajectory"; "| metric |"; "s/w/a"; "**s/w/b** (gated)";
+      "`r1`" ];
+  Alcotest.(check bool) "empty history renders stub" true
+    (String.length (Perf.Report.markdown []) > 0)
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "compare",
+        [
+          Alcotest.test_case "within tolerance" `Quick test_within_tolerance;
+          Alcotest.test_case "regression (lower better)" `Quick
+            test_regression_lower_better;
+          Alcotest.test_case "regression (higher better)" `Quick
+            test_regression_higher_better;
+          Alcotest.test_case "improvement never fails" `Quick
+            test_improvement_never_fails;
+          Alcotest.test_case "hard bound violation" `Quick test_bound_violation;
+          Alcotest.test_case "missing gated metric fails" `Quick
+            test_missing_metric_fails;
+          Alcotest.test_case "first run has no baseline" `Quick
+            test_first_run_no_baseline;
+          Alcotest.test_case "added metric passes" `Quick
+            test_added_metric_passes;
+          Alcotest.test_case "ungated regression passes" `Quick
+            test_ungated_regression_passes;
+          Alcotest.test_case "thresholds come from current" `Quick
+            test_thresholds_come_from_current;
+          Alcotest.test_case "fingerprint mismatch raises" `Quick
+            test_fingerprint_mismatch;
+          Alcotest.test_case "zero baseline" `Quick test_zero_baseline;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "run JSON round-trip + self-compare" `Quick
+            test_run_json_roundtrip;
+          Alcotest.test_case "bad schema version rejected" `Quick
+            test_run_json_rejects_bad_version;
+          Alcotest.test_case "fingerprint canonicalisation" `Quick
+            test_fingerprint_order_independent;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "append/load round-trip" `Quick
+            test_history_roundtrip;
+          Alcotest.test_case "malformed line rejected" `Quick
+            test_history_rejects_garbage;
+        ] );
+      ( "measure",
+        [
+          Alcotest.test_case "sample invariants" `Quick
+            test_measure_sample_invariants;
+          Alcotest.test_case "inner batching" `Quick test_measure_inner_batching;
+          Alcotest.test_case "monotonic clock" `Quick
+            test_monotonic_clock_advances;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "markdown rendering" `Quick test_report_markdown ]
+      );
+    ]
