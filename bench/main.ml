@@ -18,6 +18,8 @@
      micro   bechamel micro-benchmarks
      serve   daemon throughput: concurrent clients vs pool size
      groupby group-by kernel vs the retired ad-hoc Hashtbl paths
+     ingest  streaming appends: throughput, incremental maintenance,
+             refresh latency
 
    Scale note: ML-dependent experiments subsample the largest datasets
    (documented in EXPERIMENTS.md); structure-learning experiments run at
@@ -954,9 +956,10 @@ let drive_clients ~addr ~n_clients ~seconds ~batch =
             latencies.(i) <- (Perf.Measure.now_s () -. t0) :: latencies.(i);
             List.iter
               (function
-                | Service.Protocol.Detections _ -> oks.(i) <- oks.(i) + 1
-                | Service.Protocol.Busy_reply -> sheds.(i) <- sheds.(i) + 1
-                | _ -> errors.(i) <- errors.(i) + 1)
+                | Service.Client.Reply (Service.Protocol.Detections _) ->
+                  oks.(i) <- oks.(i) + 1
+                | Service.Client.Busy -> sheds.(i) <- sheds.(i) + 1
+                | Service.Client.Reply _ -> errors.(i) <- errors.(i) + 1)
               resps
           done)
     with _ -> ()  (* receive timeout / refused connect: score stands *)
@@ -1250,9 +1253,7 @@ let groupby_bench () =
         | _ -> []
       in
       let col_sets = pairs cats in
-      let cache =
-        Dataframe.Group.Cache.create ~codes ~cards ()
-      in
+      let cache = Dataframe.Group.Cache.of_frame frame in
       (* warm the cache once: steady-state synthesis re-requests sets *)
       List.iter
         (fun cols -> ignore (Dataframe.Group.Cache.get cache cols))
@@ -1562,9 +1563,144 @@ let synth_suite () =
     gate_synth_datasets
 
 (* ------------------------------------------------------------------ *)
+(* Streaming-ingest suite: the versioned-frame ingest path end to end.
+   A base snapshot of dataset #2 is loaded with its synthesized
+   program, then the remaining rows stream in as APPEND batches
+   through the registry (frame extend + bytecode re-lower + group /
+   contingency / drift maintenance). Three measurements:
+
+   - append throughput through [Registry.append_rows] (ungated — raw
+     rows/s is machine-dependent);
+   - incremental [Ingest.advance] over one batch vs recomputing the
+     same statistics from scratch on the grown frame: the gated ratio
+     (bound 1.0) is the point of incremental maintenance — falling
+     under 1.0 means the delta path got slower than a full rebuild;
+   - REFRESH latency after a corrupted batch drives constraints stale
+     (ungated).
+
+   Writes BENCH_ingest.json for the CI artifact. *)
+
+let gate_ingest_batches = 8
+let gate_ingest_batch_rows = 500
+
+let ingest_bench () =
+  header "Streaming ingest: appends, incremental maintenance, refresh";
+  let reps = 5 in
+  let p = prepare 2 in
+  let total = Frame.nrows p.full in
+  let streamed = gate_ingest_batches * gate_ingest_batch_rows in
+  let base_rows = total - streamed in
+  let base = Frame.take p.full (Array.init base_rows (fun i -> i)) in
+  let batch k =
+    Frame.take p.full
+      (Array.init gate_ingest_batch_rows (fun i ->
+           base_rows + (k * gate_ingest_batch_rows) + i))
+  in
+  let synth = Synthesize.run base in
+  let program = Guardrail.Pretty.prog_to_string synth.Synthesize.program in
+  let compiled = Validator.compile synth.Synthesize.program in
+  Printf.printf "  %s: %d base rows + %d x %d appended, %d statement(s)\n%!"
+    p.spec.Spec.name base_rows gate_ingest_batches gate_ingest_batch_rows
+    (Guardrail.Dsl.stmt_count synth.Synthesize.program);
+  (* 1. append throughput: the registry ingest path end to end *)
+  let append_stream () =
+    let registry = Service.Registry.create () in
+    let (_ : Service.Registry.entry) =
+      Service.Registry.load registry ~name:"data" ~program base
+    in
+    for k = 0 to gate_ingest_batches - 1 do
+      ignore (Service.Registry.append_rows registry ~name:"data" (batch k))
+    done
+  in
+  let append_sample = Perf.Measure.run ~warmup:1 ~reps append_stream in
+  let append_s = append_sample.Perf.Measure.min_s in
+  let rows_per_s = float_of_int streamed /. append_s in
+  Printf.printf "  append: %d rows in %.3fs -> %.0f rows/s\n%!" streamed
+    append_s rows_per_s;
+  (* 2. incremental advance vs full recomputation over the same delta *)
+  let ing0 = Service.Ingest.create compiled base in
+  let grown = Frame.extend base (batch 0) in
+  let incr_s =
+    (Perf.Measure.run ~warmup:1 ~reps (fun () ->
+         Service.Ingest.advance ing0 compiled grown))
+      .Perf.Measure.min_s
+  in
+  let rebuild_s =
+    (Perf.Measure.run ~warmup:1 ~reps (fun () ->
+         Service.Ingest.create compiled grown))
+      .Perf.Measure.min_s
+  in
+  let ratio = if incr_s > 0.0 then rebuild_s /. incr_s else Float.infinity in
+  Printf.printf
+    "  maintenance: incremental %.3fms vs rebuild %.3fms -> %.2fx\n%!"
+    (incr_s *. 1e3) (rebuild_s *. 1e3) ratio;
+  (* 3. refresh latency: a heavily corrupted tail drives the drift
+     monitor stale, then REFRESH re-fills exactly the flagged sets *)
+  let ons =
+    List.sort_uniq compare
+      (List.map
+         (fun (s : Guardrail.Dsl.stmt) -> s.Guardrail.Dsl.on)
+         synth.Synthesize.program.Guardrail.Dsl.stmts)
+  in
+  let tail = Frame.take p.full (Array.init streamed (fun i -> base_rows + i)) in
+  let corrupted =
+    (Corrupt.inject ~seed:42 ~n_errors:(streamed / 2) ~columns:ons tail)
+      .Corrupt.corrupted
+  in
+  let refresh_min = ref Float.infinity
+  and stale_count = ref 0
+  and refilled = ref 0 in
+  for _ = 1 to reps do
+    let registry = Service.Registry.create () in
+    let (_ : Service.Registry.entry) =
+      Service.Registry.load registry ~name:"data" ~program base
+    in
+    let (_ : Service.Registry.entry) =
+      Service.Registry.append_rows registry ~name:"data" corrupted
+    in
+    let (_, report), t =
+      Perf.Measure.time1 (fun () ->
+          Service.Registry.refresh registry ~name:"data")
+    in
+    refresh_min := Float.min !refresh_min t;
+    stale_count := List.length report.Service.Registry.stale;
+    refilled := report.Service.Registry.refreshed
+  done;
+  Printf.printf "  refresh: %d stale key(s), %d re-filled, %.2fms\n%!"
+    !stale_count !refilled (!refresh_min *. 1e3);
+  let oc = open_out "BENCH_ingest.json" in
+  output_string oc
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [ ("base_rows", Obs.Json.Num (float_of_int base_rows));
+            ("appended_rows", Obs.Json.Num (float_of_int streamed));
+            ("batches", Obs.Json.Num (float_of_int gate_ingest_batches));
+            ("append_s", Obs.Json.Num append_s);
+            ("append_rows_per_s", Obs.Json.Num rows_per_s);
+            ("incremental_s", Obs.Json.Num incr_s);
+            ("rebuild_s", Obs.Json.Num rebuild_s);
+            ("incremental_vs_rebuild", Obs.Json.Num ratio);
+            ("refresh_s", Obs.Json.Num !refresh_min);
+            ("stale_keys", Obs.Json.Num (float_of_int !stale_count)) ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "ingest timings written to BENCH_ingest.json\n%!";
+  let metric = Perf.Result.metric ~suite:"ingest" ~workload:"ds2" in
+  [ metric ~name:"append_rows_per_s" ~value:rows_per_s ~unit_:"rows/s"
+      ~direction:Perf.Result.Higher_better ();
+    metric ~name:"append_total_s" ~value:append_s ~unit_:"s" ();
+    metric ~name:"incremental_s" ~value:incr_s ~unit_:"s" ();
+    metric ~name:"rebuild_s" ~value:rebuild_s ~unit_:"s" ();
+    metric ~name:"incremental_vs_rebuild" ~value:ratio ~unit_:"x"
+      ~direction:Perf.Result.Higher_better ~gated:true ~tolerance:0.9
+      ~bound:1.0 ();
+    metric ~name:"refresh_ms" ~value:(!refresh_min *. 1e3) ~unit_:"ms" ();
+    metric ~name:"stale_keys" ~value:(float_of_int !stale_count) ~unit_:"n" () ]
+
+(* ------------------------------------------------------------------ *)
 (* The regression harness: record / compare / report.
 
-   The four gated suites run under one workload fingerprint; a run is
+   The five gated suites run under one workload fingerprint; a run is
    one line of bench/history.jsonl whose last line is the blessed
    baseline CI gates against. *)
 
@@ -1572,7 +1708,8 @@ let all_suites =
   [ ("synth", synth_suite);
     ("groupby", (fun () -> groupby_bench ()));
     ("validate", (fun () -> validate_bench ~sizes_default:gate_validate_sizes ()));
-    ("serve", (fun () -> serve_bench ~seconds_default:gate_serve_seconds ())) ]
+    ("serve", (fun () -> serve_bench ~seconds_default:gate_serve_seconds ()));
+    ("ingest", (fun () -> ingest_bench ())) ]
 
 let flag_suites : string list option ref = ref None
 
@@ -1765,6 +1902,7 @@ let experiments =
     ("groupby", fun () -> ignore (groupby_bench ()));
     ("validate", fun () -> ignore (validate_bench ()));
     ("synth", fun () -> ignore (synth_suite ()));
+    ("ingest", fun () -> ignore (ingest_bench ()));
   ]
 
 (* string-option flags of the harness front-end *)

@@ -255,8 +255,27 @@ let serve socket host port pool timeout max_connections max_inflight shards
 let print_flags flags =
   Array.iteri (fun i v -> if v then Printf.printf "row %d: violation\n" i) flags
 
+(* "--set ROW:COLUMN=VALUE" -> (row, column, value) *)
+let parse_cell spec =
+  match String.index_opt spec ':' with
+  | None -> failwith (Printf.sprintf "bad --set %S (want ROW:COLUMN=VALUE)" spec)
+  | Some colon ->
+    let row =
+      match int_of_string_opt (String.sub spec 0 colon) with
+      | Some r -> r
+      | None -> failwith (Printf.sprintf "bad --set row in %S" spec)
+    in
+    let rest = String.sub spec (colon + 1) (String.length spec - colon - 1) in
+    (match String.index_opt rest '=' with
+     | None ->
+       failwith (Printf.sprintf "bad --set %S (want ROW:COLUMN=VALUE)" spec)
+     | Some eq ->
+       ( row,
+         String.sub rest 0 eq,
+         String.sub rest (eq + 1) (String.length rest - eq - 1) ))
+
 let do_request client command table data constraints label strategy_name query
-    guard_table output =
+    guard_table sets output =
   let module P = Service.Protocol in
   let required what = function
     | Some v -> v
@@ -264,7 +283,7 @@ let do_request client command table data constraints label strategy_name query
   in
   match command with
   | "ping" ->
-    (match Service.Client.call_exn client P.Ping with
+    (match Service.Client.call_exn client (P.Request.ping ()) with
      | P.Ok_reply msg -> print_endline msg; 0
      | _ -> failwith "unexpected reply")
   | "load" ->
@@ -272,8 +291,8 @@ let do_request client command table data constraints label strategy_name query
     let program = Option.map read_file constraints in
     (match
        Service.Client.call_exn client
-         (P.Load { table = required "--table" table; csv; program;
-                   model_label = label })
+         (P.Request.load ~table:(required "--table" table) ~csv ?program
+            ?model_label:label ())
      with
      | P.Loaded { table; rows; statements } ->
        Printf.eprintf "loaded %S: %d rows, %d statement(s)\n" table rows
@@ -284,7 +303,7 @@ let do_request client command table data constraints label strategy_name query
     let program = read_file (required "--constraints" constraints) in
     (match
        Service.Client.call_exn client
-         (P.Guard { table = required "--table" table; program })
+         (P.Request.guard ~table:(required "--table" table) ~program)
      with
      | P.Ok_reply msg -> Printf.eprintf "%s\n" msg; 0
      | _ -> failwith "unexpected reply")
@@ -292,7 +311,7 @@ let do_request client command table data constraints label strategy_name query
     let csv = Option.map read_file data in
     (match
        Service.Client.call_exn client
-         (P.Detect { table = required "--table" table; csv })
+         (P.Request.detect ~table:(required "--table" table) ?csv ())
      with
      | P.Detections { flags; violations } ->
        print_flags flags;
@@ -312,7 +331,7 @@ let do_request client command table data constraints label strategy_name query
     let csv = Option.map read_file data in
     (match
        Service.Client.call_exn client
-         (P.Rectify { table = required "--table" table; strategy; csv })
+         (P.Request.rectify ~table:(required "--table" table) ~strategy ?csv ())
      with
      | P.Rectified { csv; violations } ->
        (match output with
@@ -324,7 +343,7 @@ let do_request client command table data constraints label strategy_name query
   | "sql" ->
     (match
        Service.Client.call_exn client
-         (P.Sql { query = required "--query" query; guard_table })
+         (P.Request.sql ~query:(required "--query" query) ?guard_table ())
      with
      | P.Sql_result { csv; rows; violations; guardrail_ms; inference_ms; _ } ->
        print_string csv;
@@ -333,8 +352,47 @@ let do_request client command table data constraints label strategy_name query
          rows violations guardrail_ms inference_ms;
        0
      | _ -> failwith "unexpected reply")
+  | "append" ->
+    let csv = read_file (required "--data" data) in
+    (match
+       Service.Client.call_exn client
+         (P.Request.append ~table:(required "--table" table) ~csv)
+     with
+     | P.Ingested { table; rows; total_rows; epoch } ->
+       Printf.eprintf "appended %d row(s) to %S: %d total, epoch %d\n" rows
+         table total_rows epoch;
+       0
+     | _ -> failwith "unexpected reply")
+  | "update" ->
+    let cells =
+      match sets with
+      | [] -> failwith "--set ROW:COLUMN=VALUE is required for update"
+      | specs -> List.map parse_cell specs
+    in
+    (match
+       Service.Client.call_exn client
+         (P.Request.update ~table:(required "--table" table) ~cells)
+     with
+     | P.Ingested { table; total_rows; epoch; _ } ->
+       Printf.eprintf "updated %d cell(s) in %S: %d rows, epoch %d\n"
+         (List.length cells) table total_rows epoch;
+       0
+     | _ -> failwith "unexpected reply")
+  | "refresh" ->
+    (match
+       Service.Client.call_exn client
+         (P.Request.refresh ~table:(required "--table" table))
+     with
+     | P.Refreshed { table; checked; stale; refreshed; dropped } ->
+       List.iter (fun k -> Printf.eprintf "stale: %s\n" k) stale;
+       Printf.eprintf
+         "refreshed %S: %d statement(s) checked, %d stale, %d re-filled, \
+          %d dropped\n"
+         table checked (List.length stale) refreshed dropped;
+       if dropped = 0 then 0 else 1
+     | _ -> failwith "unexpected reply")
   | "tables" ->
-    (match Service.Client.call_exn client P.Tables with
+    (match Service.Client.call_exn client (P.Request.tables ()) with
      | P.Table_list infos ->
        List.iter
          (fun (i : P.table_info) ->
@@ -346,19 +404,19 @@ let do_request client command table data constraints label strategy_name query
        0
      | _ -> failwith "unexpected reply")
   | "stats" ->
-    (match Service.Client.call_exn client P.Stats with
+    (match Service.Client.call_exn client (P.Request.stats ()) with
      | P.Stats_reply { rendered; _ } -> print_string rendered; 0
      | _ -> failwith "unexpected reply")
   | "shutdown" ->
-    (match Service.Client.call_exn client P.Shutdown with
+    (match Service.Client.call_exn client (P.Request.shutdown ()) with
      | P.Shutting_down -> Printf.eprintf "daemon shutting down\n"; 0
      | _ -> failwith "unexpected reply")
   | "trace-start" ->
-    (match Service.Client.call_exn client (P.Trace { enable = true }) with
+    (match Service.Client.call_exn client (P.Request.trace ~enable:true) with
      | P.Ok_reply msg -> Printf.eprintf "%s\n" msg; 0
      | _ -> failwith "unexpected reply")
   | "trace-stop" ->
-    (match Service.Client.call_exn client (P.Trace { enable = false }) with
+    (match Service.Client.call_exn client (P.Request.trace ~enable:false) with
      | P.Ok_reply json ->
        (match output with
         | Some path -> write_file path json
@@ -369,16 +427,17 @@ let do_request client command table data constraints label strategy_name query
     failwith
       (Printf.sprintf
          "unknown command %S \
-          (ping|load|guard|detect|rectify|sql|tables|stats|trace-start|trace-stop|shutdown)"
+          (ping|load|guard|detect|rectify|sql|append|update|refresh|tables|\
+          stats|trace-start|trace-stop|shutdown)"
          other)
 
 let request command socket host port table data constraints label strategy
-    query guard_table output =
+    query guard_table sets output =
   try
     let addr = sockaddr_of socket host port in
     Service.Client.with_connection addr (fun client ->
         do_request client command table data constraints label strategy query
-          guard_table output)
+          guard_table sets output)
   with
   | Failure msg | Sys_error msg | Service.Client.Server_error msg ->
     Printf.eprintf "request: %s\n" msg;
@@ -580,8 +639,9 @@ let request_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"COMMAND"
-          ~doc:"One of ping, load, guard, detect, rectify, sql, tables, \
-                stats, trace-start, trace-stop, shutdown.")
+          ~doc:"One of ping, load, guard, detect, rectify, sql, append, \
+                update, refresh, tables, stats, trace-start, trace-stop, \
+                shutdown.")
   in
   let table =
     Arg.(
@@ -629,12 +689,19 @@ let request_cmd =
       & info [ "guard-table" ] ~docv:"NAME"
           ~doc:"Guard PREDICT rows with this table's constraint program.")
   in
+  let sets =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "set" ] ~docv:"ROW:COLUMN=VALUE"
+          ~doc:"Cell edit for the update command; repeatable.")
+  in
   Cmd.v
     (Cmd.info "request"
        ~doc:"Send one request to a running guardrail daemon.")
     Term.(
       const request $ command $ socket_arg $ host_arg $ port_arg $ table
-      $ data $ constraints $ label $ strategy $ query $ guard_table
+      $ data $ constraints $ label $ strategy $ query $ guard_table $ sets
       $ output_arg)
 
 let main_cmd =

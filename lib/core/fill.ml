@@ -98,13 +98,9 @@ let fill_stmt_sketch ?(min_support = 1) ?groups frame ~epsilon
         }
   end
 
-(* One grouping cache per frame, shared by every statement fill of a
-   run (safe across pool domains). *)
-let group_cache frame =
-  Group.Cache.create
-    ~codes:(Frame.code_matrix frame)
-    ~cards:(Frame.cardinalities frame)
-    ()
+(* One grouping cache per frame snapshot, shared by every statement
+   fill of a run (safe across pool domains). *)
+let group_cache frame = Group.Cache.of_frame frame
 
 (* Fill a whole program sketch (Alg. 1, lines 1-6): statements whose
    sketch yields no valid branch are dropped. Statement fills are

@@ -1,11 +1,46 @@
 (* In-memory relation: a schema plus one dictionary-encoded column per
-   attribute. Rows are materialized on demand. *)
+   attribute. Rows are materialized on demand.
+
+   Every frame carries a lineage id and an epoch. The pair [(id, epoch)]
+   uniquely identifies frame *content*: any operation either mints a
+   fresh id (derived frames: filter/take/project/append/set/...) or
+   bumps the epoch on the same id (the lineage ops [extend] and
+   [update_cells]). Caches key on the pair instead of physical
+   identity. A bounded per-epoch row-count log lets consumers ask "what
+   changed since epoch e" and get either an append delta or a rebuild
+   signal. *)
 
 type t = {
   schema : Schema.t;
   columns : Column.t array;
   nrows : int;
+  id : int;  (* lineage identity; shared only along extend/update chains *)
+  epoch : int;
+  (* Earliest epoch whose snapshot is a row-prefix of this one: every
+     step from [pure_since] to [epoch] was an [extend]. *)
+  pure_since : int;
+  (* [(epoch, nrows)] newest first, for epochs in [pure_since, epoch].
+     Bounded by [max_epoch_window]. *)
+  epoch_rows : (int * int) list;
 }
+
+let next_id = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add next_id 1
+
+(* How many append epochs of history to retain for delta queries; older
+   epochs answer [Rebuilt], which is always safe. *)
+let max_epoch_window = 64
+
+let versioned schema columns nrows =
+  {
+    schema;
+    columns;
+    nrows;
+    id = fresh_id ();
+    epoch = 0;
+    pure_since = 0;
+    epoch_rows = [ (0, nrows) ];
+  }
 
 let schema t = t.schema
 let nrows t = t.nrows
@@ -14,6 +49,33 @@ let column t i = t.columns.(i)
 let column_by_name t n = t.columns.(Schema.index t.schema n)
 let names t = Schema.names t.schema
 let index t n = Schema.index t.schema n
+
+module Snapshot = struct
+  let id t = t.id
+  let epoch t = t.epoch
+  let key t = (t.id, t.epoch)
+  let same_lineage a b = a.id = b.id
+end
+
+module Delta = struct
+  type nonrec t =
+    | Unchanged
+    | Rows_appended of { base_rows : int }
+    | Rebuilt
+
+  let since t ~epoch =
+    if epoch = t.epoch then Unchanged
+    else if epoch >= t.pure_since && epoch < t.epoch then
+      match List.assoc_opt epoch t.epoch_rows with
+      | Some base_rows -> Rows_appended { base_rows }
+      | None -> Rebuilt
+    else Rebuilt
+
+  let pp ppf = function
+    | Unchanged -> Fmt.pf ppf "unchanged"
+    | Rows_appended { base_rows } -> Fmt.pf ppf "rows-appended(base=%d)" base_rows
+    | Rebuilt -> Fmt.pf ppf "rebuilt"
+end
 
 let check_consistent schema columns =
   let arity = Schema.arity schema in
@@ -31,7 +93,7 @@ let of_columns schema columns =
   let columns = Array.of_list columns in
   check_consistent schema columns;
   let nrows = if Array.length columns = 0 then 0 else Column.length columns.(0) in
-  { schema; columns; nrows }
+  versioned schema columns nrows
 
 let of_rows schema rows =
   let arity = Schema.arity schema in
@@ -43,7 +105,7 @@ let of_rows schema rows =
   let columns =
     Array.init arity (fun j -> Column.of_values (Array.map (fun r -> r.(j)) rows))
   in
-  { schema; columns; nrows = Array.length rows }
+  versioned schema columns (Array.length rows)
 
 let get t row col = Column.get t.columns.(col) row
 let get_by_name t row name = get t row (index t name)
@@ -54,7 +116,7 @@ let rows t = List.init t.nrows (row t)
 let set t row col v =
   let columns = Array.copy t.columns in
   columns.(col) <- Column.set columns.(col) row v;
-  { t with columns }
+  versioned t.schema columns t.nrows
 
 (* Batch cell update: one Column.update per touched column instead of a
    whole-frame copy per cell. Within a column, updates apply in list
@@ -77,7 +139,7 @@ let set_cells t cells =
         columns.(col) <-
           Column.update columns.(col) (List.rev (Hashtbl.find by_col col)))
       !order;
-    { t with columns }
+    versioned t.schema columns t.nrows
 
 (* Integer code matrix, one code array per column: the representation the
    synthesis pipeline and the baselines operate on. *)
@@ -89,24 +151,58 @@ let filter t pred =
   let keep = Array.init t.nrows (fun i -> pred t i) in
   let columns = Array.map (fun c -> Column.select c (fun i -> keep.(i))) t.columns in
   let nrows = Array.fold_left (fun acc k -> if k then acc + 1 else acc) 0 keep in
-  { t with columns; nrows }
+  versioned t.schema columns nrows
 
 let take t indices =
   let columns = Array.map (fun c -> Column.take c indices) t.columns in
-  { t with columns; nrows = Array.length indices }
+  versioned t.schema columns (Array.length indices)
 
 let project t names =
   let idxs = List.map (index t) names in
   let cols = List.map (fun i -> Schema.col t.schema i) idxs in
   let schema = Schema.make cols in
   let columns = Array.of_list (List.map (fun i -> t.columns.(i)) idxs) in
-  { schema; columns; nrows = t.nrows }
+  versioned schema columns t.nrows
 
-let append a b =
+let appended_columns a b =
   if Schema.names a.schema <> Schema.names b.schema then
     invalid_arg "Dataframe.append: schema mismatch";
-  let columns = Array.mapi (fun i c -> Column.append c b.columns.(i)) a.columns in
-  { a with columns; nrows = a.nrows + b.nrows }
+  Array.mapi (fun i c -> Column.append c b.columns.(i)) a.columns
+
+let append a b = versioned a.schema (appended_columns a b) (a.nrows + b.nrows)
+
+(* Lineage-preserving append: same id, next epoch, and the delta log
+   records the old row count so caches can merge just the new rows.
+   [Column.append] re-encodes [rows] against the existing dictionaries
+   append-only (old codes stable, fresh values in first-occurrence
+   order), so the result is bit-identical to batch-building the
+   concatenated table. *)
+let extend t rows =
+  let columns = appended_columns t rows in
+  let nrows = t.nrows + rows.nrows in
+  let epoch = t.epoch + 1 in
+  let epoch_rows = (epoch, nrows) :: t.epoch_rows in
+  let pure_since, epoch_rows =
+    if List.length epoch_rows > max_epoch_window then
+      let kept = List.filteri (fun i _ -> i < max_epoch_window) epoch_rows in
+      (fst (List.nth kept (max_epoch_window - 1)), kept)
+    else (t.pure_since, epoch_rows)
+  in
+  { t with columns; nrows; epoch; pure_since; epoch_rows }
+
+(* Lineage-preserving in-place cell edit: same id, next epoch, but the
+   delta log restarts — past epochs are no longer prefixes, so
+   [Delta.since] answers [Rebuilt] for them. *)
+let update_cells t cells =
+  let updated = set_cells t cells in
+  let epoch = t.epoch + 1 in
+  {
+    updated with
+    id = t.id;
+    epoch;
+    pure_since = epoch;
+    epoch_rows = [ (epoch, t.nrows) ];
+  }
 
 let head t k = take t (Array.init (min k t.nrows) (fun i -> i))
 

@@ -1,7 +1,51 @@
 (** In-memory relation: a schema plus one dictionary-encoded column per
-    attribute. *)
+    attribute.
+
+    Frames are immutable snapshots carrying a lineage identity. The pair
+    [Snapshot.key t = (id, epoch)] uniquely identifies frame content:
+    every operation either mints a fresh id (all derived frames —
+    {!filter}, {!take}, {!project}, {!append}, {!set}, {!set_cells}, the
+    constructors) or bumps the epoch along the same lineage ({!extend},
+    {!update_cells}). Caches must key on [Snapshot.key], never on
+    physical identity, and may consult {!Delta.since} to merge an append
+    delta instead of rebuilding. *)
 
 type t
+
+(** Version identity of a snapshot. Two frames with equal {!Snapshot.key}
+    hold identical schema, rows and dictionaries. *)
+module Snapshot : sig
+  val id : t -> int
+  val epoch : t -> int
+  val key : t -> int * int
+
+  (** Same lineage id: one was produced from the other by a chain of
+      {!extend}/{!update_cells} steps (in either direction). *)
+  val same_lineage : t -> t -> bool
+end
+
+(** What changed along a lineage since a given epoch. *)
+module Delta : sig
+  type frame := t
+
+  type t =
+    | Unchanged  (** [epoch] is the frame's own epoch. *)
+    | Rows_appended of { base_rows : int }
+        (** Every step since [epoch] was an {!extend}: the first
+            [base_rows] rows (codes and dictionary prefixes included)
+            are bit-identical to the snapshot at [epoch]; only rows
+            [base_rows, nrows) are new. *)
+    | Rebuilt
+        (** The path is unknown, too old (history window exceeded) or
+            includes a cell update: consumers must rebuild. *)
+
+  (** [since t ~epoch] describes how to reach [t] from the snapshot of
+      the same lineage at [epoch]. Answers for the frame's own lineage
+      only; callers must first check [Snapshot.id]. *)
+  val since : frame -> epoch:int -> t
+
+  val pp : Format.formatter -> t -> unit
+end
 
 val schema : t -> Schema.t
 val nrows : t -> int
@@ -48,8 +92,23 @@ val take : t -> int array -> t
 (** Restrict to named columns, in the given order. *)
 val project : t -> string list -> t
 
-(** Concatenate two frames with identical column names. *)
+(** Concatenate two frames with identical column names. The result is a
+    fresh lineage; use {!extend} to stay on the receiver's lineage. *)
 val append : t -> t -> t
+
+(** [extend t rows] appends [rows] on [t]'s own lineage: same
+    [Snapshot.id], epoch + 1, and [Delta.since] from any retained
+    append-only epoch answers [Rows_appended]. Dictionary encoding is
+    append-only, so the result is bit-identical to batch-building the
+    concatenated table (and to [append t rows]) — old codes, dicts and
+    group ids are all stable. Raises [Invalid_argument] on column-name
+    mismatch. *)
+val extend : t -> t -> t
+
+(** Like {!set_cells} but on [t]'s lineage: same [Snapshot.id],
+    epoch + 1, delta log restarted so earlier epochs answer
+    [Delta.Rebuilt]. *)
+val update_cells : t -> (int * int * Value.t) list -> t
 
 val head : t -> int -> t
 val iter_rows : t -> (int -> unit) -> unit

@@ -133,6 +133,45 @@ let make ?(cap = default_cap) codes cards n =
   let offsets, rows = csr ids n_groups in
   { ids; n_groups; offsets; rows }
 
+(* Incremental maintenance: extend a grouping computed over the first
+   [n_rows g] rows to cover all [n] rows of append-extended code
+   arrays. Dense ids are first-occurrence order, which is a pure
+   function of the row partition — appending rows can only add new
+   groups at the end — so the result is bit-identical to
+   [make codes cards n] while only hashing the delta rows: the key →
+   id map is rebuilt from each existing group's first row (n_groups
+   probes), then delta rows either join an existing group or mint the
+   next dense id. *)
+let extend g codes n =
+  let base = Array.length g.ids in
+  if n < base then invalid_arg "Group.extend: fewer rows than the base";
+  List.iter
+    (fun cs ->
+      if Array.length cs <> n then invalid_arg "Group.extend: length mismatch")
+    codes;
+  let arrs = Array.of_list codes in
+  let d = Array.length arrs in
+  let key_at i = Array.init d (fun j -> arrs.(j).(i)) in
+  let tbl : (int array, int) Hashtbl.t = Hashtbl.create (2 * (g.n_groups + 8)) in
+  for gid = 0 to g.n_groups - 1 do
+    Hashtbl.replace tbl (key_at g.rows.(g.offsets.(gid))) gid
+  done;
+  let ids = Array.make n 0 in
+  Array.blit g.ids 0 ids 0 base;
+  let next = ref g.n_groups in
+  for i = base to n - 1 do
+    let key = key_at i in
+    match Hashtbl.find_opt tbl key with
+    | Some gid -> ids.(i) <- gid
+    | None ->
+      Hashtbl.add tbl key !next;
+      ids.(i) <- !next;
+      incr next
+  done;
+  let n_groups = !next in
+  let offsets, rows = csr ids n_groups in
+  { ids; n_groups; offsets; rows }
+
 let of_codes n codes =
   let codes =
     if Array.length codes = n then codes else Array.sub codes 0 n
@@ -197,6 +236,10 @@ module Cache = struct
     cards : int array;
     n : int;
     cap : int;
+    (* [Frame.Snapshot.key] of the frame the codes came from; [None]
+       for raw code-matrix sources (auxiliary sample sets). This is the
+       only cache identity — there is no physical-frame keying. *)
+    frame_key : (int * int) option;
     table : (int list, group) Hashtbl.t;
     mutex : Mutex.t;
   }
@@ -208,11 +251,78 @@ module Cache = struct
   let misses =
     lazy (Obs.Metric.counter Obs.Metric.default "group.cache.misses")
 
-  let create ?(cap = default_cap) ~codes ~cards () =
+  let extended =
+    lazy (Obs.Metric.counter Obs.Metric.default "group.cache.extended")
+
+  let rebuilt =
+    lazy (Obs.Metric.counter Obs.Metric.default "group.cache.rebuilt")
+
+  let create ?(cap = default_cap) ?frame_key ~codes ~cards () =
     if Array.length codes <> Array.length cards then
       invalid_arg "Group.Cache.create: codes/cards mismatch";
     let n = if Array.length codes = 0 then 0 else Array.length codes.(0) in
-    { codes; cards; n; cap; table = Hashtbl.create 64; mutex = Mutex.create () }
+    {
+      codes;
+      cards;
+      n;
+      cap;
+      frame_key;
+      table = Hashtbl.create 64;
+      mutex = Mutex.create ();
+    }
+
+  let of_frame ?cap frame =
+    create ?cap
+      ~frame_key:(Frame.Snapshot.key frame)
+      ~codes:(Frame.code_matrix frame)
+      ~cards:(Frame.cardinalities frame)
+      ()
+
+  let frame_key c = c.frame_key
+
+  (* Rebuild once the delta outgrows this fraction of the extended
+     table: extending hashes only the delta rows but still pays an
+     O(n) CSR rebuild per cached grouping, so past ~half the rows the
+     incremental path has no edge over a clean rebuild. *)
+  let default_rebuild_threshold = 0.5
+
+  let snapshot_entries c =
+    Mutex.lock c.mutex;
+    let entries = Hashtbl.fold (fun k g acc -> (k, g) :: acc) c.table [] in
+    Mutex.unlock c.mutex;
+    entries
+
+  (* Carry a cache forward to a later snapshot of the same lineage.
+     Same key: returned unchanged. Append delta under the threshold:
+     every cached grouping is extended in place of a rebuild
+     (bit-identical to regrouping, counted in [group.cache.extended]).
+     Anything else — different lineage, cell updates, history window
+     exceeded, delta too large — falls back to a fresh empty cache for
+     the new frame ([group.cache.rebuilt]). *)
+  let advance ?(rebuild_threshold = default_rebuild_threshold) c frame =
+    let rebuild () =
+      Obs.Metric.incr (Lazy.force rebuilt);
+      of_frame ~cap:c.cap frame
+    in
+    match c.frame_key with
+    | Some (id, epoch) when id = Frame.Snapshot.id frame -> (
+      if epoch = Frame.Snapshot.epoch frame then c
+      else
+        match Frame.Delta.since frame ~epoch with
+        | Frame.Delta.Unchanged -> c
+        | Frame.Delta.Rows_appended { base_rows }
+          when float_of_int (Frame.nrows frame - base_rows)
+               <= rebuild_threshold *. float_of_int (Frame.nrows frame) ->
+          let next = of_frame ~cap:c.cap frame in
+          List.iter
+            (fun (key, g) ->
+              let cols = List.map (fun i -> next.codes.(i)) key in
+              Hashtbl.replace next.table key (extend g cols next.n);
+              Obs.Metric.incr (Lazy.force extended))
+            (snapshot_entries c);
+          next
+        | _ -> rebuild ())
+    | _ -> rebuild ()
 
   let length c =
     Mutex.lock c.mutex;

@@ -33,6 +33,15 @@ val default_cap : int
     rows form one group. *)
 val make : ?cap:int -> int array list -> int list -> int -> t
 
+(** [extend g codes n] carries a grouping of the first [n_rows g] rows
+    forward over append-extended code arrays of length [n].
+    Bit-identical to [make codes cards n] — dense first-occurrence ids
+    are a pure function of the row partition, and appended rows can
+    only join existing groups or mint new ids at the end — but only the
+    [n - n_rows g] delta rows are hashed. Raises [Invalid_argument] on
+    ragged input or [n < n_rows g]. *)
+val extend : t -> int array list -> int -> t
+
 (** Single-column grouping of the first [n] codes (cardinality inferred;
     codes must be non-negative). *)
 val of_codes : int -> int array -> t
@@ -84,10 +93,26 @@ module Cache : sig
   type group := t
   type t
 
-  (** [create ~codes ~cards ()] caches groupings of the given columns;
-      [cap] is forwarded to {!make}. *)
+  (** [create ~codes ~cards ()] caches groupings of a raw code matrix
+      (e.g. an auxiliary sample set); [cap] is forwarded to {!make}.
+      [frame_key] records the snapshot identity when the codes came
+      from a frame — prefer {!of_frame} for that. *)
   val create :
-    ?cap:int -> codes:int array array -> cards:int array -> unit -> t
+    ?cap:int ->
+    ?frame_key:int * int ->
+    codes:int array array ->
+    cards:int array ->
+    unit ->
+    t
+
+  (** Cache over a frame's columns, keyed by [Frame.Snapshot.key] — the
+      only cache identity (caches are never matched on physical frame
+      identity). *)
+  val of_frame : ?cap:int -> Frame.t -> t
+
+  (** [Some (id, epoch)] for frame-backed caches, [None] for raw code
+      matrices. *)
+  val frame_key : t -> (int * int) option
 
   (** Grouping by the given column indices (order-insensitive; the key
       is the sorted set). *)
@@ -95,4 +120,17 @@ module Cache : sig
 
   (** Distinct column sets cached so far. *)
   val length : t -> int
+
+  (** {!advance}'s default: rebuild once the delta exceeds half the
+      rows. *)
+  val default_rebuild_threshold : float
+
+  (** [advance c frame] carries a cache forward to a later snapshot of
+      the same lineage. Same snapshot key: [c] itself. Append delta no
+      larger than [rebuild_threshold] of the extended row count: a new
+      cache whose entries are {!extend}ed (bit-identical to regrouping,
+      counted in [group.cache.extended]). Otherwise — different
+      lineage, cell updates, aged-out history or an oversized delta — a
+      fresh empty cache for [frame] ([group.cache.rebuilt]). *)
+  val advance : ?rebuild_threshold:float -> t -> Frame.t -> t
 end

@@ -58,6 +58,8 @@ let call_exn t req =
   | Protocol.Error_reply msg -> raise (Server_error msg)
   | resp -> resp
 
+type outcome = Reply of Protocol.response | Busy
+
 let pipeline t reqs =
   (* Concatenate every frame into ONE write. Besides the syscall saving,
      this makes the batch arrive at the server as a single readable
@@ -73,7 +75,12 @@ let pipeline t reqs =
     if off < n then write_all (off + Unix.write_substring t.fd s off (n - off))
   in
   write_all 0;
-  List.map (fun _ -> read_response t) reqs
+  List.map
+    (fun _ ->
+      match read_response t with
+      | Protocol.Busy_reply -> Busy
+      | resp -> Reply resp)
+    reqs
 
 let request = call
 let request_exn = call_exn

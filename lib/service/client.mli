@@ -33,13 +33,20 @@ val call : t -> Protocol.request -> Protocol.response
 (** {!call}, but an [Error_reply] raises {!Server_error}. *)
 val call_exn : t -> Protocol.request -> Protocol.response
 
+(** Per-request result of a {!pipeline} batch. A shed request comes
+    back as [Busy] — a typed signal to back off and retry, distinct
+    from every real reply (including [Error_reply], which stays a
+    {!Protocol.response} under [Reply]). *)
+type outcome = Reply of Protocol.response | Busy
+
 (** [pipeline t reqs] writes every request as one batch (a single
     [write] of the concatenated frames), then reads exactly
-    [List.length reqs] responses; the i-th response answers the i-th
+    [List.length reqs] responses; the i-th outcome answers the i-th
     request. Requests past the server's in-flight budget come back as
-    [Busy_reply]. Raises like {!call}; on an exception the connection
-    is out of sync and should be closed. *)
-val pipeline : t -> Protocol.request list -> Protocol.response list
+    [Busy] so ingest clients can back off and retry the shed tail.
+    Raises like {!call}; on an exception the connection is out of sync
+    and should be closed. *)
+val pipeline : t -> Protocol.request list -> outcome list
 
 val close : t -> unit
 

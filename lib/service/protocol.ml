@@ -47,6 +47,9 @@ type request =
   | Stats
   | Shutdown
   | Trace of { enable : bool }
+  | Append of { table : string; csv : string }
+  | Update of { table : string; cells : (int * string * string) list }
+  | Refresh of { table : string }
 
 type table_info = {
   name : string;
@@ -90,18 +93,14 @@ type response =
   | Busy_reply
       (* admission control shed the request (per-connection or global
          in-flight budget exhausted); the connection stays usable *)
-
-let request_command = function
-  | Ping -> "PING"
-  | Load _ -> "LOAD"
-  | Guard _ -> "GUARD"
-  | Detect _ -> "DETECT"
-  | Rectify _ -> "RECTIFY"
-  | Sql _ -> "SQL"
-  | Tables -> "TABLES"
-  | Stats -> "STATS"
-  | Shutdown -> "SHUTDOWN"
-  | Trace _ -> "TRACE"
+  | Ingested of { table : string; rows : int; total_rows : int; epoch : int }
+  | Refreshed of {
+      table : string;
+      checked : int;
+      stale : string list;
+      refreshed : int;
+      dropped : int;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Encoding *)
@@ -227,45 +226,23 @@ let get_flags c =
   flags
 
 (* ------------------------------------------------------------------ *)
-(* Requests *)
+(* Codec tables
 
-let encode_request r =
-  let buf = Buffer.create 256 in
-  put_u8 buf version;
-  (match r with
-   | Ping -> put_u8 buf 1
-   | Load { table; csv; program; model_label } ->
-     put_u8 buf 2;
-     put_str buf table;
-     put_str buf csv;
-     put_opt put_str buf program;
-     put_opt put_str buf model_label
-   | Guard { table; program } ->
-     put_u8 buf 3;
-     put_str buf table;
-     put_str buf program
-   | Detect { table; csv } ->
-     put_u8 buf 4;
-     put_str buf table;
-     put_opt put_str buf csv
-   | Rectify { table; strategy; csv } ->
-     put_u8 buf 5;
-     put_str buf table;
-     put_u8 buf (strategy_code strategy);
-     put_opt put_str buf csv
-   | Sql { query; guard_table } ->
-     put_u8 buf 6;
-     put_str buf query;
-     put_opt put_str buf guard_table
-   | Tables -> put_u8 buf 7
-   | Stats -> put_u8 buf 8
-   | Shutdown -> put_u8 buf 9
-   | Trace { enable } ->
-     (* appended in protocol version 1: new tag, no existing encoding
-        changed *)
-     put_u8 buf 10;
-     put_bool buf enable);
-  Buffer.contents buf
+   One row per tag: the tag byte, the metrics command name, an encoder
+   classifier (Some filler when the row matches the constructor) and
+   the field decoder. [encode_*], [decode_*] and [request_command] are
+   all derived from the same table, so a tag can appear in exactly one
+   place and the encoder cannot drift from the decoder. New tags are
+   appended; existing rows are frozen by the byte-golden tests. *)
+
+type 'a codec = {
+  tag : int;
+  command : string;
+  enc : 'a -> (Buffer.t -> unit) option;
+  dec : cursor -> 'a;
+}
+
+let codec tag command enc dec = { tag; command; enc; dec }
 
 let finish c v =
   if c.pos <> String.length c.data then
@@ -276,42 +253,196 @@ let check_version c =
   let v = get_u8 c in
   if v <> version then error "protocol version %d, expected %d" v version
 
-let decode_request payload =
+let classify what codecs v =
+  let rec go = function
+    | [] -> error "no %s codec for constructor" what
+    | c :: rest -> (
+      match c.enc v with
+      | Some fill -> (c, fill)
+      | None -> go rest)
+  in
+  go codecs
+
+let encode_with what codecs v =
+  let buf = Buffer.create 256 in
+  put_u8 buf version;
+  let c, fill = classify what codecs v in
+  put_u8 buf c.tag;
+  fill buf;
+  Buffer.contents buf
+
+let decode_with what codecs payload =
   let c = { data = payload; pos = 0 } in
   check_version c;
-  let r =
-    match get_u8 c with
-    | 1 -> Ping
-    | 2 ->
-      let table = get_str c in
-      let csv = get_str c in
-      let program = get_opt get_str c in
-      let model_label = get_opt get_str c in
-      Load { table; csv; program; model_label }
-    | 3 ->
-      let table = get_str c in
-      let program = get_str c in
-      Guard { table; program }
-    | 4 ->
-      let table = get_str c in
-      let csv = get_opt get_str c in
-      Detect { table; csv }
-    | 5 ->
-      let table = get_str c in
-      let strategy = strategy_of_code (get_u8 c) in
-      let csv = get_opt get_str c in
-      Rectify { table; strategy; csv }
-    | 6 ->
-      let query = get_str c in
-      let guard_table = get_opt get_str c in
-      Sql { query; guard_table }
-    | 7 -> Tables
-    | 8 -> Stats
-    | 9 -> Shutdown
-    | 10 -> Trace { enable = get_bool c }
-    | t -> error "unknown request tag %d" t
-  in
-  finish c r
+  let tag = get_u8 c in
+  match List.find_opt (fun r -> r.tag = tag) codecs with
+  | Some r -> finish c (r.dec c)
+  | None -> error "unknown %s tag %d" what tag
+
+let check_distinct_tags what codecs =
+  ignore
+    (List.fold_left
+       (fun seen c ->
+         if List.mem c.tag seen then
+           invalid_arg
+             (Printf.sprintf "Protocol: duplicate %s tag %d" what c.tag)
+         else c.tag :: seen)
+       [] codecs)
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+let put_cell buf (row, column, value) =
+  put_u32 buf row;
+  put_str buf column;
+  put_str buf value
+
+let get_cell c =
+  let row = get_u32 c in
+  let column = get_str c in
+  let value = get_str c in
+  (row, column, value)
+
+let request_codecs =
+  [
+    codec 1 "PING" (function Ping -> Some (fun _ -> ()) | _ -> None) (fun _ ->
+        Ping);
+    codec 2 "LOAD"
+      (function
+        | Load { table; csv; program; model_label } ->
+          Some
+            (fun buf ->
+              put_str buf table;
+              put_str buf csv;
+              put_opt put_str buf program;
+              put_opt put_str buf model_label)
+        | _ -> None)
+      (fun c ->
+        let table = get_str c in
+        let csv = get_str c in
+        let program = get_opt get_str c in
+        let model_label = get_opt get_str c in
+        Load { table; csv; program; model_label });
+    codec 3 "GUARD"
+      (function
+        | Guard { table; program } ->
+          Some
+            (fun buf ->
+              put_str buf table;
+              put_str buf program)
+        | _ -> None)
+      (fun c ->
+        let table = get_str c in
+        let program = get_str c in
+        Guard { table; program });
+    codec 4 "DETECT"
+      (function
+        | Detect { table; csv } ->
+          Some
+            (fun buf ->
+              put_str buf table;
+              put_opt put_str buf csv)
+        | _ -> None)
+      (fun c ->
+        let table = get_str c in
+        let csv = get_opt get_str c in
+        Detect { table; csv });
+    codec 5 "RECTIFY"
+      (function
+        | Rectify { table; strategy; csv } ->
+          Some
+            (fun buf ->
+              put_str buf table;
+              put_u8 buf (strategy_code strategy);
+              put_opt put_str buf csv)
+        | _ -> None)
+      (fun c ->
+        let table = get_str c in
+        let strategy = strategy_of_code (get_u8 c) in
+        let csv = get_opt get_str c in
+        Rectify { table; strategy; csv });
+    codec 6 "SQL"
+      (function
+        | Sql { query; guard_table } ->
+          Some
+            (fun buf ->
+              put_str buf query;
+              put_opt put_str buf guard_table)
+        | _ -> None)
+      (fun c ->
+        let query = get_str c in
+        let guard_table = get_opt get_str c in
+        Sql { query; guard_table });
+    codec 7 "TABLES"
+      (function Tables -> Some (fun _ -> ()) | _ -> None)
+      (fun _ -> Tables);
+    codec 8 "STATS"
+      (function Stats -> Some (fun _ -> ()) | _ -> None)
+      (fun _ -> Stats);
+    codec 9 "SHUTDOWN"
+      (function Shutdown -> Some (fun _ -> ()) | _ -> None)
+      (fun _ -> Shutdown);
+    codec 10 "TRACE"
+      (function
+        | Trace { enable } -> Some (fun buf -> put_bool buf enable) | _ -> None)
+      (fun c -> Trace { enable = get_bool c });
+    (* appended in protocol version 1: new tags, no existing encoding
+       changed *)
+    codec 11 "APPEND"
+      (function
+        | Append { table; csv } ->
+          Some
+            (fun buf ->
+              put_str buf table;
+              put_str buf csv)
+        | _ -> None)
+      (fun c ->
+        let table = get_str c in
+        let csv = get_str c in
+        Append { table; csv });
+    codec 12 "UPDATE"
+      (function
+        | Update { table; cells } ->
+          Some
+            (fun buf ->
+              put_str buf table;
+              put_list put_cell buf cells)
+        | _ -> None)
+      (fun c ->
+        let table = get_str c in
+        let cells = get_list get_cell c in
+        Update { table; cells });
+    codec 13 "REFRESH"
+      (function
+        | Refresh { table } -> Some (fun buf -> put_str buf table) | _ -> None)
+      (fun c -> Refresh { table = get_str c });
+  ]
+
+let () = check_distinct_tags "request" request_codecs
+let request_command r = (fst (classify "request" request_codecs r)).command
+let encode_request r = encode_with "request" request_codecs r
+let decode_request payload = decode_with "request" request_codecs payload
+
+(* Smart constructors: the one sanctioned way to build requests, so
+   call sites stay stable if a payload grows a field. *)
+module Request = struct
+  let ping () = Ping
+
+  let load ~table ~csv ?program ?model_label () =
+    Load { table; csv; program; model_label }
+
+  let guard ~table ~program = Guard { table; program }
+  let detect ~table ?csv () = Detect { table; csv }
+  let rectify ~table ~strategy ?csv () = Rectify { table; strategy; csv }
+  let sql ~query ?guard_table () = Sql { query; guard_table }
+  let tables () = Tables
+  let stats () = Stats
+  let shutdown () = Shutdown
+  let trace ~enable = Trace { enable }
+  let append ~table ~csv = Append { table; csv }
+  let update ~table ~cells = Update { table; cells }
+  let refresh ~table = Refresh { table }
+end
 
 (* ------------------------------------------------------------------ *)
 (* Responses *)
@@ -346,97 +477,146 @@ let get_command_stat c =
   let max_ms = get_f64 c in
   { command; count; errors; mean_ms; max_ms }
 
-let encode_response r =
-  let buf = Buffer.create 256 in
-  put_u8 buf version;
-  (match r with
-   | Ok_reply msg ->
-     put_u8 buf 1;
-     put_str buf msg
-   | Loaded { table; rows; statements } ->
-     put_u8 buf 2;
-     put_str buf table;
-     put_u32 buf rows;
-     put_u32 buf statements
-   | Detections { flags; violations } ->
-     put_u8 buf 3;
-     put_flags buf flags;
-     put_u32 buf violations
-   | Rectified { csv; violations } ->
-     put_u8 buf 4;
-     put_str buf csv;
-     put_u32 buf violations
-   | Sql_result { columns; csv; rows; violations; guardrail_ms; inference_ms } ->
-     put_u8 buf 5;
-     put_list put_str buf columns;
-     put_str buf csv;
-     put_u32 buf rows;
-     put_u32 buf violations;
-     put_f64 buf guardrail_ms;
-     put_f64 buf inference_ms
-   | Table_list infos ->
-     put_u8 buf 6;
-     put_list put_table_info buf infos
-   | Stats_reply { uptime_s; connections; served; commands; rendered } ->
-     put_u8 buf 7;
-     put_f64 buf uptime_s;
-     put_u32 buf connections;
-     put_u32 buf served;
-     put_list put_command_stat buf commands;
-     put_str buf rendered
-   | Shutting_down -> put_u8 buf 8
-   | Error_reply msg ->
-     put_u8 buf 9;
-     put_str buf msg
-   | Busy_reply ->
-     (* appended in protocol version 1: new tag, no existing encoding
-        changed. A client only ever receives it after overrunning the
-        server's in-flight budget, so clients that keep one request in
-        flight per connection never see the new tag. *)
-     put_u8 buf 10);
-  Buffer.contents buf
+let response_codecs =
+  [
+    codec 1 "OK"
+      (function Ok_reply msg -> Some (fun buf -> put_str buf msg) | _ -> None)
+      (fun c -> Ok_reply (get_str c));
+    codec 2 "LOADED"
+      (function
+        | Loaded { table; rows; statements } ->
+          Some
+            (fun buf ->
+              put_str buf table;
+              put_u32 buf rows;
+              put_u32 buf statements)
+        | _ -> None)
+      (fun c ->
+        let table = get_str c in
+        let rows = get_u32 c in
+        let statements = get_u32 c in
+        Loaded { table; rows; statements });
+    codec 3 "DETECTIONS"
+      (function
+        | Detections { flags; violations } ->
+          Some
+            (fun buf ->
+              put_flags buf flags;
+              put_u32 buf violations)
+        | _ -> None)
+      (fun c ->
+        let flags = get_flags c in
+        let violations = get_u32 c in
+        Detections { flags; violations });
+    codec 4 "RECTIFIED"
+      (function
+        | Rectified { csv; violations } ->
+          Some
+            (fun buf ->
+              put_str buf csv;
+              put_u32 buf violations)
+        | _ -> None)
+      (fun c ->
+        let csv = get_str c in
+        let violations = get_u32 c in
+        Rectified { csv; violations });
+    codec 5 "SQL_RESULT"
+      (function
+        | Sql_result { columns; csv; rows; violations; guardrail_ms; inference_ms }
+          ->
+          Some
+            (fun buf ->
+              put_list put_str buf columns;
+              put_str buf csv;
+              put_u32 buf rows;
+              put_u32 buf violations;
+              put_f64 buf guardrail_ms;
+              put_f64 buf inference_ms)
+        | _ -> None)
+      (fun c ->
+        let columns = get_list get_str c in
+        let csv = get_str c in
+        let rows = get_u32 c in
+        let violations = get_u32 c in
+        let guardrail_ms = get_f64 c in
+        let inference_ms = get_f64 c in
+        Sql_result { columns; csv; rows; violations; guardrail_ms; inference_ms });
+    codec 6 "TABLE_LIST"
+      (function
+        | Table_list infos -> Some (fun buf -> put_list put_table_info buf infos)
+        | _ -> None)
+      (fun c -> Table_list (get_list get_table_info c));
+    codec 7 "STATS_REPLY"
+      (function
+        | Stats_reply { uptime_s; connections; served; commands; rendered } ->
+          Some
+            (fun buf ->
+              put_f64 buf uptime_s;
+              put_u32 buf connections;
+              put_u32 buf served;
+              put_list put_command_stat buf commands;
+              put_str buf rendered)
+        | _ -> None)
+      (fun c ->
+        let uptime_s = get_f64 c in
+        let connections = get_u32 c in
+        let served = get_u32 c in
+        let commands = get_list get_command_stat c in
+        let rendered = get_str c in
+        Stats_reply { uptime_s; connections; served; commands; rendered });
+    codec 8 "SHUTTING_DOWN"
+      (function Shutting_down -> Some (fun _ -> ()) | _ -> None)
+      (fun _ -> Shutting_down);
+    codec 9 "ERROR"
+      (function
+        | Error_reply msg -> Some (fun buf -> put_str buf msg) | _ -> None)
+      (fun c -> Error_reply (get_str c));
+    (* Busy_reply was appended in protocol version 1: a client only
+       receives it after overrunning the server's in-flight budget, so
+       clients that keep one request in flight never see the tag. *)
+    codec 10 "BUSY"
+      (function Busy_reply -> Some (fun _ -> ()) | _ -> None)
+      (fun _ -> Busy_reply);
+    (* appended in protocol version 1 alongside APPEND/UPDATE/REFRESH *)
+    codec 11 "INGESTED"
+      (function
+        | Ingested { table; rows; total_rows; epoch } ->
+          Some
+            (fun buf ->
+              put_str buf table;
+              put_u32 buf rows;
+              put_u32 buf total_rows;
+              put_u32 buf epoch)
+        | _ -> None)
+      (fun c ->
+        let table = get_str c in
+        let rows = get_u32 c in
+        let total_rows = get_u32 c in
+        let epoch = get_u32 c in
+        Ingested { table; rows; total_rows; epoch });
+    codec 12 "REFRESHED"
+      (function
+        | Refreshed { table; checked; stale; refreshed; dropped } ->
+          Some
+            (fun buf ->
+              put_str buf table;
+              put_u32 buf checked;
+              put_list put_str buf stale;
+              put_u32 buf refreshed;
+              put_u32 buf dropped)
+        | _ -> None)
+      (fun c ->
+        let table = get_str c in
+        let checked = get_u32 c in
+        let stale = get_list get_str c in
+        let refreshed = get_u32 c in
+        let dropped = get_u32 c in
+        Refreshed { table; checked; stale; refreshed; dropped });
+  ]
 
-let decode_response payload =
-  let c = { data = payload; pos = 0 } in
-  check_version c;
-  let r =
-    match get_u8 c with
-    | 1 -> Ok_reply (get_str c)
-    | 2 ->
-      let table = get_str c in
-      let rows = get_u32 c in
-      let statements = get_u32 c in
-      Loaded { table; rows; statements }
-    | 3 ->
-      let flags = get_flags c in
-      let violations = get_u32 c in
-      Detections { flags; violations }
-    | 4 ->
-      let csv = get_str c in
-      let violations = get_u32 c in
-      Rectified { csv; violations }
-    | 5 ->
-      let columns = get_list get_str c in
-      let csv = get_str c in
-      let rows = get_u32 c in
-      let violations = get_u32 c in
-      let guardrail_ms = get_f64 c in
-      let inference_ms = get_f64 c in
-      Sql_result { columns; csv; rows; violations; guardrail_ms; inference_ms }
-    | 6 -> Table_list (get_list get_table_info c)
-    | 7 ->
-      let uptime_s = get_f64 c in
-      let connections = get_u32 c in
-      let served = get_u32 c in
-      let commands = get_list get_command_stat c in
-      let rendered = get_str c in
-      Stats_reply { uptime_s; connections; served; commands; rendered }
-    | 8 -> Shutting_down
-    | 9 -> Error_reply (get_str c)
-    | 10 -> Busy_reply
-    | t -> error "unknown response tag %d" t
-  in
-  finish c r
+let () = check_distinct_tags "response" response_codecs
+let encode_response r = encode_with "response" response_codecs r
+let decode_response payload = decode_with "response" response_codecs payload
 
 (* ------------------------------------------------------------------ *)
 (* Framing over a socket *)

@@ -43,6 +43,17 @@ type request =
       (** [enable = true] starts collecting spans for every subsequent
           request; [enable = false] stops and answers with the Chrome
           trace JSON in an [Ok_reply] *)
+  | Append of { table : string; csv : string }
+      (** append CSV rows (same header) to the registered frame on its
+          own lineage: synthesis state is maintained incrementally and
+          the drift monitor re-checks the table's constraints *)
+  | Update of { table : string; cells : (int * string * string) list }
+      (** in-place cell edits [(row, column name, raw value)]; values
+          are parsed with the CSV type sniffer *)
+  | Refresh of { table : string }
+      (** re-run the HAVING fill (Alg. 1) for exactly the statements
+          whose GIVEN set the drift monitor flagged stale, and rebase
+          the drift baselines *)
 
 type table_info = {
   name : string;
@@ -89,6 +100,52 @@ type response =
           connection stays usable; retry later. Appended in protocol
           version 1 (new tag, no existing encoding changed): clients
           that keep at most one request in flight never receive it. *)
+  | Ingested of { table : string; rows : int; total_rows : int; epoch : int }
+      (** answer to [Append]/[Update]: rows added by this request (0
+          for updates), the table's new row count and frame epoch *)
+  | Refreshed of {
+      table : string;
+      checked : int;          (** statements examined *)
+      stale : string list;    (** drift keys that were flagged stale *)
+      refreshed : int;        (** statements re-filled *)
+      dropped : int;          (** statements no longer fillable *)
+    }
+
+(** Smart constructors — the one sanctioned way to build requests.
+    Construction, encoding and decoding all hang off a single codec
+    table inside the implementation, so a tag cannot drift from its
+    decoder; wire layouts of existing tags are frozen by byte-golden
+    tests. *)
+module Request : sig
+  val ping : unit -> request
+
+  val load :
+    table:string ->
+    csv:string ->
+    ?program:string ->
+    ?model_label:string ->
+    unit ->
+    request
+
+  val guard : table:string -> program:string -> request
+  val detect : table:string -> ?csv:string -> unit -> request
+
+  val rectify :
+    table:string ->
+    strategy:Guardrail.Validator.strategy ->
+    ?csv:string ->
+    unit ->
+    request
+
+  val sql : query:string -> ?guard_table:string -> unit -> request
+  val tables : unit -> request
+  val stats : unit -> request
+  val shutdown : unit -> request
+  val trace : enable:bool -> request
+  val append : table:string -> csv:string -> request
+  val update : table:string -> cells:(int * string * string) list -> request
+  val refresh : table:string -> request
+end
 
 (** Metrics key of a request (e.g. ["DETECT"]). *)
 val request_command : request -> string

@@ -29,6 +29,8 @@ type entry = {
   frame : Frame.t;
   program : program option;
   model : (string * Mlmodel.Ensemble.t) option;  (* label, ensemble *)
+  ingest : Ingest.t option;
+      (* streaming statistics + drift monitor; Some iff program is *)
 }
 
 type shard = { mutex : Mutex.t; tables : (string, entry) Hashtbl.t }
@@ -59,6 +61,13 @@ let compile_program frame text =
   let bytecode = Guardrail.Validator.bytecode compiled frame in
   { text; prog; compiled; bytecode }
 
+(* Drift/ingest baselines ride along whenever a program is installed:
+   the freshly loaded (or re-guarded) table is the "trusted" state the
+   monitor compares future ingests against. *)
+let ingest_of frame = function
+  | None -> None
+  | Some p -> Some (Ingest.create p.compiled frame)
+
 let load t ~name ?program ?model_label frame =
   let program = Option.map (compile_program frame) program in
   let model =
@@ -69,7 +78,7 @@ let load t ~name ?program ?model_label frame =
         (label, Mlmodel.Ensemble.train frame ~label))
       model_label
   in
-  let entry = { frame; program; model } in
+  let entry = { frame; program; model; ingest = ingest_of frame program } in
   let shard = shard_of t name in
   with_lock shard (fun () -> Hashtbl.replace shard.tables name entry);
   entry
@@ -82,10 +91,118 @@ let set_program t ~name text =
   match find t name with
   | None -> raise Not_found
   | Some entry ->
-    let entry = { entry with program = Some (compile_program entry.frame text) } in
+    let program = Some (compile_program entry.frame text) in
+    let entry =
+      { entry with program; ingest = ingest_of entry.frame program }
+    in
     let shard = shard_of t name in
     with_lock shard (fun () -> Hashtbl.replace shard.tables name entry);
     entry
+
+(* ------------------------------------------------------------------ *)
+(* Streaming ingest
+
+   Appends/updates are read-modify-write: unlike load/set_program
+   (last-write-wins replacements), losing a concurrent ingest would
+   drop rows. The whole step therefore runs under the shard mutex —
+   ingests serialize per shard — while CSV parsing stays with the
+   caller, outside the lock. The frame evolves on its own lineage
+   ([Frame.extend]/[Frame.update_cells]), so the VM bytecode cache and
+   the group caches advance over the delta instead of rebuilding. *)
+
+let locked_rmw t ~name f =
+  let shard = shard_of t name in
+  with_lock shard (fun () ->
+      match Hashtbl.find_opt shard.tables name with
+      | None -> raise Not_found
+      | Some entry ->
+        let entry, out = f entry in
+        Hashtbl.replace shard.tables name entry;
+        (entry, out))
+
+let reframe entry frame =
+  let program =
+    Option.map
+      (fun p -> { p with bytecode = Guardrail.Validator.bytecode p.compiled frame })
+      entry.program
+  in
+  let ingest =
+    match (entry.ingest, program) with
+    | Some i, Some p -> Some (Ingest.advance i p.compiled frame)
+    | _, _ -> None
+  in
+  { entry with frame; program; ingest }
+
+let append_rows t ~name rows =
+  fst
+    (locked_rmw t ~name (fun entry ->
+         (reframe entry (Frame.extend entry.frame rows), ())))
+
+let update_cells t ~name cells =
+  fst
+    (locked_rmw t ~name (fun entry ->
+         (reframe entry (Frame.update_cells entry.frame cells), ())))
+
+type refresh_report = {
+  checked : int;
+  stale : string list;
+  refreshed : int;
+  dropped : int;
+}
+
+(* Re-run the HAVING fill (Alg. 1) for exactly the statements the
+   drift monitor flagged, splice the refills into the program, and
+   rebaseline. Statements that no longer admit an ε-valid branch are
+   dropped — the constraint no longer holds on the drifted data. *)
+let refresh ?epsilon t ~name =
+  let epsilon =
+    match epsilon with
+    | Some e -> e
+    | None -> Guardrail.Config.default.Guardrail.Config.epsilon
+  in
+  locked_rmw t ~name (fun entry ->
+      match (entry.program, entry.ingest) with
+      | None, _ | _, None ->
+        failwith (Printf.sprintf "table %S has no program to refresh" name)
+      | Some p, Some ingest ->
+        let prog = p.prog in
+        let checked = List.length prog.Guardrail.Dsl.stmts in
+        let stale_set = Ingest.stale_stmts ingest in
+        let stale = Ingest.stale_keys ingest in
+        if stale_set = [] then
+          (entry, { checked; stale = []; refreshed = 0; dropped = 0 })
+        else begin
+          let groups = Ingest.groups ingest in
+          let refreshed = ref 0 and dropped = ref 0 in
+          let stmts =
+            List.filter_map
+              (fun (i, (s : Guardrail.Dsl.stmt)) ->
+                if not (List.mem i stale_set) then Some s
+                else
+                  let sketch =
+                    Guardrail.Sketch.stmt_sketch ~given:s.given ~on:s.on
+                  in
+                  match
+                    Guardrail.Fill.fill_stmt_sketch ~groups entry.frame
+                      ~epsilon sketch
+                  with
+                  | Some filled ->
+                    incr refreshed;
+                    Some filled.Guardrail.Fill.stmt
+                  | None ->
+                    incr dropped;
+                    None)
+              (List.mapi (fun i s -> (i, s)) prog.Guardrail.Dsl.stmts)
+          in
+          let prog = { prog with Guardrail.Dsl.stmts } in
+          let text = Guardrail.Pretty.prog_to_string prog in
+          let compiled = Guardrail.Validator.compile prog in
+          let bytecode = Guardrail.Validator.bytecode compiled entry.frame in
+          let program = Some { text; prog; compiled; bytecode } in
+          let ingest = Some (Ingest.create ~groups compiled entry.frame) in
+          ( { entry with program; ingest },
+            { checked; stale; refreshed = !refreshed; dropped = !dropped } )
+        end)
 
 let remove t name =
   let shard = shard_of t name in

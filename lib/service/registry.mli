@@ -25,6 +25,10 @@ type entry = {
   frame : Dataframe.Frame.t;
   program : program option;
   model : (string * Mlmodel.Ensemble.t) option;  (** label, ensemble *)
+  ingest : Ingest.t option;
+      (** streaming statistics + drift monitor, present iff [program]
+          is: baselined at load/guard/refresh, advanced on every
+          append/update *)
 }
 
 type t
@@ -55,6 +59,40 @@ val set_program : t -> name:string -> string -> entry
 val find : t -> string -> entry option
 val remove : t -> string -> unit
 val count : t -> int
+
+(** {2 Streaming ingest}
+
+    Unlike {!load}/{!set_program} (last-write-wins replacements),
+    ingest operations are read-modify-write and run under the shard
+    mutex — concurrent ingests of one table serialize, none is lost.
+    The frame evolves on its own lineage ([Frame.extend] /
+    [Frame.update_cells]), so VM bytecode and group caches advance
+    over the delta instead of rebuilding, and the entry's ingest
+    statistics are maintained incrementally. All raise [Not_found] on
+    an unknown table. *)
+
+(** Append rows (same column names) to a registered table. Raises
+    [Invalid_argument] on a schema mismatch. *)
+val append_rows : t -> name:string -> Dataframe.Frame.t -> entry
+
+(** Apply in-place cell edits [(row, col, value)] to a registered
+    table. Downstream statistics recompute (cell edits are not an
+    append delta), but drift baselines are kept. *)
+val update_cells : t -> name:string -> (int * int * Dataframe.Value.t) list -> entry
+
+type refresh_report = {
+  checked : int;          (** statements examined *)
+  stale : string list;    (** drift keys flagged before the refresh *)
+  refreshed : int;        (** statements re-filled by Alg. 1 *)
+  dropped : int;          (** statements with no ε-valid branch left *)
+}
+
+(** Re-run the HAVING fill for exactly the statements whose GIVEN set
+    the drift monitor flagged stale, splice the results into the
+    program (recompiling once), and rebaseline the monitor. [epsilon]
+    defaults to [Guardrail.Config.default.epsilon]. Raises [Failure]
+    if the table has no program. *)
+val refresh : ?epsilon:float -> t -> name:string -> entry * refresh_report
 
 (** Entries sorted by table name. *)
 val list : t -> (string * entry) list

@@ -313,6 +313,58 @@ let dispatch t (req : Protocol.request) : Protocol.response =
     (match Atomic.exchange t.trace None with
      | None -> failwith "tracing not active"
      | Some c -> Protocol.Ok_reply (Obs.Trace.to_chrome_json c))
+  | Protocol.Append { table; csv } ->
+    (* parse outside the registry's shard lock; the RMW inside
+       append_rows serializes concurrent ingests of the table *)
+    let rows = Dataframe.Csv.of_string csv in
+    let entry =
+      try Registry.append_rows t.registry ~name:table rows
+      with Not_found -> failwith (Printf.sprintf "unknown table %S" table)
+    in
+    Protocol.Ingested
+      {
+        table;
+        rows = Frame.nrows rows;
+        total_rows = Frame.nrows entry.Registry.frame;
+        epoch = Frame.Snapshot.epoch entry.Registry.frame;
+      }
+  | Protocol.Update { table; cells } ->
+    let entry0 =
+      match Registry.find t.registry table with
+      | Some e -> e
+      | None -> failwith (Printf.sprintf "unknown table %S" table)
+    in
+    let schema = Frame.schema entry0.Registry.frame in
+    let cells =
+      List.map
+        (fun (row, column, value) ->
+          (row, Dataframe.Schema.index schema column, Dataframe.Value.of_raw value))
+        cells
+    in
+    let entry =
+      try Registry.update_cells t.registry ~name:table cells
+      with Not_found -> failwith (Printf.sprintf "unknown table %S" table)
+    in
+    Protocol.Ingested
+      {
+        table;
+        rows = 0;
+        total_rows = Frame.nrows entry.Registry.frame;
+        epoch = Frame.Snapshot.epoch entry.Registry.frame;
+      }
+  | Protocol.Refresh { table } ->
+    let _entry, report =
+      try Registry.refresh t.registry ~name:table
+      with Not_found -> failwith (Printf.sprintf "unknown table %S" table)
+    in
+    Protocol.Refreshed
+      {
+        table;
+        checked = report.Registry.checked;
+        stale = report.Registry.stale;
+        refreshed = report.Registry.refreshed;
+        dropped = report.Registry.dropped;
+      }
 
 (* Every per-request failure becomes an error reply, never a dead
    worker. *)

@@ -34,6 +34,29 @@ let two_way ~kx ~ky xs ys =
   done;
   { counts; kx; ky; total = n }
 
+(* Incremental sufficient statistics: extend a two-way table over the
+   first [base] rows with rows [base, n) of append-extended code
+   arrays, growing to cardinalities [kx]/[ky] (dictionary encoding is
+   append-only, so existing codes keep their cells). Bit-identical to
+   recounting with [two_way ~kx ~ky xs ys] while touching only the
+   delta rows. *)
+let extend t ~kx ~ky xs ys ~base =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Contingency.extend: length mismatch";
+  if base <> t.total then invalid_arg "Contingency.extend: base <> total";
+  if n < base then invalid_arg "Contingency.extend: fewer rows than the base";
+  if kx < t.kx || ky < t.ky then
+    invalid_arg "Contingency.extend: cardinalities shrank";
+  let counts = Array.make_matrix kx ky 0 in
+  for x = 0 to t.kx - 1 do
+    Array.blit t.counts.(x) 0 counts.(x) 0 t.ky
+  done;
+  for i = base to n - 1 do
+    let x = xs.(i) and y = ys.(i) in
+    counts.(x).(y) <- counts.(x).(y) + 1
+  done;
+  { counts; kx; ky; total = n }
+
 (* Mixed-radix stratum identifier for a conditioning set: the group-by
    kernel's encoder with the historical [max_strata] product-cap
    semantics ([None] when exceeded, so tests can declare themselves

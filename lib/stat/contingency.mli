@@ -10,6 +10,16 @@ val col_marginals : table -> int array
     [Invalid_argument] on length mismatch. *)
 val two_way : kx:int -> ky:int -> int array -> int array -> table
 
+(** [extend t ~kx ~ky xs ys ~base] adds rows [base, length xs) of
+    append-extended code arrays to [t], growing it to cardinalities
+    [kx]/[ky] (dictionary encoding is append-only, so existing codes
+    keep their cells). Bit-identical to recounting the full arrays
+    with {!two_way} while touching only the delta rows. Raises
+    [Invalid_argument] when [base <> t.total], the arrays are shorter
+    than [base], or the cardinalities shrank. *)
+val extend :
+  table -> kx:int -> ky:int -> int array -> int array -> base:int -> table
+
 (** Per-row stratum ids of a conditioning set (mixed radix), or [None] when
     the stratum count would exceed [max_strata]. A thin wrapper over
     {!Dataframe.Group.strata}. *)

@@ -1,7 +1,11 @@
-(** Bytecode cache: frame-identity-keyed lowered programs plus the
-    frame's group cache, so each (program, table) pair compiles once
-    and decision-table partitions are shared. Thread-safe; counts
-    [vm.cache.hits]/[vm.cache.misses] in [Obs.Metric.default]. *)
+(** Bytecode cache: lowered programs plus the frame's group cache,
+    keyed by [Frame.Snapshot.key] (lineage id, epoch) — never physical
+    identity — so each (program, snapshot) pair compiles once and
+    decision-table partitions are shared. A key miss against a later
+    epoch of a cached lineage advances the group cache over the append
+    delta and reuses the dict-compatible lowering. Thread-safe; counts
+    [vm.cache.hits]/[vm.cache.misses]/[vm.cache.advanced] in
+    [Obs.Metric.default]. *)
 
 type t
 
@@ -9,8 +13,9 @@ type t
     the number of retained frames (oldest dropped first). *)
 val create : ?cap:int -> ?max_entries:int -> Ruleset.t array -> t
 
-(** Bytecode and group cache for this frame: cached on physical
-    identity, re-lowered (or dict-compatibly reused) on miss. *)
+(** Bytecode and group cache for this frame: cached on
+    [Frame.Snapshot.key], advanced along the lineage on an epoch
+    miss, re-lowered (or dict-compatibly reused) otherwise. *)
 val get : t -> Dataframe.Frame.t -> Program.t * Dataframe.Group.Cache.t
 
 val length : t -> int

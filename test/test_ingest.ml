@@ -1,0 +1,370 @@
+(* Differential tests for the streaming-ingest stack: versioned frame
+   snapshots and deltas, incremental group / contingency maintenance
+   checked bit-for-bit against batch recomputation (qcheck), N appends
+   followed by synthesis giving the identical program to a batch build
+   at every job count, and drift precision — corrupting one ON column
+   flips exactly that statement's GIVEN set stale, nothing else. *)
+
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+module Schema = Dataframe.Schema
+module Group = Dataframe.Group
+module Column = Dataframe.Column
+module Csv = Dataframe.Csv
+module Contingency = Stat.Contingency
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / Delta invariants *)
+
+let base_csv = "a,b\nx,1\ny,2\nx,1\n"
+let delta_csv = "a,b\nz,3\ny,2\n"
+
+let test_snapshot_identity () =
+  let base = Csv.of_string base_csv in
+  let other = Csv.of_string base_csv in
+  Alcotest.(check int) "fresh frame starts at epoch 0" 0
+    (Frame.Snapshot.epoch base);
+  Alcotest.(check bool) "distinct builds are distinct lineages" false
+    (Frame.Snapshot.id base = Frame.Snapshot.id other);
+  (* every derived frame mints a fresh id: epoch-keyed caches must
+     never confuse it with its source *)
+  let derived =
+    [ ("take", Frame.take base [| 0; 1 |]);
+      ("filter", Frame.filter base (fun _ i -> i < 2));
+      ("project", Frame.project base [ "a" ]);
+      ("append", Frame.append base (Csv.of_string delta_csv));
+      ("set", Frame.set base 0 0 (Value.string "q"));
+      ("set_cells", Frame.set_cells base [ (0, 0, Value.string "q") ]) ]
+  in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mints a fresh id" name)
+        false
+        (Frame.Snapshot.id f = Frame.Snapshot.id base))
+    derived
+
+let test_extend_delta () =
+  let base = Csv.of_string base_csv in
+  let grown = Frame.extend base (Csv.of_string delta_csv) in
+  Alcotest.(check int) "extend keeps the lineage id" (Frame.Snapshot.id base)
+    (Frame.Snapshot.id grown);
+  Alcotest.(check int) "extend bumps the epoch" 1 (Frame.Snapshot.epoch grown);
+  Alcotest.(check bool) "same_lineage" true
+    (Frame.Snapshot.same_lineage base grown);
+  Alcotest.(check bool) "own epoch is Unchanged" true
+    (Frame.Delta.since grown ~epoch:1 = Frame.Delta.Unchanged);
+  (match Frame.Delta.since grown ~epoch:0 with
+   | Frame.Delta.Rows_appended { base_rows } ->
+     Alcotest.(check int) "delta knows the base rows" 3 base_rows
+   | d -> Alcotest.failf "expected Rows_appended, got %a" Frame.Delta.pp d);
+  (* a second extend chains: epoch 0 still answers with the original
+     base row count *)
+  let grown2 = Frame.extend grown (Csv.of_string delta_csv) in
+  (match Frame.Delta.since grown2 ~epoch:0 with
+   | Frame.Delta.Rows_appended { base_rows } ->
+     Alcotest.(check int) "two-step delta from epoch 0" 3 base_rows
+   | d -> Alcotest.failf "expected Rows_appended, got %a" Frame.Delta.pp d);
+  Alcotest.(check int) "rows accumulated" 7 (Frame.nrows grown2)
+
+let test_update_cells_rebuilds () =
+  let base = Csv.of_string base_csv in
+  let grown = Frame.extend base (Csv.of_string delta_csv) in
+  let edited = Frame.update_cells grown [ (0, 0, Value.string "z") ] in
+  Alcotest.(check int) "update keeps the lineage id" (Frame.Snapshot.id base)
+    (Frame.Snapshot.id edited);
+  Alcotest.(check int) "update bumps the epoch" 2 (Frame.Snapshot.epoch edited);
+  Alcotest.(check bool) "pre-update epochs answer Rebuilt" true
+    (Frame.Delta.since edited ~epoch:0 = Frame.Delta.Rebuilt
+     && Frame.Delta.since edited ~epoch:1 = Frame.Delta.Rebuilt);
+  Alcotest.(check bool) "own epoch stays Unchanged" true
+    (Frame.Delta.since edited ~epoch:2 = Frame.Delta.Unchanged);
+  (* appends after the update are append-only again *)
+  let regrown = Frame.extend edited (Csv.of_string delta_csv) in
+  (match Frame.Delta.since regrown ~epoch:2 with
+   | Frame.Delta.Rows_appended { base_rows } ->
+     Alcotest.(check int) "post-update append delta" 5 base_rows
+   | d -> Alcotest.failf "expected Rows_appended, got %a" Frame.Delta.pp d)
+
+let test_epoch_window_bounded () =
+  (* the delta log keeps a bounded window: far-enough-back epochs must
+     degrade to Rebuilt, never answer wrong *)
+  let f = ref (Csv.of_string base_csv) in
+  for _ = 1 to 80 do
+    f := Frame.extend !f (Csv.of_string delta_csv)
+  done;
+  Alcotest.(check bool) "ancient epoch answers Rebuilt" true
+    (Frame.Delta.since !f ~epoch:0 = Frame.Delta.Rebuilt);
+  (match Frame.Delta.since !f ~epoch:79 with
+   | Frame.Delta.Rows_appended { base_rows } ->
+     Alcotest.(check int) "recent epoch still answers" (3 + (79 * 2)) base_rows
+   | d -> Alcotest.failf "expected Rows_appended, got %a" Frame.Delta.pp d)
+
+(* extend is bit-identical to batch-building the concatenated table:
+   same codes, same dictionary order, same rendered CSV *)
+let test_extend_bit_identical_to_batch () =
+  let base = Csv.of_string base_csv in
+  let grown = Frame.extend base (Csv.of_string delta_csv) in
+  let batch = Csv.of_string (base_csv ^ "z,3\ny,2\n") in
+  Alcotest.(check string) "rendered CSV identical" (Csv.to_string batch)
+    (Csv.to_string grown);
+  Alcotest.(check bool) "code matrix identical" true
+    (Frame.code_matrix batch = Frame.code_matrix grown);
+  Alcotest.(check bool) "cardinalities identical" true
+    (Frame.cardinalities batch = Frame.cardinalities grown)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental group / contingency maintenance (qcheck differential) *)
+
+(* base and delta rows over two small-cardinality code columns *)
+let qcheck_split_codes =
+  QCheck.(
+    pair
+      (list_of_size Gen.(1 -- 30) (pair (int_bound 3) (int_bound 4)))
+      (list_of_size Gen.(0 -- 30) (pair (int_bound 3) (int_bound 4))))
+
+let columns_of_pairs rows =
+  let c0 = Array.of_list (List.map fst rows) in
+  let c1 = Array.of_list (List.map snd rows) in
+  (List.length rows, [ c0; c1 ])
+
+let qcheck_group_extend_agrees =
+  QCheck.Test.make
+    ~name:"Group.extend over a delta equals Group.make over the whole"
+    ~count:300 qcheck_split_codes (fun (base, delta) ->
+      let n, codes = columns_of_pairs (base @ delta) in
+      let nb, _ = columns_of_pairs base in
+      let cards = [ 4; 5 ] in
+      List.for_all
+        (fun cap ->
+          let whole = Group.make ~cap codes cards n in
+          let base_g =
+            Group.make ~cap (List.map (fun c -> Array.sub c 0 nb) codes) cards
+              nb
+          in
+          let extended = Group.extend base_g codes n in
+          Group.ids whole = Group.ids extended
+          && Group.counts whole = Group.counts extended
+          && Group.offsets whole = Group.offsets extended
+          && Group.row_index whole = Group.row_index extended)
+        (* both the mixed-radix and the hashed grouping paths *)
+        [ Group.default_cap; 1 ])
+
+let qcheck_contingency_extend_agrees =
+  QCheck.Test.make
+    ~name:"Contingency.extend over a delta equals two_way over the whole"
+    ~count:300 qcheck_split_codes (fun (base, delta) ->
+      let n, codes = columns_of_pairs (base @ delta) in
+      let nb, _ = columns_of_pairs base in
+      let xs, ys =
+        match codes with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let kx = 4 and ky = 5 in
+      let whole = Contingency.two_way ~kx ~ky xs ys in
+      let base_t =
+        Contingency.two_way ~kx ~ky (Array.sub xs 0 nb) (Array.sub ys 0 nb)
+      in
+      let extended = Contingency.extend base_t ~kx ~ky xs ys ~base:nb in
+      ignore n;
+      whole = extended)
+
+let test_group_cache_advance () =
+  let base = Csv.of_string "a,b,c\nx,1,p\ny,2,q\nx,1,p\ny,1,q\n" in
+  let cache = Group.Cache.of_frame base in
+  Alcotest.(check (option (pair int int))) "cache carries the snapshot key"
+    (Some (Frame.Snapshot.key base))
+    (Group.Cache.frame_key cache);
+  let g_base = Group.Cache.get cache [ 0; 1 ] in
+  let grown = Frame.extend base (Csv.of_string "a,b,c\nz,3,p\nx,2,q\n") in
+  (* small delta: the cache advances by extending every cached entry *)
+  let advanced = Group.Cache.advance cache grown in
+  Alcotest.(check (option (pair int int))) "advanced cache re-keys"
+    (Some (Frame.Snapshot.key grown))
+    (Group.Cache.frame_key advanced);
+  let g_inc = Group.Cache.get advanced [ 0; 1 ] in
+  let g_scratch = Group.Cache.get (Group.Cache.of_frame grown) [ 0; 1 ] in
+  Alcotest.(check bool) "advanced ids equal scratch rebuild" true
+    (Group.ids g_inc = Group.ids g_scratch);
+  Alcotest.(check bool) "base prefix of ids unchanged" true
+    (Array.sub (Group.ids g_inc) 0 (Frame.nrows base) = Group.ids g_base);
+  (* unchanged frame: advance is the identity *)
+  Alcotest.(check bool) "same snapshot, same cache" true
+    (Group.Cache.advance advanced grown == advanced);
+  (* a huge delta trips the rebuild threshold instead of extending *)
+  let big =
+    Frame.extend base
+      (Csv.of_string
+         ("a,b,c\n" ^ String.concat "" (List.init 40 (fun _ -> "w,9,r\n"))))
+  in
+  let rebuilt = Group.Cache.advance cache big in
+  let g_big = Group.Cache.get rebuilt [ 0; 1 ] in
+  let g_big_scratch = Group.Cache.get (Group.Cache.of_frame big) [ 0; 1 ] in
+  Alcotest.(check bool) "rebuild path still agrees" true
+    (Group.ids g_big = Group.ids g_big_scratch)
+
+(* ------------------------------------------------------------------ *)
+(* Append-then-synthesize differential: streaming a table in as
+   appends must give the bit-identical program to a batch build, at
+   every job count (incremental state must not leak into synthesis) *)
+
+let test_append_synthesize_identical () =
+  let spec = Datagen.Spec.by_id 6 in
+  let _built, full = Datagen.Generate.dataset spec in
+  let n = Frame.nrows full in
+  let cut1 = n / 2 and cut2 = (3 * n) / 4 in
+  let slice lo hi = Frame.take full (Array.init (hi - lo) (fun i -> lo + i)) in
+  let streamed =
+    Frame.extend (Frame.extend (slice 0 cut1) (slice cut1 cut2))
+      (slice cut2 n)
+  in
+  Alcotest.(check int) "streamed rows" n (Frame.nrows streamed);
+  Alcotest.(check int) "two appends, epoch 2" 2 (Frame.Snapshot.epoch streamed);
+  let program frame jobs =
+    let config = Guardrail.Config.with_jobs jobs Guardrail.Config.default in
+    let r = Guardrail.Synthesize.run ~config frame in
+    (Guardrail.Pretty.prog_to_string r.Guardrail.Synthesize.program,
+     r.Guardrail.Synthesize.coverage)
+  in
+  let batch_text, batch_cov = program full 1 in
+  List.iter
+    (fun jobs ->
+      let text, cov = program streamed jobs in
+      Alcotest.(check string)
+        (Printf.sprintf "program identical to batch at jobs %d" jobs)
+        batch_text text;
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "coverage identical at jobs %d" jobs)
+        batch_cov cov)
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Drift precision: two independent constraints; corrupting one ON
+   column flips exactly that statement stale *)
+
+let drift_csv rows =
+  "a,b,c,d\n"
+  ^ String.concat ""
+      (List.init rows (fun i ->
+           if i mod 2 = 0 then "a0,b0,c0,d0\n" else "a1,b1,c1,d1\n"))
+
+let drift_program =
+  "GIVEN a ON b HAVING\n\
+  \  IF a = \"a0\" THEN b <- \"b0\";\n\
+  \  IF a = \"a1\" THEN b <- \"b1\";\n\
+   GIVEN c ON d HAVING\n\
+  \  IF c = \"c0\" THEN d <- \"d0\";\n\
+  \  IF c = \"c1\" THEN d <- \"d1\";\n"
+
+let test_drift_flags_only_affected () =
+  let base = Csv.of_string (drift_csv 200) in
+  let prog = Guardrail.Parse.prog (Frame.schema base) drift_program in
+  let compiled = Guardrail.Validator.compile prog in
+  let ingest = Service.Ingest.create compiled base in
+  Alcotest.(check (list int)) "baseline is fresh" []
+    (Service.Ingest.stale_stmts ingest);
+  (* clean delta: rates hold, nothing flips *)
+  let clean = Frame.extend base (Csv.of_string (drift_csv 40)) in
+  let ingest = Service.Ingest.advance ingest compiled clean in
+  Alcotest.(check (list int)) "clean appends stay fresh" []
+    (Service.Ingest.stale_stmts ingest);
+  (* corrupt ONLY d: every delta row pairs c0 with d1 and c1 with d0,
+     violating statement 1; a->b stays perfect *)
+  let corrupt_rows = 60 in
+  let corrupt_csv =
+    "a,b,c,d\n"
+    ^ String.concat ""
+        (List.init corrupt_rows (fun i ->
+             if i mod 2 = 0 then "a0,b0,c0,d1\n" else "a1,b1,c1,d0\n"))
+  in
+  let dirty = Frame.extend clean (Csv.of_string corrupt_csv) in
+  let ingest = Service.Ingest.advance ingest compiled dirty in
+  Alcotest.(check (list int)) "only the corrupted GIVEN set flips" [ 1 ]
+    (Service.Ingest.stale_stmts ingest);
+  let keys = Service.Ingest.stale_keys ingest in
+  Alcotest.(check bool) "stale keys name GIVEN c ON d" true
+    (keys <> []
+     && List.for_all
+          (fun k ->
+            let tail = "GIVEN c ON d" in
+            let lt = String.length tail and lk = String.length k in
+            lk >= lt && String.sub k (lk - lt) lt = tail)
+          keys);
+  Alcotest.(check bool) "violation rate of stmt 1 rose" true
+    (Service.Ingest.violation_rate ingest 1 > 0.0);
+  Alcotest.(check (float 1e-9)) "violation rate of stmt 0 still zero" 0.0
+    (Service.Ingest.violation_rate ingest 0)
+
+(* the registry REFRESH re-fills exactly the flagged statement and
+   rebaselines the monitor *)
+let test_refresh_refills_stale () =
+  let base = Csv.of_string (drift_csv 200) in
+  let reg = Service.Registry.create () in
+  let (_ : Service.Registry.entry) =
+    Service.Registry.load reg ~name:"t" ~program:drift_program base
+  in
+  (* no drift yet: refresh is a no-op *)
+  let _entry, report = Service.Registry.refresh reg ~name:"t" in
+  Alcotest.(check int) "nothing stale, nothing refreshed" 0
+    report.Service.Registry.refreshed;
+  Alcotest.(check int) "both statements checked" 2
+    report.Service.Registry.checked;
+  (* drive statement 1 stale through the ingest path *)
+  let corrupt_csv =
+    "a,b,c,d\n"
+    ^ String.concat ""
+        (List.init 60 (fun i ->
+             if i mod 2 = 0 then "a0,b0,c0,d1\n" else "a1,b1,c1,d0\n"))
+  in
+  let (_ : Service.Registry.entry) =
+    Service.Registry.append_rows reg ~name:"t" (Csv.of_string corrupt_csv)
+  in
+  let entry, report = Service.Registry.refresh reg ~name:"t" in
+  Alcotest.(check bool) "stale keys reported" true
+    (report.Service.Registry.stale <> []);
+  Alcotest.(check int) "one statement re-filled or dropped" 1
+    (report.Service.Registry.refreshed + report.Service.Registry.dropped);
+  (* the monitor is rebaselined: an immediate second refresh is clean *)
+  let _entry2, report2 = Service.Registry.refresh reg ~name:"t" in
+  Alcotest.(check (list string)) "rebaselined" []
+    report2.Service.Registry.stale;
+  (* the entry still carries a compiled program over the grown frame *)
+  (match entry.Service.Registry.program with
+   | None -> Alcotest.fail "program dropped by refresh"
+   | Some p ->
+     Alcotest.(check bool) "program text regenerated" true
+       (String.length p.Service.Registry.text > 0))
+
+let () =
+  Alcotest.run "ingest"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "identity" `Quick test_snapshot_identity;
+          Alcotest.test_case "extend delta" `Quick test_extend_delta;
+          Alcotest.test_case "update rebuilds" `Quick
+            test_update_cells_rebuilds;
+          Alcotest.test_case "epoch window bounded" `Quick
+            test_epoch_window_bounded;
+          Alcotest.test_case "extend = batch" `Quick
+            test_extend_bit_identical_to_batch;
+        ] );
+      ( "incremental",
+        [
+          QCheck_alcotest.to_alcotest qcheck_group_extend_agrees;
+          QCheck_alcotest.to_alcotest qcheck_contingency_extend_agrees;
+          Alcotest.test_case "group cache advance" `Quick
+            test_group_cache_advance;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "appends = batch at jobs 1/2/4" `Slow
+            test_append_synthesize_identical;
+        ] );
+      ( "drift",
+        [
+          Alcotest.test_case "flags only affected" `Quick
+            test_drift_flags_only_affected;
+          Alcotest.test_case "refresh re-fills stale" `Quick
+            test_refresh_refills_stale;
+        ] );
+    ]

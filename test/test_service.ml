@@ -39,6 +39,11 @@ let sample_requests : P.request list =
     P.Shutdown;
     P.Trace { enable = true };
     P.Trace { enable = false };
+    P.Append { table = "t"; csv = "a,b\n3,4\n" };
+    P.Append { table = ""; csv = "" };
+    P.Update { table = "t"; cells = [ (0, "a", "9"); (2, "b", "x") ] };
+    P.Update { table = "t"; cells = [] };
+    P.Refresh { table = "t" };
   ]
 
 let sample_responses : P.response list =
@@ -71,6 +76,12 @@ let sample_responses : P.response list =
     P.Shutting_down;
     P.Error_reply "boom";
     P.Busy_reply;
+    P.Ingested { table = "t"; rows = 4; total_rows = 104; epoch = 2 };
+    P.Refreshed
+      { table = "t"; checked = 3; stale = [ "viol:GIVEN a ON b" ];
+        refreshed = 1; dropped = 0 };
+    P.Refreshed { table = "t"; checked = 0; stale = []; refreshed = 0;
+                  dropped = 0 };
   ]
 
 let test_request_roundtrip () =
@@ -132,6 +143,97 @@ let test_bad_version_and_tag () =
     (expect_protocol_error (fun () -> P.decode_request "\x01\xff"));
   Alcotest.(check bool) "unknown response tag rejected" true
     (expect_protocol_error (fun () -> P.decode_response "\x01\xff"))
+
+(* Byte-for-byte goldens for every wire tag that predates the codec
+   table: the hex strings were captured from the encoder BEFORE the
+   encode/decode paths were folded into one table, so these prove the
+   refactor changed no bytes. New tags (APPEND/UPDATE/REFRESH,
+   INGESTED/REFRESHED) are covered by round-trips + truncation, not
+   goldens — they never had a previous shape to preserve. *)
+
+let hex_of_string s =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.of_seq (String.to_seq s) |> List.map Char.code))
+
+let string_of_hex h =
+  String.init
+    (String.length h / 2)
+    (fun i -> Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+
+let request_goldens : (string * P.request) list =
+  [
+    ("0101", P.Ping);
+    ( "0102000000017400000008612c620a312c320a0100000007474956454e206100",
+      P.Load
+        { table = "t"; csv = "a,b\n1,2\n"; program = Some "GIVEN a";
+          model_label = None } );
+    ( "010300000001740000000c474956454e2061204f4e2062",
+      P.Guard { table = "t"; program = "GIVEN a ON b" } );
+    ("010400000001740100000004610a310a",
+     P.Detect { table = "t"; csv = Some "a\n1\n" });
+    ("010500000001740200",
+     P.Rectify { table = "t"; strategy = Validator.Coerce; csv = None });
+    ( "01060000000f53454c454354202a2046524f4d2074010000000174",
+      P.Sql { query = "SELECT * FROM t"; guard_table = Some "t" } );
+    ("0107", P.Tables);
+    ("0108", P.Stats);
+    ("0109", P.Shutdown);
+    ("010a01", P.Trace { enable = true });
+  ]
+
+let response_goldens : (string * P.response) list =
+  [
+    ("0101000000026f6b", P.Ok_reply "ok");
+    ("010200000001740000000300000002",
+     P.Loaded { table = "t"; rows = 3; statements = 2 });
+    ( "01030000000301000100000002",
+      P.Detections { flags = [| true; false; true |]; violations = 2 } );
+    ("010400000004610a310a00000001",
+     P.Rectified { csv = "a\n1\n"; violations = 1 });
+    ( "0105000000020000000161000000016200000008612c620a312c320a00000001000000\
+       003ff80000000000003fd0000000000000",
+      P.Sql_result
+        { columns = [ "a"; "b" ]; csv = "a,b\n1,2\n"; rows = 1; violations = 0;
+          guardrail_ms = 1.5; inference_ms = 0.25 } );
+    ( "010600000001000000017400000002000000030100",
+      P.Table_list
+        [ { P.name = "t"; rows = 2; columns = 3; has_program = true;
+            has_model = false } ] );
+    ( "010740000000000000000000000100000004000000010000000450494e470000000400\
+       0000003fe00000000000003ff00000000000000000000172",
+      P.Stats_reply
+        { uptime_s = 2.0; connections = 1; served = 4;
+          commands =
+            [ { P.command = "PING"; count = 4; errors = 0; mean_ms = 0.5;
+                max_ms = 1.0 } ];
+          rendered = "r" } );
+    ("0108", P.Shutting_down);
+    ("010900000004626f6f6d", P.Error_reply "boom");
+    ("010a", P.Busy_reply);
+  ]
+
+let test_request_golden_bytes () =
+  List.iter
+    (fun (hex, r) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s encodes to its pre-refactor bytes"
+           (P.request_command r))
+        hex
+        (hex_of_string (P.encode_request r));
+      Alcotest.(check bool)
+        (Printf.sprintf "%s decodes from its pre-refactor bytes"
+           (P.request_command r))
+        true
+        (P.decode_request (string_of_hex hex) = r))
+    request_goldens
+
+let test_response_golden_bytes () =
+  List.iter
+    (fun (hex, r) ->
+      Alcotest.(check string) "response encodes to its pre-refactor bytes" hex
+        (hex_of_string (P.encode_response r));
+      Alcotest.(check bool) "response decodes from its pre-refactor bytes" true
+        (P.decode_response (string_of_hex hex) = r))
+    response_goldens
 
 let test_frame_roundtrip () =
   let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -779,6 +881,61 @@ let test_split_frames_byte_by_byte () =
   Service.Server.stop server;
   Domain.join runner
 
+(* Streaming ingest over the wire: APPEND grows the table (epoch bumps,
+   DETECT serves the new rows immediately), UPDATE edits cells in
+   place, REFRESH reports the drift monitor's verdict, and an unknown
+   table comes back as an error reply, not a dead connection. *)
+let test_loopback_ingest () =
+  let registry = Service.Registry.create () in
+  let server, addr, runner = start_server registry in
+  Service.Client.with_connection addr (fun c ->
+      (match
+         Service.Client.call_exn c
+           (P.Request.load ~table:"people" ~csv:people_csv
+              ~program:people_program ())
+       with
+       | P.Loaded { rows; _ } -> Alcotest.(check int) "loaded rows" 3 rows
+       | _ -> Alcotest.fail "expected Loaded");
+      (match
+         Service.Client.call_exn c
+           (P.Request.append ~table:"people"
+              ~csv:"name,dept,grade\ndan,eng,senior\neve,ops,junior\n")
+       with
+       | P.Ingested { table; rows; total_rows; epoch } ->
+         Alcotest.(check string) "appended table" "people" table;
+         Alcotest.(check int) "delta rows" 2 rows;
+         Alcotest.(check int) "total rows" 5 total_rows;
+         Alcotest.(check int) "epoch bumped" 1 epoch
+       | _ -> Alcotest.fail "expected Ingested");
+      (match Service.Client.call_exn c (P.Request.detect ~table:"people" ()) with
+       | P.Detections { flags; _ } ->
+         Alcotest.(check int) "detect sees the appended rows" 5
+           (Array.length flags)
+       | _ -> Alcotest.fail "expected Detections");
+      (match
+         Service.Client.call_exn c
+           (P.Request.update ~table:"people" ~cells:[ (1, "grade", "senior") ])
+       with
+       | P.Ingested { rows; total_rows; epoch; _ } ->
+         Alcotest.(check int) "update appends nothing" 0 rows;
+         Alcotest.(check int) "row count unchanged" 5 total_rows;
+         Alcotest.(check int) "epoch bumped again" 2 epoch
+       | _ -> Alcotest.fail "expected Ingested");
+      (match Service.Client.call_exn c (P.Request.refresh ~table:"people") with
+       | P.Refreshed { table; checked; _ } ->
+         Alcotest.(check string) "refreshed table" "people" table;
+         Alcotest.(check int) "statements checked" 1 checked
+       | _ -> Alcotest.fail "expected Refreshed");
+      (match
+         Service.Client.call c (P.Request.append ~table:"ghost" ~csv:"a\n1\n")
+       with
+       | P.Error_reply msg ->
+         Alcotest.(check bool) "unknown table named in error" true
+           (contains ~needle:"ghost" msg)
+       | _ -> Alcotest.fail "expected Error_reply"));
+  Service.Server.stop server;
+  Domain.join runner
+
 (* N pipelined requests on one connection: replies arrive in request
    order even though a pool of 4 may finish them out of order. Each
    DETECT names a distinct missing table, so each Error_reply embeds
@@ -797,7 +954,7 @@ let test_pipeline_replies_in_order () =
       List.iteri
         (fun i resp ->
           match resp with
-          | P.Error_reply msg ->
+          | Service.Client.Reply (P.Error_reply msg) ->
             Alcotest.(check bool)
               (Printf.sprintf "reply %d answers request %d" i i)
               true
@@ -832,20 +989,21 @@ let test_busy_reply_on_saturation () =
   let oks, busys =
     List.fold_left
       (fun (oks, busys) -> function
-        | P.Ok_reply "pong" -> (oks + 1, busys)
-        | P.Busy_reply -> (oks, busys + 1)
+        | Service.Client.Reply (P.Ok_reply "pong") -> (oks + 1, busys)
+        | Service.Client.Busy -> (oks, busys + 1)
         | _ -> Alcotest.fail "unexpected reply under saturation")
       (0, 0) resps
   in
   Alcotest.(check int) "admitted = max_inflight" 2 oks;
   Alcotest.(check int) "overflow shed" (n - 2) busys;
-  (* the shed replies hold their positions: heads admitted, tail busy *)
+  (* the shed outcomes hold their positions: heads admitted, tail busy *)
   (match resps with
-   | P.Ok_reply _ :: P.Ok_reply _ :: rest ->
+   | Service.Client.Reply (P.Ok_reply _) :: Service.Client.Reply (P.Ok_reply _)
+     :: rest ->
      List.iter
        (function
-         | P.Busy_reply -> ()
-         | _ -> Alcotest.fail "expected Busy_reply after the admitted head")
+         | Service.Client.Busy -> ()
+         | _ -> Alcotest.fail "expected Busy after the admitted head")
        rest
    | _ -> Alcotest.fail "admitted replies must come first");
   (* the connection is still usable after being shed *)
@@ -875,6 +1033,10 @@ let () =
           Alcotest.test_case "trailing bytes rejected" `Quick
             test_trailing_bytes_rejected;
           Alcotest.test_case "bad version/tag" `Quick test_bad_version_and_tag;
+          Alcotest.test_case "request golden bytes" `Quick
+            test_request_golden_bytes;
+          Alcotest.test_case "response golden bytes" `Quick
+            test_response_golden_bytes;
           Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
           Alcotest.test_case "oversized frame" `Quick test_oversized_frame_rejected;
           Alcotest.test_case "truncated frame" `Quick test_truncated_frame_rejected;
@@ -916,6 +1078,7 @@ let () =
           Alcotest.test_case "shutdown drains" `Quick test_loopback_shutdown_drains;
           Alcotest.test_case "unix socket" `Quick test_unix_domain_socket;
           Alcotest.test_case "trace lifecycle" `Quick test_loopback_trace;
+          Alcotest.test_case "streaming ingest" `Quick test_loopback_ingest;
           Alcotest.test_case "config validation" `Quick test_config_validation;
           Alcotest.test_case "split frames" `Quick test_split_frames_byte_by_byte;
           Alcotest.test_case "pipelined in order" `Quick
