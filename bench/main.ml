@@ -56,6 +56,7 @@ let flag_serve_rows : int option ref = ref None
 let flag_serve_batch : int option ref = ref None
 let flag_groupby_reps : int option ref = ref None
 let flag_synth_reps : int option ref = ref None
+let flag_numeric_bins : int option ref = ref None
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -91,6 +92,7 @@ let serve_rows () = knob_int flag_serve_rows "SERVE_ROWS" 100
 let serve_batch () = knob_int flag_serve_batch "SERVE_BATCH" 8
 let groupby_reps () = knob_int flag_groupby_reps "GROUPBY_REPS" 10
 let synth_reps () = knob_int flag_synth_reps "SYNTH_REPS" 3
+let numeric_bins () = knob_int flag_numeric_bins "NUMERIC_BINS" 8
 
 (* the gate profile: what [bench record] / [bench compare] run with no
    flags, locally and in CI alike *)
@@ -1383,9 +1385,10 @@ let validate_bench ?(sizes_default = [ 10_000; 100_000; 1_000_000 ]) () =
         Dataframe.Column.of_values countries ]
   in
   let prog =
-    let eq attr v = { Guardrail.Dsl.attr; value = Value.String v } in
+    let eq attr v = Guardrail.Dsl.eq attr (Value.String v) in
     let b condition assignment =
-      Guardrail.Dsl.branch ~condition ~assignment:(Value.String assignment)
+      Guardrail.Dsl.branch ~condition
+        ~assignment:(Guardrail.Dsl.Eq (Value.String assignment))
     in
     let zip_city =
       Guardrail.Dsl.stmt ~given:[ 0 ] ~on:1
@@ -1510,6 +1513,129 @@ let validate_bench ?(sizes_default = [ 10_000; 100_000; 1_000_000 ]) () =
   close_out oc;
   Printf.printf "validator timings written to BENCH_validate.json\n%!";
   List.rev !metrics
+
+(* ------------------------------------------------------------------ *)
+(* Numeric/typed-domain suite: range constraints over the mixed
+   categorical/numeric dataset. Two halves:
+
+   - range validation at 50k rows against a ground-truth range program
+     (one BETWEEN/Le/Ge branch per category), row interpreter vs the
+     VM's RANGE ops over the raw float image. The gated speedup (bound
+     1.0) is the point of the range bytecode path: falling under 1.0
+     means the VM lost to the interpreter on its own workload;
+   - end-to-end synthesis on a smaller replica, gating the
+     deterministic outputs — a BETWEEN assignment covering a planted
+     clean range must be emitted, and coverage must hold. Zero
+     measurement noise on either, so any drift is a real change.
+
+   The learned-bin count is a knob (--numeric-bins / NUMERIC_BINS) and
+   lands in the gate fingerprint like every other workload shaper. *)
+
+let numeric_bench () =
+  header "Numeric domains: range validation + BETWEEN synthesis";
+  let bins = numeric_bins () in
+  let n_validate = 50_000 and n_synth = 1_500 in
+  (* many categories on the validation half: the interpreter scans the
+     branch list per row while the VM dispatches on the key codes, so
+     this is the workload the range bytecode exists for (and, past
+     max_range_rules, it exercises the probe-table path) *)
+  let n_validate_categories = 24 and n_synth_categories = 4 in
+  let frame, truth =
+    Datagen.Numeric.mixed ~n_rows:n_validate ~n_categories:n_validate_categories
+      ~seed:11 ()
+  in
+  let frame = Frame.learn_domains ~bins frame in
+  let schema = Frame.schema frame in
+  let prog =
+    (* the ground-truth program: each category's planted clean range as
+       a BETWEEN assignment *)
+    let branches =
+      List.init n_validate_categories (fun j ->
+          let lo, hi = truth.Datagen.Numeric.ranges.(j) in
+          Guardrail.Dsl.branch
+            ~condition:
+              [ Guardrail.Dsl.eq 0 (Value.String (Printf.sprintf "c%d" j)) ]
+            ~assignment:(Guardrail.Dsl.Between { lo; hi }))
+    in
+    Guardrail.Dsl.prog ~schema
+      [ Guardrail.Dsl.stmt ~given:[ 0 ] ~on:1 ~branches ]
+  in
+  let compiled = Validator.compile prog in
+  let flags_rows = Validator.detect_rows compiled frame in
+  let flags_vm = Validator.detect compiled frame in
+  if flags_rows <> flags_vm then begin
+    Printf.eprintf "range VM/row-interpreter divergence at %d rows\n" n_validate;
+    exit 1
+  end;
+  let n_viol =
+    Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 flags_vm
+  in
+  if n_viol <> Datagen.Numeric.violation_count truth then begin
+    Printf.eprintf "range detection missed planted violations (%d vs %d)\n"
+      n_viol (Datagen.Numeric.violation_count truth);
+    exit 1
+  end;
+  let time reps f = (Perf.Measure.run ~warmup:1 ~reps f).Perf.Measure.min_s in
+  let rows_s = time 5 (fun () -> Validator.detect_rows compiled frame) in
+  let vm_s = time 5 (fun () -> Validator.detect compiled frame) in
+  let speedup = if vm_s > 0.0 then rows_s /. vm_s else Float.infinity in
+  Printf.printf "  %-9s %9s %11s %11s %8s\n" "rows" "viol" "rows(ms)"
+    "vm(ms)" "speedup";
+  Printf.printf "  %-9d %9d %11.2f %11.2f %7.1fx\n%!" n_validate n_viol
+    (rows_s *. 1e3) (vm_s *. 1e3) speedup;
+  (* synthesis half: deterministic outputs on the small replica *)
+  let sframe, struth =
+    Datagen.Numeric.mixed ~n_rows:n_synth ~n_categories:n_synth_categories
+      ~seed:3 ()
+  in
+  let r =
+    Synthesize.run ~config:(Guardrail.Config.make ~jobs:!jobs ~bins ()) sframe
+  in
+  let covering =
+    List.exists
+      (fun (s : Guardrail.Dsl.stmt) ->
+        s.Guardrail.Dsl.on = 1
+        && List.exists
+             (fun (br : Guardrail.Dsl.branch) ->
+               match br.Guardrail.Dsl.assignment with
+               | Guardrail.Dsl.Between { lo; hi } ->
+                 Array.exists
+                   (fun (rlo, rhi) -> lo <= rlo && rhi <= hi)
+                   struth.Datagen.Numeric.ranges
+               | _ -> false)
+             s.Guardrail.Dsl.branches)
+      r.Synthesize.program.Guardrail.Dsl.stmts
+  in
+  Printf.printf "  synth: coverage=%.3f between_covering=%b\n%!"
+    r.Synthesize.coverage covering;
+  let num v = Obs.Json.Num v in
+  let oc = open_out "BENCH_numeric.json" in
+  output_string oc
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [ ("n_rows", num (float_of_int n_validate));
+            ("bins", num (float_of_int bins));
+            ("violating_rows", num (float_of_int n_viol));
+            ("range_detect_rows_s", num rows_s);
+            ("range_detect_vm_s", num vm_s);
+            ("range_detect_speedup", num speedup);
+            ("synth_coverage", num r.Synthesize.coverage);
+            ("between_covering", num (if covering then 1.0 else 0.0)) ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "numeric timings written to BENCH_numeric.json\n%!";
+  let metric = Perf.Result.metric ~suite:"numeric"
+      ~workload:(Printf.sprintf "rows=%d" n_validate) in
+  [ metric ~name:"range_detect_rows_s" ~value:rows_s ~unit_:"s" ();
+    metric ~name:"range_detect_vm_s" ~value:vm_s ~unit_:"s" ();
+    metric ~name:"range_detect_speedup" ~value:speedup ~unit_:"x"
+      ~direction:Perf.Result.Higher_better ~gated:true ~tolerance:0.85
+      ~bound:1.0 ();
+    metric ~name:"synth_coverage" ~value:r.Synthesize.coverage ~unit_:"cov"
+      ~direction:Perf.Result.Higher_better ~gated:true ~tolerance:0.01 ();
+    metric ~name:"between_covering" ~value:(if covering then 1.0 else 0.0)
+      ~unit_:"n" ~direction:Perf.Result.Higher_better ~gated:true
+      ~tolerance:0.0 ~bound:1.0 () ]
 
 (* ------------------------------------------------------------------ *)
 (* Gated synthesis suite: a deterministic slice of table4 sized for
@@ -1700,7 +1826,7 @@ let ingest_bench () =
 (* ------------------------------------------------------------------ *)
 (* The regression harness: record / compare / report.
 
-   The five gated suites run under one workload fingerprint; a run is
+   The six gated suites run under one workload fingerprint; a run is
    one line of bench/history.jsonl whose last line is the blessed
    baseline CI gates against. *)
 
@@ -1709,7 +1835,8 @@ let all_suites =
     ("groupby", (fun () -> groupby_bench ()));
     ("validate", (fun () -> validate_bench ~sizes_default:gate_validate_sizes ()));
     ("serve", (fun () -> serve_bench ~seconds_default:gate_serve_seconds ()));
-    ("ingest", (fun () -> ingest_bench ())) ]
+    ("ingest", (fun () -> ingest_bench ()));
+    ("numeric", (fun () -> numeric_bench ())) ]
 
 let flag_suites : string list option ref = ref None
 
@@ -1741,6 +1868,7 @@ let gate_knobs suites =
     ("serve_batch", string_of_int (serve_batch ()));
     ("groupby_reps", string_of_int (groupby_reps ()));
     ("synth_reps", string_of_int (synth_reps ()));
+    ("numeric_bins", string_of_int (numeric_bins ()));
     ( "synth_datasets",
       String.concat "," (List.map string_of_int gate_synth_datasets) ) ]
 
@@ -1903,6 +2031,7 @@ let experiments =
     ("validate", fun () -> ignore (validate_bench ()));
     ("synth", fun () -> ignore (synth_suite ()));
     ("ingest", fun () -> ignore (ingest_bench ()));
+    ("numeric", fun () -> ignore (numeric_bench ()));
   ]
 
 (* string-option flags of the harness front-end *)
@@ -1927,7 +2056,8 @@ let usage () =
     \  --serve-rows N           rows in the served table (SERVE_ROWS, 100)\n\
     \  --serve-batch N          pipelined requests per batch (SERVE_BATCH, 8)\n\
     \  --groupby-reps N         min-of-N reps, groupby (GROUPBY_REPS, 10)\n\
-    \  --synth-reps N           min-of-N reps, synth (SYNTH_REPS, 3)";
+    \  --synth-reps N           min-of-N reps, synth (SYNTH_REPS, 3)\n\
+    \  --numeric-bins N         learned bins, numeric suite (NUMERIC_BINS, 8)";
   exit 2
 
 let () =
@@ -1962,6 +2092,7 @@ let () =
       ("--serve-batch", set_int flag_serve_batch "--serve-batch");
       ("--groupby-reps", set_int flag_groupby_reps "--groupby-reps");
       ("--synth-reps", set_int flag_synth_reps "--synth-reps");
+      ("--numeric-bins", set_int flag_numeric_bins "--numeric-bins");
       ( "--suites",
         fun v ->
           flag_suites :=

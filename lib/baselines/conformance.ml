@@ -33,7 +33,7 @@ let learn ?(k = 1.5) ?(min_rows = 20) frame =
   for column = Frame.ncols frame - 1 downto 0 do
     match Dataframe.Schema.kind (Frame.schema frame) column with
     | Dataframe.Schema.Categorical -> ()
-    | Dataframe.Schema.Numeric ->
+    | Dataframe.Schema.Ordinal | Dataframe.Schema.Numeric ->
       let values =
         Array.of_list
           (List.filter_map

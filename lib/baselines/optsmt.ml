@@ -119,13 +119,13 @@ let solve ?(max_lhs = 2) ?(budget_s = 5.0) ?(epsilon = 0.0) frame =
                       let rep = List.hd rows in
                       let condition =
                         List.map
-                          (fun attr ->
-                            { Dsl.attr; value = Frame.get frame rep attr })
+                          (fun attr -> Dsl.eq attr (Frame.get frame rep attr))
                           given
                       in
                       branches :=
                         Dsl.branch ~condition
-                          ~assignment:(Dataframe.Column.value_of_code on_col lit)
+                          ~assignment:
+                            (Dsl.Eq (Dataframe.Column.value_of_code on_col lit))
                         :: !branches
                     | _ -> ())
                   groups;

@@ -24,9 +24,11 @@ let circular_shift ?(max_shifts = 7) ?(max_samples = 60_000) frame cols =
   let n = Frame.nrows frame in
   if n < 2 then invalid_arg "Auxdist.circular_shift: need at least 2 rows";
   let m = List.length cols in
+  (* attribute codes: two rows "agree" on a binned column when they fall
+     in the same bin, which is what makes binned marginals informative
+     to the CI oracle *)
   let code_arrays =
-    Array.of_list
-      (List.map (fun c -> Dataframe.Column.codes (Frame.column frame c)) cols)
+    Array.of_list (List.map (fun c -> Frame.attr_codes frame c) cols)
   in
   let shifts = min max_shifts (n - 1) in
   let per_shift = n in
@@ -60,13 +62,9 @@ let circular_shift ?(max_shifts = 7) ?(max_samples = 60_000) frame cols =
 let identity frame cols =
   let columns =
     Array.of_list
-      (List.map
-         (fun c -> Array.copy (Dataframe.Column.codes (Frame.column frame c)))
-         cols)
+      (List.map (fun c -> Array.copy (Frame.attr_codes frame c)) cols)
   in
-  let cards =
-    List.map (fun c -> Dataframe.Column.cardinality (Frame.column frame c)) cols
-  in
+  let cards = List.map (fun c -> Frame.attr_card frame c) cols in
   { columns; cards; n_samples = Frame.nrows frame; design_scale = 1.0 }
 
 (* CI oracle over sampled columns for the PC algorithm: is variable i

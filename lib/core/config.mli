@@ -23,6 +23,12 @@ type t = {
   structure : structure;  (** sketch-learning strategy *)
   max_strata : int;       (** CI-test stratum cap (identity sampler suffers here) *)
   jobs : int;             (** worker domains for the parallel pipeline *)
+  bins : int;             (** learned bins per numeric column *)
+  binning : Dataframe.Domain.method_;  (** how bin edges are learned *)
+  bin_merge_alpha : float;
+      (** ChiMerge level for the supervised bin-merge pass; 0 disables it *)
+  range_width : int;      (** max adjacent bins one HAVING range may span *)
+  drift : float;          (** out-of-range APPEND fraction forcing re-learn *)
 }
 
 (** Uniform constructor: every field defaults to the evaluation's
@@ -42,6 +48,11 @@ val make :
   ?structure:structure ->
   ?max_strata:int ->
   ?jobs:int ->
+  ?bins:int ->
+  ?binning:Dataframe.Domain.method_ ->
+  ?bin_merge_alpha:float ->
+  ?range_width:int ->
+  ?drift:float ->
   unit ->
   t
 
@@ -65,5 +76,10 @@ val with_sampler : sampler -> t -> t
 val with_structure : structure -> t -> t
 val with_max_strata : int -> t -> t
 val with_jobs : int -> t -> t
+val with_bins : int -> t -> t
+val with_binning : Dataframe.Domain.method_ -> t -> t
+val with_bin_merge_alpha : float -> t -> t
+val with_range_width : int -> t -> t
+val with_drift : float -> t -> t
 
 val pp : Format.formatter -> t -> unit

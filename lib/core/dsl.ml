@@ -1,30 +1,40 @@
-(* Abstract syntax of the GUARDRAIL DSL (paper Fig. 2).
+(* Abstract syntax of the GUARDRAIL DSL (paper Fig. 2, extended with range
+   atoms over binned numeric/ordinal attributes).
 
      p ∈ Prog      := s*
      s ∈ Stmt      := GIVEN a+ ON a HAVING b+
-     b ∈ Branch    := IF c THEN a <- l
-     c ∈ Condition := a = l | c AND c
+     b ∈ Branch    := IF c THEN a <- l | IF c THEN a in R
+     c ∈ Condition := a = l | a in R | c AND c
      l ∈ Literal   := String ∪ Number ∪ Boolean
+     R ∈ Range     := BETWEEN lo AND hi | <= b | >= b
 
    Attributes are referenced by column index; a program therefore carries
    the schema it was synthesized against so it can be re-bound by name when
    applied to another frame (Validator.rebind). Conditions are kept in the
-   normalized conjunctive form the synthesis produces: one equality per
+   normalized conjunctive form the synthesis produces: one atom per
    determinant attribute, sorted by attribute index.
 
-   Inside a branch [IF c THEN a <- l], the condition ranges over the
-   statement's GIVEN attributes and [a] is the statement's ON attribute, so
-   the branch list of a statement is a decision table keyed by determinant
-   values. *)
+   Inside a branch [IF c THEN a <- l] (or its range form), the condition
+   ranges over the statement's GIVEN attributes and [a] is the statement's
+   ON attribute, so the branch list of a statement is a decision table
+   keyed by determinant tests. *)
 
 type literal = Dataframe.Value.t
 
-type equality = { attr : int; value : literal }
+(* Re-exported from [Dataframe.Domain] so [Dsl.Eq]/[Dsl.Between]/... are in
+   scope; the VM shares the same type without depending on this library. *)
+type test = Dataframe.Domain.atom =
+  | Eq of literal
+  | Between of { lo : float; hi : float }  (* inclusive *)
+  | Le of float
+  | Ge of float
 
-(* Conjunction of equalities, sorted by [attr], no duplicate attributes. *)
-type condition = equality list
+type atom = { attr : int; test : test }
 
-type branch = { condition : condition; assignment : literal }
+(* Conjunction of atoms, sorted by [attr], no duplicate attributes. *)
+type condition = atom list
+
+type branch = { condition : condition; assignment : test }
 
 type stmt = {
   given : int list;  (* determinant attributes, sorted *)
@@ -33,6 +43,9 @@ type stmt = {
 }
 
 type prog = { schema : Dataframe.Schema.t; stmts : stmt list }
+
+let eq attr value = { attr; test = Eq value }
+let atom attr test = { attr; test }
 
 let normalize_condition c =
   let sorted = List.sort (fun a b -> Int.compare a.attr b.attr) c in
@@ -55,8 +68,8 @@ let stmt ~given ~on ~branches =
   List.iter
     (fun b ->
       List.iter
-        (fun eq ->
-          if not (List.mem eq.attr given) then
+        (fun a ->
+          if not (List.mem a.attr given) then
             invalid_arg "Dsl.stmt: branch conditions must range over GIVEN")
         b.condition)
     branches;
@@ -75,12 +88,13 @@ let constrained_attributes p =
   List.sort_uniq Int.compare (List.map (fun s -> s.on) p.stmts)
 
 let equal_literal = Dataframe.Value.equal
+let equal_test = Dataframe.Domain.equal_atom
 
 let equal_branch a b =
-  equal_literal a.assignment b.assignment
+  equal_test a.assignment b.assignment
   && List.length a.condition = List.length b.condition
   && List.for_all2
-       (fun x y -> x.attr = y.attr && equal_literal x.value y.value)
+       (fun x y -> x.attr = y.attr && equal_test x.test y.test)
        a.condition b.condition
 
 let equal_stmt a b =

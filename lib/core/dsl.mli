@@ -1,14 +1,22 @@
-(** Abstract syntax of the GUARDRAIL DSL (paper Fig. 2). Attributes are
+(** Abstract syntax of the GUARDRAIL DSL (paper Fig. 2, extended with
+    range atoms over binned numeric/ordinal attributes). Attributes are
     column indices into the carried schema. *)
 
 type literal = Dataframe.Value.t
 
-type equality = { attr : int; value : literal }
+(** Value-level test, shared with the VM via {!Dataframe.Domain.atom}. *)
+type test = Dataframe.Domain.atom =
+  | Eq of literal
+  | Between of { lo : float; hi : float }  (** inclusive *)
+  | Le of float
+  | Ge of float
 
-(** Conjunction of equalities, sorted by attribute, one per attribute. *)
-type condition = equality list
+type atom = { attr : int; test : test }
 
-type branch = { condition : condition; assignment : literal }
+(** Conjunction of atoms, sorted by attribute, one per attribute. *)
+type condition = atom list
+
+type branch = { condition : condition; assignment : test }
 
 type stmt = {
   given : int list;  (** determinant attributes, sorted *)
@@ -18,11 +26,16 @@ type stmt = {
 
 type prog = { schema : Dataframe.Schema.t; stmts : stmt list }
 
+(** [eq attr v] is the classic equality atom [attr = v]. *)
+val eq : int -> literal -> atom
+
+val atom : int -> test -> atom
+
 (** Sorts and checks the condition; raises [Invalid_argument] on duplicate
     attributes. *)
 val normalize_condition : condition -> condition
 
-val branch : condition:condition -> assignment:literal -> branch
+val branch : condition:condition -> assignment:test -> branch
 
 (** Raises [Invalid_argument] on an empty GIVEN set, a dependent attribute
     inside GIVEN, or branch conditions outside GIVEN. *)
@@ -38,6 +51,7 @@ val branch_count : prog -> int
 val constrained_attributes : prog -> int list
 
 val equal_literal : literal -> literal -> bool
+val equal_test : test -> test -> bool
 val equal_branch : branch -> branch -> bool
 val equal_stmt : stmt -> stmt -> bool
 val equal_prog : prog -> prog -> bool

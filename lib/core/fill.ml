@@ -6,11 +6,21 @@
    can never be epsilon-valid, so enumerating the full Cartesian product
    is unnecessary. For each condition the best-fit literal is the modal
    dependent value on the matching rows (the arg-min of the 0/1 loss), and
-   the branch is kept when it is epsilon-valid. *)
+   the branch is kept when it is epsilon-valid.
+
+   Typed domains generalize both sides of a branch. Grouping runs over
+   attribute codes — bin codes on binned columns — so a condition atom on
+   a numeric determinant is the bin's range atom rather than a raw-value
+   equality. On a binned dependent the best-fit assignment is not a
+   single literal but the densest contiguous run of bins (up to
+   [range_width] of them): the branch becomes [dep BETWEEN lo AND hi]
+   over the run's outer edges, and its loss counts the rows outside the
+   run. A null-dominated group still degrades to [dep <- NULL]. *)
 
 module Frame = Dataframe.Frame
 module Value = Dataframe.Value
 module Group = Dataframe.Group
+module Domain = Dataframe.Domain
 
 type filled = {
   stmt : Dsl.stmt;
@@ -19,28 +29,48 @@ type filled = {
   support : int;      (* rows covered by kept branches *)
 }
 
+let default_range_width = 4
+
 (* Group rows by determinant combination via the shared kernel: the
    observed combinations are the group index's groups, the support sizes
    its counts, and the per-group histograms of dependent codes come off
    one [Group.histograms] pass. [groups] shares one cache across the
    sketches of a synthesis run (DAGs of one MEC largely share GIVEN
-   sets). *)
+   sets). Both paths group by attribute codes. *)
 let group_by_determinants ?groups frame given =
   match groups with
   | Some cache -> Group.Cache.get cache given
   | None ->
-    let det_codes =
-      List.map (fun c -> Dataframe.Column.codes (Frame.column frame c)) given
-    in
-    let det_cards =
-      List.map (fun c -> Dataframe.Column.cardinality (Frame.column frame c)) given
-    in
+    let det_codes = List.map (fun c -> Frame.attr_codes frame c) given in
+    let det_cards = List.map (fun c -> Frame.attr_card frame c) given in
     Group.make det_codes det_cards (Frame.nrows frame)
+
+(* Densest run of at most [width] adjacent bins in [hist.(0..nbins-1)]:
+   (lo, hi, mass), maximizing mass, ties to the narrower then leftmost
+   window — so the result is deterministic and as tight as possible. *)
+let best_window hist nbins width =
+  let best_lo = ref 0 and best_hi = ref (-1) and best_mass = ref (-1) in
+  for lo = 0 to nbins - 1 do
+    let mass = ref 0 in
+    for hi = lo to min (nbins - 1) (lo + width - 1) do
+      mass := !mass + hist.(hi);
+      let better =
+        !mass > !best_mass
+        || (!mass = !best_mass && hi - lo < !best_hi - !best_lo)
+      in
+      if better then begin
+        best_lo := lo;
+        best_hi := hi;
+        best_mass := !mass
+      end
+    done
+  done;
+  (!best_lo, !best_hi, !best_mass)
 
 (* FillStmtSketch (Alg. 1, lines 7-20). Returns [None] when no branch
    survives the epsilon-validity check (line 20: ⊥). *)
-let fill_stmt_sketch ?(min_support = 1) ?groups frame ~epsilon
-    (sk : Sketch.stmt_sketch) =
+let fill_stmt_sketch ?(min_support = 1) ?(range_width = default_range_width)
+    ?groups frame ~epsilon (sk : Sketch.stmt_sketch) =
   Obs.Span.with_ "fill.sketch"
     ~attrs:(fun () ->
       [
@@ -52,20 +82,38 @@ let fill_stmt_sketch ?(min_support = 1) ?groups frame ~epsilon
   if n = 0 then None
   else begin
     let g = group_by_determinants ?groups frame sk.Sketch.given in
-    let on_col = Frame.column frame sk.Sketch.on in
-    let on_codes = Dataframe.Column.codes on_col in
-    let on_card = Dataframe.Column.cardinality on_col in
+    let given_codes =
+      List.map (fun c -> (c, Frame.attr_codes frame c)) sk.Sketch.given
+    in
+    let on = sk.Sketch.on in
+    let on_codes = Frame.attr_codes frame on in
+    let on_card = Frame.attr_card frame on in
+    let on_binning = Frame.binning frame on in
     let hists = Group.histograms g on_codes ~card:on_card in
+    (* Best assignment and its loss for one group histogram. *)
+    let best_assignment (hist : int array) support =
+      match on_binning with
+      | None ->
+        let best = ref 0 in
+        Array.iteri (fun c k -> if k > hist.(!best) then best := c) hist;
+        let assignment =
+          Domain.Eq (Dataframe.Column.value_of_code (Frame.column frame on) !best)
+        in
+        (assignment, support - hist.(!best))
+      | Some b ->
+        let nbins = Domain.n_bins b in
+        (* code [nbins] is the null bin *)
+        let lo, hi, mass = best_window hist nbins range_width in
+        if hist.(nbins) > mass || hi < lo then
+          (Domain.Eq Value.Null, support - hist.(nbins))
+        else (Domain.window_atom b ~lo ~hi, support - mass)
+    in
     let branches = ref [] in
     let total_loss = ref 0 in
     let total_support = ref 0 in
     for gid = Group.n_groups g - 1 downto 0 do
       let support = Group.size g gid in
-      let hist = hists.(gid) in
-      (* l* = arg-min loss = modal dependent code (Alg. 1 line 14) *)
-      let best = ref 0 in
-      Array.iteri (fun c k -> if k > hist.(!best) then best := c) hist;
-      let loss = support - hist.(!best) in
+      let assignment, loss = best_assignment hists.(gid) support in
       (* epsilon-validity (line 15) plus a support floor to keep
          singleton conditions from vacuously passing *)
       if
@@ -75,11 +123,10 @@ let fill_stmt_sketch ?(min_support = 1) ?groups frame ~epsilon
         let rep_row = Group.first_row g gid in
         let condition =
           List.map
-            (fun attr ->
-              { Dsl.attr; value = Frame.get frame rep_row attr })
-            sk.Sketch.given
+            (fun (attr, codes) ->
+              Dsl.atom attr (Frame.attr_atom frame attr codes.(rep_row)))
+            given_codes
         in
-        let assignment = Dataframe.Column.value_of_code on_col !best in
         branches := Dsl.branch ~condition ~assignment :: !branches;
         total_loss := !total_loss + loss;
         total_support := !total_support + support
@@ -107,7 +154,7 @@ let group_cache frame = Group.Cache.of_frame frame
    independent of one another, so with a pool they fan out across
    domains; [parmap] preserves sketch order, keeping the result
    identical at every pool size. *)
-let fill_prog_sketch ?min_support ?pool ?groups frame ~epsilon
+let fill_prog_sketch ?min_support ?range_width ?pool ?groups frame ~epsilon
     (p : Sketch.prog_sketch) =
   let groups =
     match groups with Some c -> c | None -> group_cache frame
@@ -115,7 +162,7 @@ let fill_prog_sketch ?min_support ?pool ?groups frame ~epsilon
   let filled =
     List.filter_map Fun.id
       (Runtime.Pool.parmap ?pool ~chunk:1
-         (fill_stmt_sketch ?min_support ~groups frame ~epsilon)
+         (fill_stmt_sketch ?min_support ?range_width ~groups frame ~epsilon)
          p)
   in
   let stmts = List.map (fun f -> f.stmt) filled in

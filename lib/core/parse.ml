@@ -3,12 +3,16 @@
      prog   := stmt*
      stmt   := GIVEN ident ("," ident)* ON ident HAVING branches [";"]
      branches := branch (";" branch)*
-     branch := IF cond THEN ident "<-" literal
-     cond   := eq (AND eq)*
-     eq     := ident "=" literal
+     branch := IF cond THEN ident ("<-" literal | range)
+     cond   := atom (AND atom)*
+     atom   := ident ("=" literal | range)
+     range  := BETWEEN bound AND bound | "<=" bound | ">=" bound
      literal := string | number | true | false | NULL
+     bound  := number | inf | -inf
 
-   Attribute names are resolved against a schema at parse time. *)
+   BETWEEN binds its AND greedily, so [x BETWEEN 0 AND 5 AND y = 3] is the
+   two-atom conjunction. Attribute names are resolved against a schema at
+   parse time. *)
 
 module Value = Dataframe.Value
 module Schema = Dataframe.Schema
@@ -27,12 +31,15 @@ type token =
   | Kw_if
   | Kw_then
   | Kw_and
+  | Kw_between
   | Kw_null
   | Kw_true
   | Kw_false
   | Comma
   | Semicolon
   | Equals
+  | Le_op
+  | Ge_op
   | Arrow
   | Eof
 
@@ -43,6 +50,7 @@ let keyword_of_string = function
   | "IF" -> Some Kw_if
   | "THEN" -> Some Kw_then
   | "AND" -> Some Kw_and
+  | "BETWEEN" -> Some Kw_between
   | "NULL" -> Some Kw_null
   | "true" -> Some Kw_true
   | "false" -> Some Kw_false
@@ -67,6 +75,14 @@ let tokenize s =
     else if c = '=' then (push Equals !i; incr i)
     else if c = '<' && !i + 1 < n && s.[!i + 1] = '-' then begin
       push Arrow !i;
+      i := !i + 2
+    end
+    else if c = '<' && !i + 1 < n && s.[!i + 1] = '=' then begin
+      push Le_op !i;
+      i := !i + 2
+    end
+    else if c = '>' && !i + 1 < n && s.[!i + 1] = '=' then begin
+      push Ge_op !i;
       i := !i + 2
     end
     else if c = '"' then begin
@@ -167,23 +183,57 @@ let parse_literal st =
     Value.String s
   | _, p -> error p "expected literal"
 
-let parse_equality schema st =
+(* A numeric range bound: any number, or the identifiers float_of_string
+   accepts ("inf", "-inf", ... — [Pretty] prints open-ended windows with
+   infinite bounds). *)
+let parse_bound st =
+  match peek st with
+  | Num v, p ->
+    advance st;
+    (match Dataframe.Value.to_float v with
+     | Some f -> f
+     | None -> error p "expected numeric bound")
+  | Ident s, _ when float_of_string_opt s <> None ->
+    advance st;
+    float_of_string s
+  | _, p -> error p "expected numeric bound"
+
+(* The test after an attribute name. [eq] is the equality surface form:
+   [Equals] inside conditions, [Arrow] in assignments. *)
+let parse_test eq st =
+  match peek st with
+  | t, _ when t = eq ->
+    advance st;
+    Dsl.Eq (parse_literal st)
+  | Kw_between, _ ->
+    advance st;
+    let lo = parse_bound st in
+    expect st Kw_and "'AND'";
+    let hi = parse_bound st in
+    Dsl.Between { lo; hi }
+  | Le_op, _ ->
+    advance st;
+    Dsl.Le (parse_bound st)
+  | Ge_op, _ ->
+    advance st;
+    Dsl.Ge (parse_bound st)
+  | _, p -> error p "expected '=', '<-', 'BETWEEN', '<=' or '>='"
+
+let parse_atom schema st =
   let t, p = peek st in
   match t with
   | Ident name ->
     advance st;
-    expect st Equals "'='";
-    let value = parse_literal st in
-    { Dsl.attr = resolve schema p name; value }
+    Dsl.atom (resolve schema p name) (parse_test Equals st)
   | _ -> error p "expected attribute name"
 
 let parse_condition schema st =
-  let first = parse_equality schema st in
+  let first = parse_atom schema st in
   let rec more acc =
     match peek st with
     | Kw_and, _ ->
       advance st;
-      more (parse_equality schema st :: acc)
+      more (parse_atom schema st :: acc)
     | _ -> List.rev acc
   in
   more [ first ]
@@ -195,8 +245,7 @@ let parse_branch schema st =
   let _, p = peek st in
   let target = parse_ident st "attribute name" in
   let target_idx = resolve schema p target in
-  expect st Arrow "'<-'";
-  let assignment = parse_literal st in
+  let assignment = parse_test Arrow st in
   (target_idx, Dsl.branch ~condition ~assignment)
 
 let parse_stmt schema st =

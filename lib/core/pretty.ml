@@ -4,6 +4,9 @@
        IF city = "Berkeley" AND state = "CA" THEN country <- "USA";
        IF city = "Lyon" AND state = "ARA" THEN country <- "France";
 
+     GIVEN segment ON amount HAVING
+       IF segment = "retail" THEN amount BETWEEN 10 AND 120;
+
    The printer and Parse.prog round-trip. *)
 
 open Dsl
@@ -11,23 +14,42 @@ open Dsl
 module Value = Dataframe.Value
 module Schema = Dataframe.Schema
 
+(* Shortest float form that parses back exactly; range bounds must survive
+   a print/parse cycle bit-for-bit (predecessor-float bin edges included). *)
+let float_repr f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let pp_bound ppf f = Fmt.string ppf (float_repr f)
+
 let pp_literal ppf (v : Value.t) =
   match v with
   | Value.Null -> Fmt.string ppf "NULL"
   | Value.Bool b -> Fmt.string ppf (string_of_bool b)
   | Value.Int i -> Fmt.int ppf i
-  | Value.Float f -> Fmt.pf ppf "%.12g" f
+  | Value.Float f -> pp_bound ppf f
   | Value.String s -> Fmt.pf ppf "%S" s
 
-let pp_equality schema ppf { attr; value } =
-  Fmt.pf ppf "%s = %a" (Schema.name schema attr) pp_literal value
+(* An attribute with its test; [arrow] picks the assignment form for
+   equalities ([x <- l]) over the condition form ([x = l]). *)
+let pp_test ?(arrow = false) schema attr ppf (t : test) =
+  let name = Schema.name schema attr in
+  match t with
+  | Eq l -> Fmt.pf ppf "%s %s %a" name (if arrow then "<-" else "=") pp_literal l
+  | Between { lo; hi } ->
+    Fmt.pf ppf "%s BETWEEN %a AND %a" name pp_bound lo pp_bound hi
+  | Le b -> Fmt.pf ppf "%s <= %a" name pp_bound b
+  | Ge b -> Fmt.pf ppf "%s >= %a" name pp_bound b
+
+let pp_atom schema ppf { attr; test } = pp_test schema attr ppf test
 
 let pp_condition schema ppf (c : condition) =
-  Fmt.(list ~sep:(any " AND ") (pp_equality schema)) ppf c
+  Fmt.(list ~sep:(any " AND ") (pp_atom schema)) ppf c
 
 let pp_branch schema on ppf (b : branch) =
-  Fmt.pf ppf "IF %a THEN %s <- %a" (pp_condition schema) b.condition
-    (Schema.name schema on) pp_literal b.assignment
+  Fmt.pf ppf "IF %a THEN %a" (pp_condition schema) b.condition
+    (pp_test ~arrow:true schema on)
+    b.assignment
 
 let pp_stmt schema ppf (s : stmt) =
   Fmt.pf ppf "@[<v 2>GIVEN %a ON %s HAVING@,%a;@]"

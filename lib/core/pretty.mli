@@ -1,7 +1,16 @@
 (** Concrete syntax printer for the DSL; round-trips with {!Parse}. *)
 
 val pp_literal : Format.formatter -> Dsl.literal -> unit
-val pp_equality : Dataframe.Schema.t -> Format.formatter -> Dsl.equality -> unit
+
+(** [pp_test schema attr] prints one test over [attr]: [name = lit]
+    (or [name <- lit] with [~arrow:true], the assignment form),
+    [name BETWEEN lo AND hi], [name <= b], [name >= b]. Range bounds
+    print in the shortest form that re-parses to the same float. *)
+val pp_test :
+  ?arrow:bool ->
+  Dataframe.Schema.t -> int -> Format.formatter -> Dsl.test -> unit
+
+val pp_atom : Dataframe.Schema.t -> Format.formatter -> Dsl.atom -> unit
 val pp_condition : Dataframe.Schema.t -> Format.formatter -> Dsl.condition -> unit
 
 (** The [int] is the statement's ON attribute. *)

@@ -3,25 +3,31 @@
    and coverage (Eqn. 5-6).
 
    A program state is a row of the dataframe; [[p]]_t executes every
-   statement on t and returns the updated row. *)
+   statement on t and returns the updated row. Range atoms generalize the
+   paper's equality tests: a condition atom holds when the cell satisfies
+   its test, and executing a range assignment clamps the cell to the
+   closest in-range value ([Domain.rectify]) instead of overwriting it. *)
 
 open Dsl
 
 module Value = Dataframe.Value
 module Frame = Dataframe.Frame
+module Domain = Dataframe.Domain
 
 (* Does the row satisfy the condition? *)
 let condition_holds frame row (c : condition) =
-  List.for_all (fun { attr; value } -> Value.equal (Frame.get frame row attr) value) c
+  List.for_all
+    (fun { attr; test } -> Domain.atom_holds test (Frame.get frame row attr))
+    c
 
 let condition_holds_values values (c : condition) =
-  List.for_all (fun { attr; value } -> Value.equal values.(attr) value) c
+  List.for_all (fun { attr; test } -> Domain.atom_holds test values.(attr)) c
 
 (* [[b]]_t on a materialized row. *)
 let eval_branch values (b : branch) on =
   if condition_holds_values values b.condition then begin
     let out = Array.copy values in
-    out.(on) <- b.assignment;
+    out.(on) <- Domain.rectify b.assignment out.(on);
     out
   end
   else values
@@ -35,7 +41,7 @@ let eval_stmt values (s : stmt) =
     | b :: rest ->
       if condition_holds_values values b.condition then begin
         let out = Array.copy values in
-        out.(s.on) <- b.assignment;
+        out.(s.on) <- Domain.rectify b.assignment out.(s.on);
         out
       end
       else go rest
@@ -54,15 +60,16 @@ let branch_support frame (b : branch) =
   done;
   !acc
 
-(* L(b, D): rows matching the condition whose dependent value differs from
-   the branch assignment (Eqn. 2). Returns (loss, support). *)
+(* L(b, D): rows matching the condition whose dependent value fails the
+   branch assignment test (Eqn. 2). Returns (loss, support). *)
 let branch_loss frame (s : stmt) (b : branch) =
   let loss = ref 0 and support = ref 0 in
   let n = Frame.nrows frame in
   for i = 0 to n - 1 do
     if condition_holds frame i b.condition then begin
       incr support;
-      if not (Value.equal (Frame.get frame i s.on) b.assignment) then incr loss
+      if not (Domain.atom_holds b.assignment (Frame.get frame i s.on)) then
+        incr loss
     end
   done;
   (!loss, !support)

@@ -34,14 +34,11 @@ let of_dag ?(var_to_col = fun i -> i) dag =
 
 (* Dense composite coding of a column set: observed combinations are mapped
    to 0 .. k-1 in first-occurrence order — exactly the group-by kernel's
-   dense ids. Returns the per-row codes and k. *)
+   dense ids. Codes are attribute codes — bin codes on binned columns —
+   so numeric determinants stratify by bin, not by raw value. *)
 let composite_codes frame cols =
-  let code_arrays =
-    List.map (fun c -> Dataframe.Column.codes (Frame.column frame c)) cols
-  in
-  let cards =
-    List.map (fun c -> Dataframe.Column.cardinality (Frame.column frame c)) cols
-  in
+  let code_arrays = List.map (fun c -> Frame.attr_codes frame c) cols in
+  let cards = List.map (fun c -> Frame.attr_card frame c) cols in
   let g = Dataframe.Group.make code_arrays cards (Frame.nrows frame) in
   (Dataframe.Group.ids g, Dataframe.Group.n_groups g)
 
@@ -50,10 +47,9 @@ let composite_codes frame cols =
    chi-square test at level [alpha]. *)
 let locally_non_trivial ?(alpha = 0.01) frame (s : stmt_sketch) =
   let xs, kx = composite_codes frame s.given in
-  let on_col = Frame.column frame s.on in
   let table =
-    Stat.Contingency.two_way ~kx ~ky:(Dataframe.Column.cardinality on_col) xs
-      (Dataframe.Column.codes on_col)
+    Stat.Contingency.two_way ~kx ~ky:(Frame.attr_card frame s.on) xs
+      (Frame.attr_codes frame s.on)
   in
   let r = Stat.Independence.test_two_way ~alpha table in
   not r.Stat.Independence.independent
@@ -76,24 +72,19 @@ let gnt_violations ?(alpha = 0.01) ?(max_strata = 4096) frame (p : prog_sketch) 
             in
             if cond_cols <> [] then begin
               let xs, kx = composite_codes frame s.given in
-              let on_col = Frame.column frame s.on in
               let cond_codes =
-                List.map
-                  (fun c -> Dataframe.Column.codes (Frame.column frame c))
-                  cond_cols
+                List.map (fun c -> Frame.attr_codes frame c) cond_cols
               in
               let cond_cards =
-                List.map
-                  (fun c -> Dataframe.Column.cardinality (Frame.column frame c))
-                  cond_cols
+                List.map (fun c -> Frame.attr_card frame c) cond_cols
               in
               let spec =
                 Stat.Ci.make ~max_strata ~alpha ~kx
-                  ~ky:(Dataframe.Column.cardinality on_col) ()
+                  ~ky:(Frame.attr_card frame s.on) ()
               in
               let r =
                 Stat.Ci.test spec xs
-                  (Dataframe.Column.codes on_col) cond_codes cond_cards
+                  (Frame.attr_codes frame s.on) cond_codes cond_cards
               in
               if r.Stat.Ci.independent then
                 violations := (s, s') :: !violations

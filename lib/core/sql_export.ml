@@ -35,38 +35,69 @@ let sql_literal (v : Value.t) =
     Buffer.add_char buf '\'';
     Buffer.contents buf
 
-let equality_sql schema { attr; value } =
-  match value with
-  | Value.Null -> Printf.sprintf "%s IS NULL" (quote_ident (Schema.name schema attr))
-  | _ ->
-    Printf.sprintf "%s = %s"
-      (quote_ident (Schema.name schema attr))
-      (sql_literal value)
+let float_sql f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+(* Predicate form of a test over a column. Infinite bounds (open-ended bin
+   windows) degrade to a numeric-presence check. *)
+let test_sql schema attr (t : test) =
+  let col = quote_ident (Schema.name schema attr) in
+  match t with
+  | Eq Value.Null -> Printf.sprintf "%s IS NULL" col
+  | Eq v -> Printf.sprintf "%s = %s" col (sql_literal v)
+  | Between { lo; hi } ->
+    Printf.sprintf "%s BETWEEN %s AND %s" col (float_sql lo) (float_sql hi)
+  | Le b when b = Float.infinity -> Printf.sprintf "%s IS NOT NULL" col
+  | Le b -> Printf.sprintf "%s <= %s" col (float_sql b)
+  | Ge b when b = Float.neg_infinity -> Printf.sprintf "%s IS NOT NULL" col
+  | Ge b -> Printf.sprintf "%s >= %s" col (float_sql b)
 
 let condition_sql schema (c : condition) =
-  String.concat " AND " (List.map (equality_sql schema) c)
+  String.concat " AND " (List.map (fun { attr; test } -> test_sql schema attr test) c)
 
-(* Predicate matching rows that violate one branch. *)
+(* Predicate matching rows that violate one branch: the condition holds but
+   the dependent cell fails the assignment test (NULL always fails a
+   non-NULL expectation, so it is split out of the NOT). *)
 let branch_violation_sql schema on (b : branch) =
   let dep = quote_ident (Schema.name schema on) in
-  Printf.sprintf "(%s AND (%s IS NULL OR %s <> %s))"
-    (condition_sql schema b.condition)
-    dep dep (sql_literal b.assignment)
+  let failed =
+    match b.assignment with
+    | Eq Value.Null -> Printf.sprintf "%s IS NOT NULL" dep
+    | Eq v -> Printf.sprintf "(%s IS NULL OR %s <> %s)" dep dep (sql_literal v)
+    | Between _ | Le _ | Ge _ ->
+      Printf.sprintf "(%s IS NULL OR NOT (%s))" dep (test_sql schema on b.assignment)
+  in
+  Printf.sprintf "(%s AND %s)" (condition_sql schema b.condition) failed
 
 (* SELECT returning the rows of [table] violating the statement. *)
 let stmt_violation_query schema ~table (s : stmt) =
   Printf.sprintf "SELECT * FROM %s WHERE %s;" (quote_ident table)
     (String.concat "\n   OR " (List.map (branch_violation_sql schema s.on) s.branches))
 
-(* CASE expression computing the rectified dependent value. *)
+(* CASE expression computing the rectified dependent value: the literal
+   for equality expectations, a clamp into the range (defaulting NULL to
+   the violated end) for range expectations. *)
 let stmt_rectify_case schema (s : stmt) =
   let dep = quote_ident (Schema.name schema s.on) in
+  let rectified (t : test) =
+    match t with
+    | Eq v -> sql_literal v
+    | Between { lo; hi } when Float.is_finite lo && Float.is_finite hi ->
+      Printf.sprintf "COALESCE(LEAST(GREATEST(%s, %s), %s), %s)" dep
+        (float_sql lo) (float_sql hi) (float_sql lo)
+    | Le b when Float.is_finite b ->
+      Printf.sprintf "COALESCE(LEAST(%s, %s), %s)" dep (float_sql b) (float_sql b)
+    | Ge b when Float.is_finite b ->
+      Printf.sprintf "COALESCE(GREATEST(%s, %s), %s)" dep (float_sql b) (float_sql b)
+    | Between _ | Le _ | Ge _ -> dep
+  in
   let whens =
     List.map
       (fun (b : branch) ->
         Printf.sprintf "WHEN %s THEN %s"
           (condition_sql schema b.condition)
-          (sql_literal b.assignment))
+          (rectified b.assignment))
       s.branches
   in
   Printf.sprintf "CASE %s ELSE %s END" (String.concat " " whens) dep

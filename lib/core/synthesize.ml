@@ -76,15 +76,41 @@ let timed_task acc f x =
   add_work acc (now () -. t0);
   r
 
-(* Columns eligible for constraint synthesis: categorical, non-constant,
-   and of manageable cardinality relative to the data size. *)
+(* Columns eligible for constraint synthesis: categorical or binned
+   numeric/ordinal, non-constant, and of manageable cardinality relative
+   to the data size. Binned columns enter with their bin cardinality
+   (bins + null bin), which is small by construction. *)
 let eligible_columns frame =
+  let categorical = Frame.categorical_indices frame in
+  let binned =
+    List.filter
+      (fun c -> Frame.binning frame c <> None)
+      (List.init (Frame.ncols frame) Fun.id)
+  in
   List.filter
     (fun c ->
-      let col = Frame.column frame c in
-      let k = Dataframe.Column.cardinality col in
+      let k = Frame.attr_card frame c in
       k >= 2 && k <= max 2 (Frame.nrows frame / 2))
-    (Frame.categorical_indices frame)
+    (List.sort_uniq Int.compare (categorical @ binned))
+
+(* Attach typed domains per the config (a no-op on frames that already
+   carry them or are all-categorical), then optionally run the
+   supervised ChiMerge pass: adjacent bins that the chi-square test
+   cannot distinguish — judged against the first categorical column —
+   are coalesced, so range constraints do not fragment along arbitrary
+   edge placements. *)
+let prepare_frame (config : Config.t) frame =
+  let frame =
+    Frame.ensure_domains ~bins:config.Config.bins
+      ~method_:config.Config.binning ~drift:config.Config.drift frame
+  in
+  if config.Config.bin_merge_alpha > 0.0 && Frame.has_domains frame then
+    match Frame.categorical_indices frame with
+    | [] -> frame
+    | supervise :: _ ->
+      Frame.refine_domains frame ~alpha:config.Config.bin_merge_alpha
+        ~supervise
+  else frame
 
 (* The pool actually used for a run: an explicit [pool] wins; otherwise
    [config.jobs] > 1 spins up a transient pool torn down with the run. *)
@@ -100,6 +126,7 @@ let with_pool ?pool (config : Config.t) f =
     end
 
 let learn_cpdag ?(config = Config.default) ?pool frame cols =
+  let frame = prepare_frame config frame in
   let samples =
     match config.Config.sampler with
     | Config.Auxiliary ->
@@ -120,6 +147,7 @@ let learn_cpdag ?(config = Config.default) ?pool frame cols =
       cpdag)
 
 let run ?(config = Config.default) ?pool frame =
+  let frame = prepare_frame config frame in
   with_pool ?pool config @@ fun pool ->
   (* Phase wall times are read back from the span events rather than a
      hand-kept accumulator: a phase that is re-entered (or whose work
@@ -225,7 +253,8 @@ let run ?(config = Config.default) ?pool frame =
       Runtime.Pool.parmap ?pool ~chunk:1
         (timed_task fill_work
            (Fill.fill_stmt_sketch ~min_support:config.Config.min_support
-              ~groups frame ~epsilon:config.Config.epsilon))
+              ~range_width:config.Config.range_width ~groups frame
+              ~epsilon:config.Config.epsilon))
         distinct
     in
     let cache : (int list * int, Fill.filled option) Hashtbl.t =

@@ -34,13 +34,16 @@
 
 module Frame = Dataframe.Frame
 module Value = Dataframe.Value
+module Domain = Dataframe.Domain
 
 type violation = {
   row : int;
   stmt : Dsl.stmt;
   branch : Dsl.branch;
   actual : Value.t;     (* offending value of the dependent attribute *)
-  expected : Value.t;   (* value the branch assigns *)
+  expected : Value.t;   (* the rectified value: the branch's literal for
+                           equality assignments, the actual clamped into
+                           the accepted window for range assignments *)
 }
 
 type strategy = Raise | Ignore | Coerce | Rectify
@@ -93,7 +96,7 @@ let compile (p : Dsl.prog) =
              (fun (b : Dsl.branch) ->
                (* conditions are sorted by attribute, matching [given] *)
                ( Array.of_list
-                   (List.map (fun { Dsl.value; _ } -> value) b.Dsl.condition),
+                   (List.map (fun { Dsl.test; _ } -> test) b.Dsl.condition),
                  b.Dsl.assignment ))
              branches.(i)))
       stmts
@@ -109,7 +112,7 @@ let make_violation c ~row ~stmt:s ~rule:r actual =
     stmt = c.stmts.(s);
     branch;
     actual;
-    expected = branch.Dsl.assignment;
+    expected = Domain.rectify branch.Dsl.assignment actual;
   }
 
 (* Violations of one materialized row: the scalar 1-row VM entry. *)
@@ -167,7 +170,7 @@ let detect (c : compiled) frame =
   flags
 
 let describe schema v =
-  Fmt.str "row %d: %s = %a violates [%a] (expected %a)" v.row
+  Fmt.str "row %d: %s = %a violates [%a] (rectified %a)" v.row
     (Dataframe.Schema.name schema v.stmt.Dsl.on)
     Value.pp v.actual
     (Pretty.pp_branch schema v.stmt.Dsl.on)
@@ -255,7 +258,7 @@ let rebind (p : Dsl.prog) schema =
     Dsl.branch
       ~condition:
         (List.map
-           (fun { Dsl.attr; value } -> { Dsl.attr = map attr; value })
+           (fun { Dsl.attr; test } -> { Dsl.attr = map attr; test })
            b.Dsl.condition)
       ~assignment:b.Dsl.assignment
   in

@@ -103,6 +103,7 @@ let of_string ?(header = true) s =
         (fun j name ->
           match infer_kind (cells_of_col j) with
           | Schema.Numeric -> Schema.numeric name
+          | Schema.Ordinal -> Schema.ordinal name
           | Schema.Categorical -> Schema.categorical name)
         names
     in

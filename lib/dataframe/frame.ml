@@ -10,6 +10,18 @@
    changed since epoch e" and get either an append delta or a rebuild
    signal. *)
 
+(* Attribute view of a binned column: dict-style bin codes, one per row.
+   [bcard] is [n_bins + 1]; the extra trailing code is the null bin
+   (nulls and non-numeric strays), present whether or not it is used so
+   cardinalities stay stable across appends. *)
+type view = { bcodes : int array; bcard : int }
+
+type domains = {
+  doms : Domain.t array;          (* one per column *)
+  views : view option array;      (* [None] for categorical columns *)
+  drift : float;                  (* re-learn threshold for [extend] *)
+}
+
 type t = {
   schema : Schema.t;
   columns : Column.t array;
@@ -22,6 +34,10 @@ type t = {
   (* [(epoch, nrows)] newest first, for epochs in [pure_since, epoch].
      Bounded by [max_epoch_window]. *)
   epoch_rows : (int * int) list;
+  (* Learned attribute domains. Attached by [learn_domains]/[with_domains];
+     maintained by [extend]/[update_cells]; dropped by every other
+     derivation. *)
+  domains : domains option;
 }
 
 let next_id = Atomic.make 0
@@ -40,6 +56,7 @@ let versioned schema columns nrows =
     epoch = 0;
     pure_since = 0;
     epoch_rows = [ (0, nrows) ];
+    domains = None;
   }
 
 let schema t = t.schema
@@ -147,6 +164,166 @@ let code_matrix t = Array.map Column.codes t.columns
 
 let cardinalities t = Array.map Column.cardinality t.columns
 
+(* ------------------------------------------------------------------ *)
+(* Typed attribute domains *)
+
+(* Code -> float image of a column's dictionary; NaN for nulls, strings
+   and non-finite entries. *)
+let float_dict col =
+  Array.map
+    (fun v ->
+      match Value.to_float v with
+      | Some x when Float.is_finite x -> x
+      | Some _ | None -> Float.nan)
+    (Column.dict col)
+
+let column_floats col =
+  let fd = float_dict col in
+  Array.map (fun c -> fd.(c)) (Column.codes col)
+
+let view_of_binning col b =
+  let n = Domain.n_bins b in
+  let code_bin =
+    Array.map
+      (fun x -> if Float.is_finite x then Domain.assign b x else n)
+      (float_dict col)
+  in
+  { bcodes = Array.map (fun c -> code_bin.(c)) (Column.codes col); bcard = n + 1 }
+
+let views_of_domains columns doms =
+  Array.mapi
+    (fun j dom ->
+      match Domain.binning dom with
+      | None -> None
+      | Some b -> Some (view_of_binning columns.(j) b))
+    doms
+
+let default_drift = 0.2
+
+(* Domains change the frame's attribute view (the codes every grouping
+   consumer sees), so attaching them makes a new snapshot: fresh lineage,
+   restarted delta log. *)
+let attach_domains t doms drift =
+  {
+    t with
+    id = fresh_id ();
+    epoch = 0;
+    pure_since = 0;
+    epoch_rows = [ (0, t.nrows) ];
+    domains = Some { doms; views = views_of_domains t.columns doms; drift };
+  }
+
+let with_domains ?(drift = default_drift) t doms =
+  if Array.length doms <> Array.length t.columns then
+    invalid_arg "Frame.with_domains: arity mismatch";
+  attach_domains t doms drift
+
+let learn_domains ?(bins = 8) ?(method_ = Domain.Equi_width)
+    ?(drift = default_drift) t =
+  let doms =
+    Array.mapi
+      (fun j col ->
+        let learn m = Domain.learn m ~bins (column_floats col) in
+        match Schema.kind t.schema j with
+        | Schema.Categorical -> Domain.Categorical
+        | Schema.Ordinal ->
+          (match learn Domain.Distinct with
+           | Some b -> Domain.Ordinal b
+           | None -> Domain.Categorical)
+        | Schema.Numeric ->
+          (match learn method_ with
+           | Some b -> Domain.Numeric b
+           | None -> Domain.Categorical))
+      t.columns
+  in
+  attach_domains t doms drift
+
+let has_domains t = Option.is_some t.domains
+let domains t = Option.map (fun d -> d.doms) t.domains
+
+let domain t j =
+  match t.domains with Some d -> d.doms.(j) | None -> Domain.Categorical
+
+let binning t j = Domain.binning (domain t j)
+
+(* Attach domains only when the schema has something to bin; a frame of
+   categorical columns keeps its snapshot (and every cache keyed on it). *)
+let ensure_domains ?bins ?method_ ?drift t =
+  if has_domains t then t
+  else begin
+    let needs = ref false in
+    for j = 0 to Schema.arity t.schema - 1 do
+      match Schema.kind t.schema j with
+      | Schema.Ordinal | Schema.Numeric -> needs := true
+      | Schema.Categorical -> ()
+    done;
+    if !needs then learn_domains ?bins ?method_ ?drift t else t
+  end
+
+(* Supervised refinement: coalesce adjacent bins the supervising column
+   cannot distinguish (ChiMerge against [supervise]'s attribute codes). *)
+let refine_domains t ~alpha ~supervise =
+  match t.domains with
+  | None -> t
+  | Some d ->
+    let target, target_card =
+      match d.views.(supervise) with
+      | Some v -> (v.bcodes, v.bcard)
+      | None ->
+        ( Column.codes t.columns.(supervise),
+          Column.cardinality t.columns.(supervise) )
+    in
+    let changed = ref false in
+    let doms =
+      Array.mapi
+        (fun j dom ->
+          if j = supervise then dom
+          else
+            match dom, d.views.(j) with
+            | Domain.Categorical, _ | _, None -> dom
+            | (Domain.Ordinal b | Domain.Numeric b), Some v ->
+              let b' =
+                Domain.merge_adjacent b ~codes:v.bcodes ~target ~target_card
+                  ~alpha
+              in
+              if Domain.equal_binning b b' then dom
+              else begin
+                changed := true;
+                match dom with
+                | Domain.Ordinal _ -> Domain.Ordinal b'
+                | _ -> Domain.Numeric b'
+              end)
+        d.doms
+    in
+    if !changed then attach_domains t doms d.drift else t
+
+let attr_codes t j =
+  match t.domains with
+  | Some { views; _ } ->
+    (match views.(j) with
+     | Some v -> v.bcodes
+     | None -> Column.codes t.columns.(j))
+  | None -> Column.codes t.columns.(j)
+
+let attr_card t j =
+  match t.domains with
+  | Some { views; _ } ->
+    (match views.(j) with
+     | Some v -> v.bcard
+     | None -> Column.cardinality t.columns.(j))
+  | None -> Column.cardinality t.columns.(j)
+
+let attr_code_matrix t = Array.init (ncols t) (attr_codes t)
+let attr_cardinalities t = Array.init (ncols t) (attr_card t)
+
+(* Value-level test selecting exactly the rows carrying attribute code
+   [code]: equality on the dict value for categorical columns, the bin's
+   interval (or [Eq Null] for the null bin) for binned ones. *)
+let attr_atom t j code =
+  match binning t j with
+  | Some b -> if code >= Domain.n_bins b then Domain.Eq Value.Null else Domain.bin_atom b code
+  | None -> Domain.Eq (Column.value_of_code t.columns.(j) code)
+
 let filter t pred =
   let keep = Array.init t.nrows (fun i -> pred t i) in
   let columns = Array.map (fun c -> Column.select c (fun i -> keep.(i))) t.columns in
@@ -188,7 +365,75 @@ let extend t rows =
       (fst (List.nth kept (max_epoch_window - 1)), kept)
     else (t.pure_since, epoch_rows)
   in
-  { t with columns; nrows; epoch; pure_since; epoch_rows }
+  match t.domains with
+  | None -> { t with columns; nrows; epoch; pure_since; epoch_rows }
+  | Some d ->
+    let base = t.nrows and added = rows.nrows in
+    (* Drift: fraction of appended finite values outside a binned column's
+       learned [min, max] envelope. Under the threshold, bins extend (the
+       new rows clip into the edge bins and codes stay a prefix); past it,
+       bins re-learn, codes re-base and the delta log restarts. *)
+    let drifted =
+      added > 0
+      && Array.exists
+           (fun j ->
+             match Domain.binning d.doms.(j) with
+             | None -> false
+             | Some b ->
+               let fd = float_dict columns.(j) in
+               let cs = Column.codes columns.(j) in
+               let oor = ref 0 in
+               for i = base to nrows - 1 do
+                 let x = fd.(cs.(i)) in
+                 if Float.is_finite x && not (Domain.in_range b x) then incr oor
+               done;
+               float_of_int !oor /. float_of_int added > d.drift)
+           (Array.init (Array.length columns) (fun j -> j))
+    in
+    if not drifted then
+      let views =
+        Array.mapi
+          (fun j vo ->
+            match vo, Domain.binning d.doms.(j) with
+            | Some v, Some b ->
+              let n = Domain.n_bins b in
+              let fd = float_dict columns.(j) in
+              let cs = Column.codes columns.(j) in
+              let bcodes =
+                Array.init nrows (fun i ->
+                    if i < base then v.bcodes.(i)
+                    else
+                      let x = fd.(cs.(i)) in
+                      if Float.is_finite x then Domain.assign b x else n)
+              in
+              Some { v with bcodes }
+            | _, _ -> None)
+          d.views
+      in
+      {
+        t with
+        columns; nrows; epoch; pure_since; epoch_rows;
+        domains = Some { d with views };
+      }
+    else
+      let doms =
+        Array.mapi
+          (fun j dom ->
+            match dom with
+            | Domain.Categorical -> dom
+            | Domain.Ordinal b ->
+              Domain.Ordinal (Domain.relearn b (column_floats columns.(j)))
+            | Domain.Numeric b ->
+              Domain.Numeric (Domain.relearn b (column_floats columns.(j))))
+          d.doms
+      in
+      {
+        t with
+        columns; nrows; epoch;
+        pure_since = epoch;
+        epoch_rows = [ (epoch, nrows) ];
+        domains = Some { d with doms; views = views_of_domains columns doms };
+      }
 
 (* Lineage-preserving in-place cell edit: same id, next epoch, but the
    delta log restarts — past epochs are no longer prefixes, so
@@ -196,12 +441,21 @@ let extend t rows =
 let update_cells t cells =
   let updated = set_cells t cells in
   let epoch = t.epoch + 1 in
+  (* Binnings are kept (cell edits never re-learn edges) but the bin codes
+     are recomputed; the delta log restarts either way. *)
+  let domains =
+    match t.domains with
+    | None -> None
+    | Some d ->
+      Some { d with views = views_of_domains updated.columns d.doms }
+  in
   {
     updated with
     id = t.id;
     epoch;
     pure_since = epoch;
     epoch_rows = [ (epoch, t.nrows) ];
+    domains;
   }
 
 let head t k = take t (Array.init (min k t.nrows) (fun i -> i))
@@ -223,7 +477,7 @@ let categorical_indices t =
   for i = Schema.arity t.schema - 1 downto 0 do
     match Schema.kind t.schema i with
     | Schema.Categorical -> acc := i :: !acc
-    | Schema.Numeric -> ()
+    | Schema.Ordinal | Schema.Numeric -> ()
   done;
   !acc
 

@@ -83,6 +83,60 @@ val code_matrix : t -> int array array
 
 val cardinalities : t -> int array
 
+(** {2 Typed attribute domains}
+
+    A frame may carry learned {!Domain.t} domains, one per column. Binned
+    (ordinal/numeric) columns then expose an {e attribute view}: dict-style
+    bin codes with cardinality [n_bins + 1] (the extra trailing code is the
+    null bin), which is what the grouping and synthesis layers consume.
+    Attaching domains makes a new snapshot (fresh lineage id). {!extend}
+    maintains the views: under the drift threshold bins extend in place
+    (codes stay a prefix); past it bins re-learn, versions bump and the
+    delta log restarts, so [Delta.since] answers [Rebuilt].
+    Other derivations ({!filter}, {!take}, ...) drop domains. *)
+
+(** Learn domains for every [Ordinal]/[Numeric] schema column: [Distinct]
+    binning for ordinals (falling back to quantiles past [bins] distinct
+    values), [method_] (default [Equi_width]) with [bins] (default 8) bins
+    for numerics. [drift] (default 0.2) is the re-learn threshold for
+    {!extend}. *)
+val learn_domains :
+  ?bins:int -> ?method_:Domain.method_ -> ?drift:float -> t -> t
+
+(** Attach explicit domains; raises [Invalid_argument] on arity mismatch. *)
+val with_domains : ?drift:float -> t -> Domain.t array -> t
+
+(** {!learn_domains}, but a no-op (same snapshot) when the frame already
+    has domains or the schema is all-categorical. *)
+val ensure_domains :
+  ?bins:int -> ?method_:Domain.method_ -> ?drift:float -> t -> t
+
+(** Supervised refinement: ChiMerge adjacent bins of every binned column
+    against column [supervise]'s attribute codes at level [alpha]. Returns
+    the same snapshot when nothing merges. *)
+val refine_domains : t -> alpha:float -> supervise:int -> t
+
+val has_domains : t -> bool
+val domains : t -> Domain.t array option
+
+(** [Categorical] when the frame has no domains. *)
+val domain : t -> int -> Domain.t
+
+val binning : t -> int -> Domain.binning option
+
+(** Attribute view of a column: bin codes/cardinality for binned columns,
+    the dict codes/cardinality otherwise. Do not mutate. *)
+val attr_codes : t -> int -> int array
+
+val attr_card : t -> int -> int
+val attr_code_matrix : t -> int array array
+val attr_cardinalities : t -> int array
+
+(** Value-level test selecting exactly the rows carrying attribute code
+    [code] in column [j]: dict-value equality for categorical columns, the
+    bin's interval (or [Eq Null] for the null bin) for binned ones. *)
+val attr_atom : t -> int -> int -> Domain.atom
+
 (** Keep rows satisfying [pred t row_index]. *)
 val filter : t -> (t -> int -> bool) -> t
 

@@ -271,11 +271,14 @@ module Cache = struct
       mutex = Mutex.create ();
     }
 
+  (* Frames group over their *attribute* view: dict codes for categorical
+     columns, learned bin codes for binned ones. For frames without
+     domains this is exactly the code matrix. *)
   let of_frame ?cap frame =
     create ?cap
       ~frame_key:(Frame.Snapshot.key frame)
-      ~codes:(Frame.code_matrix frame)
-      ~cards:(Frame.cardinalities frame)
+      ~codes:(Frame.attr_code_matrix frame)
+      ~cards:(Frame.attr_cardinalities frame)
       ()
 
   let frame_key c = c.frame_key

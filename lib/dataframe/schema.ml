@@ -2,7 +2,8 @@
 
 type kind =
   | Categorical  (* finite domain; the attribute class GUARDRAIL targets *)
-  | Numeric      (* continuous; ignored by constraint synthesis *)
+  | Ordinal      (* ordered discrete; binned one-bin-per-value when small *)
+  | Numeric      (* continuous; constraint target via learned binning *)
 
 type col = { name : string; kind : kind }
 
@@ -20,6 +21,7 @@ let make cols =
   { cols; by_name }
 
 let categorical name = { name; kind = Categorical }
+let ordinal name = { name; kind = Ordinal }
 let numeric name = { name; kind = Numeric }
 
 let arity t = Array.length t.cols
@@ -38,11 +40,12 @@ let mem t n = Hashtbl.mem t.by_name n
 
 let equal_kind a b =
   match a, b with
-  | Categorical, Categorical | Numeric, Numeric -> true
-  | (Categorical | Numeric), _ -> false
+  | Categorical, Categorical | Ordinal, Ordinal | Numeric, Numeric -> true
+  | (Categorical | Ordinal | Numeric), _ -> false
 
 let pp_kind ppf = function
   | Categorical -> Fmt.string ppf "categorical"
+  | Ordinal -> Fmt.string ppf "ordinal"
   | Numeric -> Fmt.string ppf "numeric"
 
 let pp ppf t =

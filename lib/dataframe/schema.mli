@@ -2,7 +2,8 @@
 
 type kind =
   | Categorical  (** finite domain; the attribute class GUARDRAIL targets *)
-  | Numeric      (** continuous; ignored by constraint synthesis *)
+  | Ordinal      (** ordered discrete; binned one-bin-per-value when small *)
+  | Numeric      (** continuous; constraint target via learned binning *)
 
 type col = { name : string; kind : kind }
 
@@ -12,6 +13,7 @@ type t
 val make : col list -> t
 
 val categorical : string -> col
+val ordinal : string -> col
 val numeric : string -> col
 
 val arity : t -> int

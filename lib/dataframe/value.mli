@@ -35,8 +35,19 @@ val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
 (** Parse a raw CSV field with type sniffing. Empty string and common NA
-    spellings parse to [Null]. *)
+    spellings parse to [Null]; ISO-8601 dates and timestamps
+    ("YYYY-MM-DD", optionally "[T| ]HH:MM:SS[Z]", UTC) parse to
+    epoch-seconds [Int]. *)
 val of_raw : string -> t
+
+(** Epoch seconds of an ISO-8601 date or timestamp, or [None] when the
+    string is not one. *)
+val of_iso8601 : string -> int option
+
+(** Canonical ISO-8601 form of an epoch second ("YYYY-MM-DD" at midnight,
+    "YYYY-MM-DDTHH:MM:SSZ" otherwise). Round-trips:
+    [of_raw (iso8601_of_epoch e) = Int e]. *)
+val iso8601_of_epoch : int -> string
 
 val to_float : t -> float option
 val to_int : t -> int option

@@ -1,0 +1,77 @@
+(* Mixed categorical/numeric dataset with planted range violations — the
+   typed-domain counterpart of the Bayes-net datasets. One categorical
+   driver column determines a disjoint clean interval for a numeric
+   reading; a small fraction of rows is pushed outside its category's
+   interval on alternating sides. The per-category intervals and the
+   per-row violation flags come back as ground truth, so tests and the
+   bench can score synthesized range constraints exactly.
+
+   Layout choices that matter downstream:
+   - category [j]'s clean interval is [10(j+1), 10(j+1)+4], so with the
+     default four categories the global span runs roughly [5, 49] once
+     violations land outside it. Under the default equi-width binning
+     the middle categories' intervals sit strictly inside the span, so
+     their HAVING fill must come out as a bounded [Between] window (the
+     edge categories may legitimately get one-sided [Le]/[Ge] atoms).
+   - violations overshoot by delta in (1, 5]: far enough past the edge
+     to leave the clean window's bins, near enough to stay in-frame.
+   - the extra columns ("noise" numeric, "tag" categorical) carry no
+     constraint, exercising the enumerator's pruning on free columns. *)
+
+module Frame = Dataframe.Frame
+module Value = Dataframe.Value
+
+type truth = {
+  ranges : (float * float) array;  (* clean [lo, hi] per category index *)
+  violations : bool array;         (* per-row: reading planted outside *)
+}
+
+let clean_range j =
+  let lo = 10.0 *. float_of_int (j + 1) in
+  (lo, lo +. 4.0)
+
+let mixed ?(n_rows = 2000) ?(n_categories = 4) ?(violation_rate = 0.03)
+    ?(seed = 0) () =
+  if n_rows < 1 then invalid_arg "Numeric.mixed: n_rows must be >= 1";
+  if n_categories < 2 then
+    invalid_arg "Numeric.mixed: n_categories must be >= 2";
+  let rng = Stat.Rng.create (seed + 101) in
+  let schema =
+    Dataframe.Schema.make
+      [
+        Dataframe.Schema.categorical "grp";
+        Dataframe.Schema.numeric "reading";
+        Dataframe.Schema.numeric "noise";
+        Dataframe.Schema.categorical "tag";
+      ]
+  in
+  let ranges = Array.init n_categories clean_range in
+  let violations = Array.make n_rows false in
+  let below_next = ref true in
+  let rows =
+    List.init n_rows (fun i ->
+        let j = Stat.Rng.int rng n_categories in
+        let lo, hi = ranges.(j) in
+        let reading =
+          if Stat.Rng.float rng < violation_rate then begin
+            violations.(i) <- true;
+            (* alternate sides so both tails of every bin window are
+               exercised; overshoot by delta in (1, 5] *)
+            let delta = 1.0 +. (4.0 *. Stat.Rng.float rng) +. epsilon_float in
+            let below = !below_next in
+            below_next := not below;
+            if below then lo -. delta else hi +. delta
+          end
+          else lo +. ((hi -. lo) *. Stat.Rng.float rng)
+        in
+        [|
+          Value.String (Printf.sprintf "c%d" j);
+          Value.Float reading;
+          Value.Float (100.0 *. Stat.Rng.float rng);
+          Value.String (Printf.sprintf "t%d" (Stat.Rng.int rng 3));
+        |])
+  in
+  (Frame.of_rows schema rows, { ranges; violations })
+
+let violation_count truth =
+  Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 truth.violations

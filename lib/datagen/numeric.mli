@@ -1,0 +1,34 @@
+(** Mixed categorical/numeric dataset with planted range violations.
+
+    The typed-domain test workload: a categorical ["grp"] column picks a
+    disjoint clean interval for the numeric ["reading"] column, and a
+    small fraction of rows is planted outside its category's interval
+    (alternating below/above). Two unconstrained columns ride along —
+    numeric ["noise"] and categorical ["tag"]. Ground truth comes back
+    alongside the frame so callers can score synthesized range
+    constraints against the planted intervals exactly. *)
+
+type truth = {
+  ranges : (float * float) array;
+      (** clean inclusive [lo, hi] interval per category index; category
+          [j] is the ["grp"] value ["cj"] *)
+  violations : bool array;
+      (** per-row flag: the reading was planted outside its interval *)
+}
+
+(** Clean interval of category [j]: [10(j+1), 10(j+1)+4]. Disjoint
+    across categories; interior categories sit strictly inside the
+    global span, so their learned-bin HAVING fill must be a bounded
+    [Between] window. *)
+val clean_range : int -> float * float
+
+(** [mixed ()] generates the dataset. Deterministic in [seed]. *)
+val mixed :
+  ?n_rows:int ->
+  ?n_categories:int ->
+  ?violation_rate:float ->
+  ?seed:int ->
+  unit ->
+  Dataframe.Frame.t * truth
+
+val violation_count : truth -> int

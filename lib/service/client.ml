@@ -82,9 +82,6 @@ let pipeline t reqs =
       | resp -> Reply resp)
     reqs
 
-let request = call
-let request_exn = call_exn
-
 let with_connection ?max_response_bytes ?timeout_s addr f =
   let t = connect ?max_response_bytes ?timeout_s addr in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -50,12 +50,6 @@ val pipeline : t -> Protocol.request list -> outcome list
 
 val close : t -> unit
 
-(** Deprecated name for {!call}, kept for existing callers. *)
-val request : t -> Protocol.request -> Protocol.response
-
-(** Deprecated name for {!call_exn}, kept for existing callers. *)
-val request_exn : t -> Protocol.request -> Protocol.response
-
 (** Run [f] over a fresh connection, closing it on every exit path. *)
 val with_connection :
   ?max_response_bytes:int -> ?timeout_s:float -> Unix.sockaddr -> (t -> 'a) -> 'a

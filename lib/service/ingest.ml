@@ -81,12 +81,14 @@ let observe ~baseline drift s =
   record drift (viol_key s.key) (rate s.violations s.table.total);
   record drift (ci_key s.key) (ci_effect s.table)
 
+(* Contingency over the attribute views: a binned ON column contributes
+   its bounded bin marginals, not one cell per raw numeric value. *)
 let stmt_table groups frame given on =
   let g = Group.Cache.get groups given in
   Stat.Contingency.two_way ~kx:(Group.n_groups g)
-    ~ky:(Dataframe.Column.cardinality (Frame.column frame on))
+    ~ky:(Frame.attr_card frame on)
     (Group.ids g)
-    (Dataframe.Column.codes (Frame.column frame on))
+    (Frame.attr_codes frame on)
 
 (* Full (re)computation of the statistics — the load/guard/refresh
    baseline, and the fallback when a delta is not a pure append. *)
@@ -152,9 +154,9 @@ let advance t compiled frame =
           let g = Group.Cache.get groups s.given in
           let table =
             Stat.Contingency.extend s.table ~kx:(Group.n_groups g)
-              ~ky:(Dataframe.Column.cardinality (Frame.column frame s.on))
+              ~ky:(Frame.attr_card frame s.on)
               (Group.ids g)
-              (Dataframe.Column.codes (Frame.column frame s.on))
+              (Frame.attr_codes frame s.on)
               ~base:base_rows
           in
           { s with table; violations = s.violations + delta_counts.(s.index) })

@@ -69,6 +69,10 @@ let ingest_of frame = function
   | Some p -> Some (Ingest.create p.compiled frame)
 
 let load t ~name ?program ?model_label frame =
+  (* numeric/ordinal columns get their binned attribute views now, so
+     program parse/fill, ingest statistics and snapshot metadata all see
+     the same learned bins (no-op on all-categorical schemas) *)
+  let frame = Frame.ensure_domains frame in
   let program = Option.map (compile_program frame) program in
   let model =
     Option.map

@@ -197,6 +197,75 @@ let find_model ctx target =
 
 let now () = Unix.gettimeofday ()
 
+(* ------------------------------------------------------------------ *)
+(* WHERE-guard offload: column-vs-literal conjuncts lower to the VM's
+   bitmap prefilter ({!Vm.Lower.filter}) when that path provably agrees
+   with [eval]'s semantics. [eval] compares values with [Value.compare],
+   which ranks across constructors (Bool < numeric < String) and aliases
+   Int/Float numerically; the VM compares dictionary codes (equality) or
+   column float images (ranges). The two agree exactly when:
+
+   - equality on a String/Bool literal: dictionary codes are structural,
+     and cross-constructor ranks never compare equal;
+   - equality or a range on an Int/Float literal over a column whose
+     dictionary holds only Int/Float/Null: NULL cells fail both paths
+     ([eval] short-circuits a NULL operand to false, the VM maps it to
+     NaN which fails every range), and numeric cells compare numerically
+     on both. Numeric equality lowers as a degenerate BETWEEN so Int 1
+     matches a Float 1.0 cell, exactly like [Value.compare];
+   - [<] and [<=] additionally require the dictionary to be NaN-free:
+     OCaml's [Float.compare] totalizes NaN below every number, so eval
+     accepts [x < k] for a NaN cell where the VM's NaN-fails-ranges
+     kernel rejects it. ([>], [>=] and [=] reject NaN on both paths.)
+
+   Anything else (NULL literals, <>, mixed-type columns, compound
+   expressions) stays on the residual eval path. *)
+
+let numeric_only_dict frame col =
+  Array.for_all
+    (function
+      | Value.Int _ | Value.Float _ | Value.Null -> true
+      | Value.Bool _ | Value.String _ -> false)
+    (Dataframe.Column.dict (Frame.column frame col))
+
+let nan_free_numeric_dict frame col =
+  Array.for_all
+    (function
+      | Value.Int _ | Value.Null -> true
+      | Value.Float f -> not (Float.is_nan f)
+      | Value.Bool _ | Value.String _ -> false)
+    (Dataframe.Column.dict (Frame.column frame col))
+
+let guard_of_conjunct frame schema e =
+  let col_lit = function
+    | Cmp (op, Col c, Lit v) -> Some (op, c, v)
+    | Cmp (op, Lit v, Col c) ->
+      let flip = function Lt -> Gt | Le -> Ge | Gt -> Lt | Ge -> Le | o -> o in
+      Some (flip op, c, v)
+    | _ -> None
+  in
+  match col_lit e with
+  | None -> None
+  | Some (op, name, v) ->
+    (match Dataframe.Schema.index_opt schema name with
+     | None -> None
+     | Some col ->
+       (match op, v with
+        | Eq, (Value.String _ | Value.Bool _) ->
+          Some (col, Vm.Lower.Guard_eq v)
+        | Eq, (Value.Int _ | Value.Float _) when numeric_only_dict frame col ->
+          let f = Option.get (Value.to_float v) in
+          Some (col, Vm.Lower.Guard_between (f, f))
+        | (Gt | Ge), (Value.Int _ | Value.Float _)
+          when numeric_only_dict frame col ->
+          let f = Option.get (Value.to_float v) in
+          Some (col, if op = Gt then Vm.Lower.Guard_gt f else Vm.Lower.Guard_ge f)
+        | (Lt | Le), (Value.Int _ | Value.Float _)
+          when nan_free_numeric_dict frame col ->
+          let f = Option.get (Value.to_float v) in
+          Some (col, if op = Lt then Vm.Lower.Guard_lt f else Vm.Lower.Guard_le f)
+        | _ -> None))
+
 (* Retained rebound-guard layouts (most recent first). *)
 let rebound_limit = 4
 
@@ -248,15 +317,33 @@ let run ctx sql =
   let inference_s = ref 0.0 in
   let violations = ref 0 in
   let rows_predicted = ref 0 in
-  (* scan + pre-filter *)
+  (* scan + pre-filter: offloadable conjuncts run as one VM bitmap pass
+     over the columnar data; only surviving rows are materialized and
+     checked against the residual conjuncts *)
+  let guards, residual =
+    List.partition_map
+      (fun e ->
+        match guard_of_conjunct frame schema e with
+        | Some g -> Left g
+        | None -> Right e)
+      plan.Plan.pre_filter
+  in
+  let prefilter =
+    match guards with
+    | [] -> None
+    | gs -> Some (Vm.Exec.run (Vm.Lower.filter frame gs) frame).Vm.Exec.any
+  in
   let kept = ref [] in
   for i = n - 1 downto 0 do
-    let values = Frame.row frame i in
-    let env0 = { schema; values; predictions = [] } in
-    let keep =
-      List.for_all (fun e -> truthy (eval env0 e)) plan.Plan.pre_filter
+    let pass =
+      match prefilter with None -> true | Some bm -> Vm.Bitmap.get bm i
     in
-    if keep then kept := (i, env0) :: !kept
+    if pass then begin
+      let values = Frame.row frame i in
+      let env0 = { schema; values; predictions = [] } in
+      if List.for_all (fun e -> truthy (eval env0 e)) residual then
+        kept := (i, env0) :: !kept
+    end
   done;
   (* prediction with guardrail interception: surviving rows are gathered
      into a sub-frame (sharing the table's dictionaries, so the guard's

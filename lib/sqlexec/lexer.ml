@@ -15,7 +15,8 @@ type token =
 let keywords =
   [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "AS"; "AND"; "OR"; "NOT";
     "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "AVG"; "SUM"; "COUNT"; "MIN";
-    "MAX"; "PREDICT"; "NULL"; "TRUE"; "FALSE"; "ORDER"; "ASC"; "DESC"; "LIMIT" ]
+    "MAX"; "PREDICT"; "NULL"; "TRUE"; "FALSE"; "ORDER"; "ASC"; "DESC";
+    "LIMIT"; "BETWEEN" ]
 
 let is_ident_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'

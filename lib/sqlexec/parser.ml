@@ -58,6 +58,14 @@ and parse_not st =
 and parse_cmp st =
   let left = parse_add st in
   match peek st with
+  | Lexer.Kw "BETWEEN", _ ->
+    (* x BETWEEN lo AND hi desugars to lo <= x AND x <= hi; the AND
+       belongs to BETWEEN, not to the conjunction above it *)
+    advance st;
+    let lo = parse_add st in
+    expect_kw st "AND";
+    let hi = parse_add st in
+    And (Cmp (Ge, left, lo), Cmp (Le, left, hi))
   | Lexer.Sym "=", _ | Lexer.Sym "==", _ ->
     advance st;
     Cmp (Eq, left, parse_add st)

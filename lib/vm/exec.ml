@@ -98,12 +98,53 @@ let eval_in codes set dst n =
     Bytes.unsafe_set bytes full (Char.unsafe_chr !acc)
   end
 
+(* Inclusive range over a column's float image; NaN entries (nulls,
+   strings) fail both comparisons, so they are never in range. Strict
+   comparisons lower to this kernel with Float.pred/succ-adjusted
+   bounds. *)
+let eval_range codes fvals lo hi dst n =
+  let bytes = Bitmap.data dst in
+  let full = n lsr 3 in
+  for b = 0 to full - 1 do
+    let i = b lsl 3 in
+    let tst k =
+      let v = Array.unsafe_get fvals (Array.unsafe_get codes (i + k)) in
+      lo <= v && v <= hi
+    in
+    let acc =
+      (if tst 0 then 1 else 0)
+      lor (if tst 1 then 2 else 0)
+      lor (if tst 2 then 4 else 0)
+      lor (if tst 3 then 8 else 0)
+      lor (if tst 4 then 16 else 0)
+      lor (if tst 5 then 32 else 0)
+      lor (if tst 6 then 64 else 0)
+      lor (if tst 7 then 128 else 0)
+    in
+    Bytes.unsafe_set bytes b (Char.unsafe_chr acc)
+  done;
+  if n land 7 <> 0 then begin
+    let acc = ref 0 in
+    for i = full lsl 3 to n - 1 do
+      let v = Array.unsafe_get fvals (Array.unsafe_get codes i) in
+      if lo <= v && v <= hi then acc := !acc lor (1 lsl (i land 7))
+    done;
+    Bytes.unsafe_set bytes full (Char.unsafe_chr !acc)
+  end
+
 (* Group index for a table's GIVEN columns: from the shared per-frame
-   cache when one is supplied, ad hoc otherwise. *)
+   cache when one is supplied, ad hoc otherwise. The cache partitions by
+   attribute codes — bin codes on binned columns — which is coarser than
+   the per-value partition the representative-row probe needs, so tables
+   touching a binned GIVEN column always group ad hoc over dictionary
+   codes. *)
 let group_for ?groups frame (tbl : Program.table) =
+  let binned =
+    Array.exists (fun c -> Frame.binning frame c <> None) tbl.given
+  in
   match groups with
-  | Some cache -> Group.Cache.get cache (Array.to_list tbl.given)
-  | None ->
+  | Some cache when not binned -> Group.Cache.get cache (Array.to_list tbl.given)
+  | _ ->
     let codes =
       Array.to_list
         (Array.map (fun c -> Column.codes (Frame.column frame c)) tbl.given)
@@ -111,16 +152,28 @@ let group_for ?groups frame (tbl : Program.table) =
     Group.make codes (Array.to_list tbl.cards) (Frame.nrows frame)
 
 (* Per-group expect encoding: each partition's representative key tuple
-   probes the rule index once; rows then read a single int. *)
+   probes the rule index once; rows then read a single int (plus the
+   group's accepted bounds for range-assignment rules). *)
 let group_expect (tbl : Program.table) g frame =
   let ng = Group.n_groups g in
   let ge = Array.make (max ng 1) no_rule in
-  let k = Array.length tbl.given in
-  let gcodes =
-    Array.map (fun c -> Column.codes (Frame.column frame c)) tbl.given
+  let has_ranges = Array.exists (fun e -> e = Program.expect_range) tbl.expect in
+  let glo = if has_ranges then Array.make (max ng 1) 0.0 else [||] in
+  let ghi = if has_ranges then Array.make (max ng 1) 0.0 else [||] in
+  let set gid r =
+    let e = tbl.expect.(r) in
+    ge.(gid) <- e;
+    if e = Program.expect_range then begin
+      glo.(gid) <- tbl.rlo.(r);
+      ghi.(gid) <- tbl.rhi.(r)
+    end
   in
+  let k = Array.length tbl.given in
   (match tbl.key with
   | Program.Radix flat ->
+    let gcodes =
+      Array.map (fun c -> Column.codes (Frame.column frame c)) tbl.given
+    in
     for gid = 0 to ng - 1 do
       let r0 = Group.first_row g gid in
       let key = ref 0 in
@@ -128,24 +181,41 @@ let group_expect (tbl : Program.table) g frame =
         key := (!key * tbl.cards.(j)) + gcodes.(j).(r0)
       done;
       let r = flat.(!key) in
-      if r >= 0 then ge.(gid) <- tbl.expect.(r)
+      if r >= 0 then set gid r
     done
   | Program.Hashed h ->
+    let gcodes =
+      Array.map (fun c -> Column.codes (Frame.column frame c)) tbl.given
+    in
     for gid = 0 to ng - 1 do
       let r0 = Group.first_row g gid in
       let key = Array.init k (fun j -> gcodes.(j).(r0)) in
       match Hashtbl.find_opt h key with
-      | Some r -> ge.(gid) <- tbl.expect.(r)
+      | Some r -> set gid r
+      | None -> ()
+    done
+  | Program.Probe ->
+    (* value-level probe: rows of a partition share their code tuple,
+       hence their values, hence their rule *)
+    for gid = 0 to ng - 1 do
+      let r0 = Group.first_row g gid in
+      match
+        Ruleset.find_by tbl.source (fun j -> Frame.get frame r0 tbl.given.(j))
+      with
+      | Some r -> set gid r
       | None -> ()
     done);
-  ge
+  (ge, glo, ghi)
 
 let eval_table ?groups (p : Program.t) ti dst frame n =
   let tbl = p.tables.(ti) in
   let g = group_for ?groups frame tbl in
-  let ge = group_expect tbl g frame in
+  let ge, glo, ghi = group_expect tbl g frame in
   let ids = Group.ids g in
   let on_codes = Column.codes (Frame.column frame tbl.on) in
+  let on_fvals =
+    if tbl.on_fld >= 0 then p.fields.(tbl.on_fld).fvals else [||]
+  in
   let masks = p.masks in
   let bytes = Bitmap.data dst in
   let nbytes = (n + 7) lsr 3 in
@@ -154,11 +224,18 @@ let eval_table ?groups (p : Program.t) ti dst frame n =
     let hi = min (lo + 7) (n - 1) in
     let acc = ref 0 in
     for i = lo to hi do
-      let e = Array.unsafe_get ge (Array.unsafe_get ids i) in
+      let gid = Array.unsafe_get ids i in
+      let e = Array.unsafe_get ge gid in
       let viol =
         if e = no_rule then false
         else if e >= 0 then Array.unsafe_get on_codes i <> e
         else if e = Program.expect_none then true
+        else if e = Program.expect_range then begin
+          let v =
+            Array.unsafe_get on_fvals (Array.unsafe_get on_codes i)
+          in
+          not (Array.unsafe_get glo gid <= v && v <= Array.unsafe_get ghi gid)
+        end
         else not (in_set masks.(Program.mask_index e) (Array.unsafe_get on_codes i))
       in
       if viol then acc := !acc lor (1 lsl (i land 7))
@@ -193,6 +270,26 @@ let exec_op ?groups (p : Program.t) frame n regs op =
     eval_ne (Column.codes (Frame.column frame col)) code regs.(dst) n
   | Op.In { col; set; dst } ->
     eval_in (Column.codes (Frame.column frame col)) p.sets.(set) regs.(dst) n
+  | Op.Range { fld; lo; hi; dst } ->
+    let f = p.fields.(fld) in
+    eval_range (Column.codes (Frame.column frame f.fcol)) f.fvals lo hi
+      regs.(dst) n
+  | Op.Lt { fld; bound; dst } ->
+    let f = p.fields.(fld) in
+    eval_range (Column.codes (Frame.column frame f.fcol)) f.fvals
+      Float.neg_infinity (Float.pred bound) regs.(dst) n
+  | Op.Le { fld; bound; dst } ->
+    let f = p.fields.(fld) in
+    eval_range (Column.codes (Frame.column frame f.fcol)) f.fvals
+      Float.neg_infinity bound regs.(dst) n
+  | Op.Gt { fld; bound; dst } ->
+    let f = p.fields.(fld) in
+    eval_range (Column.codes (Frame.column frame f.fcol)) f.fvals
+      (Float.succ bound) Float.infinity regs.(dst) n
+  | Op.Ge { fld; bound; dst } ->
+    let f = p.fields.(fld) in
+    eval_range (Column.codes (Frame.column frame f.fcol)) f.fvals bound
+      Float.infinity regs.(dst) n
   | Op.And { src; dst } -> Bitmap.and_in regs.(dst) regs.(src)
   | Op.Or { src; dst } -> Bitmap.or_in regs.(dst) regs.(src)
   | Op.Andn { src; dst } -> Bitmap.andnot_in regs.(dst) regs.(src)

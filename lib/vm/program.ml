@@ -21,6 +21,18 @@ module Value = Dataframe.Value
 type key_index =
   | Radix of int array                       (* radix combination -> rule, -1 none *)
   | Hashed of (int array, int) Hashtbl.t     (* code tuple -> rule *)
+  | Probe
+      (* range keys: resolve each partition's representative row through
+         [Ruleset.find_by] at value level (once per partition, not per row) *)
+
+(* A column's float image, shared by the comparison ops and range-expect
+   tables: fvals.(code) = Value.to_float dict.(code), NaN when the entry
+   has no float image (Null, String). Code arrays stay the only per-row
+   data the VM touches. *)
+type field = {
+  fcol : int;
+  fvals : float array;
+}
 
 type table = {
   source : Ruleset.t;
@@ -29,18 +41,23 @@ type table = {
   on : int;
   key : key_index;
   expect : int array;       (* per rule, see the expect_* encodings below *)
+  rlo : float array;        (* per rule, accepted ON range; only read *)
+  rhi : float array;        (*   where expect = expect_range *)
+  on_fld : int;             (* fields index of ON, -1 when no range rules *)
 }
 
 (* [expect] encodes the set of accepted ON codes per rule:
    >= 0   exactly that code is accepted (the overwhelmingly common case);
    -1     no code of the dictionary is accepted — every matched row violates;
-   <= -2  index [-2 - e] into the [masks] pool: a bitmask of accepted
+   -2     accepted iff rlo <= fvals(on_fld)[code] <= rhi (range assignment);
+   <= -3  index [-3 - e] into the [masks] pool: a bitmask of accepted
           codes (only needed when Value.equal aliases several dictionary
           entries, e.g. Int 1 and Float 1.0). *)
 let expect_none = -1
+let expect_range = -2
 let expect_single c = c
-let expect_mask i = -2 - i
-let mask_index e = -2 - e
+let expect_mask i = -3 - i
+let mask_index e = -3 - e
 
 type t = {
   source : Ruleset.t array;
@@ -50,6 +67,7 @@ type t = {
   sets : Bytes.t array;            (* IN-instruction code masks *)
   masks : Bytes.t array;           (* accepted-code masks for aliased expects *)
   tables : table array;
+  fields : field array;            (* float images for comparison ops *)
   cols : int array;                (* columns the program reads *)
   dicts : Value.t array array;     (* their dictionaries at lowering *)
 }

@@ -5,6 +5,14 @@
 type key_index =
   | Radix of int array                    (** radix combination → rule, -1 none *)
   | Hashed of (int array, int) Hashtbl.t  (** code tuple → rule *)
+  | Probe  (** value-level probe of each partition via [Ruleset.find_by] *)
+
+(** A column's float image: [fvals.(code) = Value.to_float dict.(code)],
+    NaN for entries with no float image. *)
+type field = {
+  fcol : int;
+  fvals : float array;
+}
 
 type table = {
   source : Ruleset.t;
@@ -13,15 +21,19 @@ type table = {
   on : int;
   key : key_index;
   expect : int array;
+  rlo : float array;
+  rhi : float array;
+  on_fld : int;
 }
 
 (** Encodings of a rule's accepted-ON-code set in [table.expect]. *)
 val expect_none : int
 
+val expect_range : int
 val expect_single : int -> int
 val expect_mask : int -> int
 
-(** Mask-pool index of an [expect] value [<= -2]. *)
+(** Mask-pool index of an [expect] value [<= -3]. *)
 val mask_index : int -> int
 
 type t = {
@@ -32,6 +44,7 @@ type t = {
   sets : Bytes.t array;
   masks : Bytes.t array;
   tables : table array;
+  fields : field array;
   cols : int array;
   dicts : Dataframe.Value.t array array;
 }

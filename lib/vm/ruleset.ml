@@ -1,28 +1,72 @@
 (* The VM's source IR: a decision table over dictionary-encoded columns.
 
    One ruleset is one GUARDRAIL statement flattened to value level: rows
-   whose [given] columns match a rule's key tuple are expected to carry
-   the rule's assignment in the [on] column; anything else is a
-   violation. Key matching is structural (hashtable) equality — exactly
-   the probe the row-at-a-time validator performs — while the expected
-   value is compared with [Value.equal] (numeric-tolerant), again
-   mirroring the row interpreter. The lowering pass (Vm.Lower) turns
-   rulesets into bytecode; [check_row] is the scalar 1-row entry point
-   the batch path shares with per-row callers. *)
+   whose [given] columns match a rule's key tuple of atoms are expected
+   to satisfy the rule's assignment atom in the [on] column; anything
+   else is a violation.
+
+   Keys are [Dataframe.Domain.atom] tuples. Each key position is
+   normalized once at construction:
+
+   - all-[Eq] positions probe by structural (hashtable) equality on the
+     raw row value — exactly the historical behavior;
+   - all-range positions ([Between]/[Le]/[Ge]) collect the distinct
+     intervals, which must be pairwise disjoint (bin atoms are), and
+     probe by interval index via binary search on the row value's float
+     image.
+
+   Mixing equality and range atoms at one position, or overlapping
+   intervals, would make "which rule matches" ambiguous and is rejected.
+   The assignment check uses [Domain.atom_holds] (numeric-tolerant
+   [Value.equal] for [Eq]), again mirroring the row interpreter. The
+   lowering pass (Vm.Lower) turns rulesets into bytecode; [check_row] is
+   the scalar 1-row entry point the batch path shares with per-row
+   callers. *)
 
 module Value = Dataframe.Value
+module Domain = Dataframe.Domain
 
 type rule = {
-  key : Value.t array;      (* one literal per GIVEN column, in given order *)
-  assignment : Value.t;
+  key : Domain.atom array;  (* one atom per GIVEN column, in given order *)
+  assignment : Domain.atom;
 }
+
+(* Normalized probe behavior of one key position. *)
+type position =
+  | Pos_eq
+      (* every rule tests equality: probe component = the row value *)
+  | Pos_ranges of (float * float) array
+      (* sorted disjoint inclusive intervals; probe component =
+         [Value.Int] of the interval index, [-1] when none contains the
+         row value's float image (or it has none) *)
 
 type t = {
   given : int array;        (* column indices, strictly ascending *)
   on : int;                 (* dependent column *)
   rules : rule array;
-  table : (Value.t array, int) Hashtbl.t;  (* key tuple -> rule index *)
+  positions : position array;
+  table : (Value.t array, int) Hashtbl.t;  (* normalized key -> rule index *)
 }
+
+let interval_of_test = function
+  | Domain.Eq _ -> None
+  | Domain.Between { lo; hi } -> Some (lo, hi)
+  | Domain.Le b -> Some (Float.neg_infinity, b)
+  | Domain.Ge b -> Some (b, Float.infinity)
+
+(* Index of the interval containing [x], or -1. Intervals are sorted by
+   lower bound and disjoint. *)
+let interval_index (ivs : (float * float) array) x =
+  let lo = ref 0 and hi = ref (Array.length ivs) in
+  (* binary search for the last interval starting at or below x *)
+  if Array.length ivs = 0 || not (x >= fst ivs.(0)) then -1
+  else begin
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if fst ivs.(mid) <= x then lo := mid else hi := mid
+    done;
+    if x <= snd ivs.(!lo) then !lo else -1
+  end
 
 let make ~given ~on rules =
   let k = Array.length given in
@@ -41,26 +85,103 @@ let make ~given ~on rules =
         { key; assignment })
       rules
   in
-  (* last rule wins on duplicate keys, matching Hashtbl.replace in the
-     historical compiled form *)
+  let positions =
+    Array.init k (fun j ->
+        let any_range =
+          Array.exists (fun r -> interval_of_test r.key.(j) <> None) rules
+        in
+        if not any_range then Pos_eq
+        else begin
+          let ivs = ref [] in
+          Array.iter
+            (fun r ->
+              match interval_of_test r.key.(j) with
+              | None ->
+                invalid_arg
+                  "Vm.Ruleset.make: equality and range atoms mixed at one \
+                   key position"
+              | Some iv -> if not (List.mem iv !ivs) then ivs := iv :: !ivs)
+            rules;
+          let ivs = Array.of_list !ivs in
+          Array.sort (fun (a, _) (b, _) -> Float.compare a b) ivs;
+          for i = 1 to Array.length ivs - 1 do
+            if snd ivs.(i - 1) >= fst ivs.(i) then
+              invalid_arg "Vm.Ruleset.make: overlapping range atoms"
+          done;
+          Pos_ranges ivs
+        end)
+  in
+  let normalize_test j (test : Domain.atom) =
+    match positions.(j), test with
+    | Pos_eq, Domain.Eq v -> v
+    | Pos_eq, _ -> assert false
+    | Pos_ranges ivs, t ->
+      let iv = Option.get (interval_of_test t) in
+      let idx = ref (-1) in
+      Array.iteri (fun i iv' -> if iv' = iv then idx := i) ivs;
+      Value.Int !idx
+  in
+  (* last rule wins on duplicate (normalized) keys, matching
+     Hashtbl.replace in the historical compiled form *)
   let table = Hashtbl.create (max 16 (Array.length rules)) in
-  Array.iteri (fun i r -> Hashtbl.replace table r.key i) rules;
-  { given; on; rules; table }
+  Array.iteri
+    (fun i r -> Hashtbl.replace table (Array.mapi normalize_test r.key) i)
+    rules;
+  { given; on; rules; positions; table }
 
 let given t = t.given
 let on t = t.on
 let n_rules t = Array.length t.rules
 let rule t i = t.rules.(i)
 
-let find t key = Hashtbl.find_opt t.table key
+let has_range_keys t = Array.exists (fun p -> p <> Pos_eq) t.positions
+
+let has_ranges t =
+  has_range_keys t
+  || Array.exists (fun r -> interval_of_test r.assignment <> None) t.rules
+
+(* Normalized probe key of a row, given its value at each key position. *)
+let probe_key t value_at =
+  Array.mapi
+    (fun j p ->
+      match p with
+      | Pos_eq -> value_at j
+      | Pos_ranges ivs ->
+        (match Value.to_float (value_at j) with
+         | None -> Value.Int (-1)
+         | Some x -> Value.Int (interval_index ivs x)))
+    t.positions
+
+let find_by t value_at = Hashtbl.find_opt t.table (probe_key t value_at)
+
+(* Rule matched by a tuple of raw row values for the GIVEN columns. *)
+let find t values = find_by t (fun j -> values.(j))
+
+(* The rule index its own normalized key resolves to: false means a later
+   rule shadows this one (last wins). Lowering drops shadowed rules. *)
+let winning t i =
+  match Hashtbl.find_opt t.table (Array.mapi
+    (fun j test ->
+      match t.positions.(j), test with
+      | Pos_eq, Domain.Eq v -> v
+      | Pos_eq, _ -> assert false
+      | Pos_ranges ivs, tst ->
+        let iv = Option.get (interval_of_test tst) in
+        let idx = ref (-1) in
+        Array.iteri (fun k' iv' -> if iv' = iv then idx := k') ivs;
+        Value.Int !idx)
+    t.rules.(i).key)
+  with
+  | Some r -> r = i
+  | None -> false
 
 (* Scalar probe of one materialized row: the matched-and-violating rule,
    if any. One key-array allocation per call — the whole of the former
    per-row cost (the row interpreter rebuilt a cons list per statement
    per row). *)
 let check_row t (values : Value.t array) =
-  let key = Array.map (fun a -> Array.unsafe_get values a) t.given in
-  match Hashtbl.find_opt t.table key with
+  match find_by t (fun j -> Array.unsafe_get values t.given.(j)) with
   | None -> None
   | Some i ->
-    if Value.equal values.(t.on) t.rules.(i).assignment then None else Some i
+    if Domain.atom_holds t.rules.(i).assignment values.(t.on) then None
+    else Some i

@@ -21,6 +21,16 @@ let value = Alcotest.testable Value.pp Value.equal
 
 let s v = Value.String v
 
+(* Extract the literal of an equality test; the classic (pre-range) tests
+   below only ever build Eq atoms and assignments. *)
+let eq_value (t : Dsl.test) =
+  match t with
+  | Dsl.Eq v -> v
+  | Dsl.Between _ | Dsl.Le _ | Dsl.Ge _ ->
+    Alcotest.fail "expected an equality test"
+
+let atom_value (a : Dsl.atom) = eq_value a.Dsl.test
+
 (* The paper's running example: PostalCode decides City, City decides
    State, State decides Country. *)
 let postal_rows =
@@ -79,7 +89,7 @@ let noisy_postal_frame ?(n = 2000) ?(noise = 0.1) () =
 (* GIVEN postal_code ON city with the four branches. *)
 let postal_city_stmt () =
   let branch zip city =
-    Dsl.branch ~condition:[ { Dsl.attr = 0; value = s zip } ] ~assignment:(s city)
+    Dsl.branch ~condition:[ Dsl.eq 0 (s zip) ] ~assignment:(Dsl.Eq (s city))
   in
   Dsl.stmt ~given:[ 0 ] ~on:1
     ~branches:
@@ -90,17 +100,24 @@ let postal_prog () =
   let stmt2 =
     Dsl.stmt ~given:[ 1 ] ~on:2
       ~branches:
-        [ Dsl.branch ~condition:[ { Dsl.attr = 1; value = s "Berkeley" } ] ~assignment:(s "CA");
-          Dsl.branch ~condition:[ { Dsl.attr = 1; value = s "Oakland" } ] ~assignment:(s "CA");
-          Dsl.branch ~condition:[ { Dsl.attr = 1; value = s "Reno" } ] ~assignment:(s "NV");
-          Dsl.branch ~condition:[ { Dsl.attr = 1; value = s "Lyon" } ] ~assignment:(s "ARA") ]
+        [ Dsl.branch ~condition:[ Dsl.eq 1 (s "Berkeley") ]
+            ~assignment:(Dsl.Eq (s "CA"));
+          Dsl.branch ~condition:[ Dsl.eq 1 (s "Oakland") ]
+            ~assignment:(Dsl.Eq (s "CA"));
+          Dsl.branch ~condition:[ Dsl.eq 1 (s "Reno") ]
+            ~assignment:(Dsl.Eq (s "NV"));
+          Dsl.branch ~condition:[ Dsl.eq 1 (s "Lyon") ]
+            ~assignment:(Dsl.Eq (s "ARA")) ]
   in
   let stmt3 =
     Dsl.stmt ~given:[ 2 ] ~on:3
       ~branches:
-        [ Dsl.branch ~condition:[ { Dsl.attr = 2; value = s "CA" } ] ~assignment:(s "USA");
-          Dsl.branch ~condition:[ { Dsl.attr = 2; value = s "NV" } ] ~assignment:(s "USA");
-          Dsl.branch ~condition:[ { Dsl.attr = 2; value = s "ARA" } ] ~assignment:(s "France") ]
+        [ Dsl.branch ~condition:[ Dsl.eq 2 (s "CA") ]
+            ~assignment:(Dsl.Eq (s "USA"));
+          Dsl.branch ~condition:[ Dsl.eq 2 (s "NV") ]
+            ~assignment:(Dsl.Eq (s "USA"));
+          Dsl.branch ~condition:[ Dsl.eq 2 (s "ARA") ]
+            ~assignment:(Dsl.Eq (s "France")) ]
   in
   Dsl.prog ~schema:(postal_schema ()) [ postal_city_stmt (); stmt2; stmt3 ]
 
@@ -119,15 +136,15 @@ let test_dsl_validation () =
        ignore
          (Dsl.stmt ~given:[ 0 ] ~on:1
             ~branches:
-              [ Dsl.branch ~condition:[ { Dsl.attr = 2; value = s "x" } ]
-                  ~assignment:(s "y") ]);
+              [ Dsl.branch ~condition:[ Dsl.eq 2 (s "x") ]
+                  ~assignment:(Dsl.Eq (s "y")) ]);
        false
      with Invalid_argument _ -> true);
   Alcotest.(check bool) "duplicate condition attr rejected" true
     (try
        ignore
          (Dsl.normalize_condition
-            [ { Dsl.attr = 0; value = s "a" }; { Dsl.attr = 0; value = s "b" } ]);
+            [ Dsl.eq 0 (s "a"); Dsl.eq 0 (s "b") ]);
        false
      with Invalid_argument _ -> true)
 
@@ -214,8 +231,9 @@ let test_parse_literals () =
   Alcotest.(check int) "two branches" 2 (List.length stmt.Dsl.branches);
   let b1 = List.hd stmt.Dsl.branches in
   Alcotest.(check value) "int literal" (Value.Int 3)
-    (List.hd b1.Dsl.condition).Dsl.value;
-  Alcotest.(check value) "bool assignment" (Value.Bool true) b1.Dsl.assignment
+    (atom_value (List.hd b1.Dsl.condition));
+  Alcotest.(check value) "bool assignment" (Value.Bool true)
+    (eq_value b1.Dsl.assignment)
 
 let test_parse_errors () =
   let schema = Schema.make [ Schema.categorical "a"; Schema.categorical "b" ] in
@@ -344,8 +362,9 @@ let sort_branches (st : Dsl.stmt) =
     ~branches:
       (List.sort
          (fun (a : Dsl.branch) b ->
-           Value.compare (List.hd a.Dsl.condition).Dsl.value
-             (List.hd b.Dsl.condition).Dsl.value)
+           Value.compare
+             (atom_value (List.hd a.Dsl.condition))
+             (atom_value (List.hd b.Dsl.condition)))
          st.Dsl.branches)
 
 let test_fill_stmt_sketch () =
@@ -380,10 +399,11 @@ let test_fill_epsilon_pruning () =
     let b =
       List.find
         (fun (b : Dsl.branch) ->
-          Value.equal (List.hd b.Dsl.condition).Dsl.value (s "94704"))
+          Value.equal (atom_value (List.hd b.Dsl.condition)) (s "94704"))
         filled.Fill.stmt.Dsl.branches
     in
-    Alcotest.(check value) "modal value wins" (s "Berkeley") b.Dsl.assignment
+    Alcotest.(check value) "modal value wins" (s "Berkeley")
+      (eq_value b.Dsl.assignment)
   | None -> Alcotest.fail "expected statement"
 
 let test_fill_returns_none () =
@@ -645,7 +665,7 @@ let qcheck_pretty_parse_roundtrip =
             if Hashtbl.mem seen c then None
             else begin
               Hashtbl.add seen c ();
-              Some (Dsl.branch ~condition:[ { Dsl.attr = 0; value = c } ] ~assignment:v)
+              Some (Dsl.branch ~condition:[ Dsl.eq 0 (c) ] ~assignment:(Dsl.Eq v))
             end)
           pairs
       in

@@ -157,6 +157,82 @@ let test_exec_arith_and_compare () =
   (* ages 40, 25, 35, 28, 45 -> 45 and 50 pass *)
   Alcotest.(check int) "rows" 2 (List.length r.Exec.rows)
 
+let test_parser_between_desugars () =
+  let q = Parser.query "SELECT a FROM t WHERE x BETWEEN 1 AND 3" in
+  match q.Ast.where with
+  | Some
+      (Ast.And
+         ( Ast.Cmp (Ast.Ge, Ast.Col "x", Ast.Lit (Value.Int 1)),
+           Ast.Cmp (Ast.Le, Ast.Col "x", Ast.Lit (Value.Int 3)) )) -> ()
+  | _ -> Alcotest.fail "expected x >= 1 AND x <= 3"
+
+let test_exec_between () =
+  let ctx = ctx_with_people () in
+  let r =
+    Exec.run ctx "SELECT name FROM people WHERE age BETWEEN 28 AND 40 ORDER BY name"
+  in
+  (* inclusive at both ends: 40 (ann), 35 (cat), 28 (dan) *)
+  Alcotest.(check int) "rows" 3 (List.length r.Exec.rows);
+  Alcotest.(check value) "first" (s "ann") (List.hd r.Exec.rows).(0)
+
+(* The VM range prefilter must agree with pure row-at-a-time eval on
+   every guard shape it offloads — and leave alone the shapes it cannot
+   prove (mixed-type columns keep Value.compare's rank semantics). *)
+let test_range_prefilter_differential () =
+  let rng = Stat.Rng.create 51 in
+  let schema =
+    Schema.make
+      [ Schema.categorical "grp"; Schema.numeric "x"; Schema.categorical "mix" ]
+  in
+  let n = 500 in
+  let rows =
+    List.init n (fun _ ->
+        let x =
+          match Stat.Rng.int rng 10 with
+          | 0 -> Value.Null
+          | 1 -> Value.Int (Stat.Rng.int rng 100)
+          | _ -> Value.Float (100.0 *. Stat.Rng.float rng)
+        in
+        let mix =
+          (* deliberately not numeric-only: the executor must keep these
+             conjuncts on the residual eval path *)
+          match Stat.Rng.int rng 4 with
+          | 0 -> s (Printf.sprintf "m%d" (Stat.Rng.int rng 3))
+          | 1 -> Value.Null
+          | _ -> Value.Int (Stat.Rng.int rng 50)
+        in
+        [| s (Printf.sprintf "g%d" (Stat.Rng.int rng 4)); x; mix |])
+  in
+  let ctx = Exec.create () in
+  Exec.register_table ctx "t" (Frame.of_rows schema rows);
+  let count sql =
+    match (Exec.run ctx sql).Exec.rows with
+    | [ row ] ->
+      (match Value.to_float row.(0) with
+       | Some f -> int_of_float f
+       | None -> Alcotest.fail "count not numeric")
+    | _ -> Alcotest.fail "single count row"
+  in
+  let reference pred = List.length (List.filter pred rows) in
+  (* eval's comparison semantics: NULL operands short-circuit to false,
+     everything else goes through Value.compare's total order *)
+  let cmp op cell lit =
+    (not (Value.equal cell Value.Null)) && op (Value.compare cell lit) 0
+  in
+  Alcotest.(check int) "between on numeric col"
+    (reference (fun r ->
+         cmp ( >= ) r.(1) (Value.Int 20) && cmp ( <= ) r.(1) (Value.Int 60)))
+    (count "SELECT COUNT(*) FROM t WHERE x BETWEEN 20 AND 60");
+  Alcotest.(check int) "one-sided range + string eq"
+    (reference (fun r -> cmp ( > ) r.(1) (Value.Float 42.5) && r.(0) = s "g1"))
+    (count "SELECT COUNT(*) FROM t WHERE x > 42.5 AND grp = 'g1'");
+  Alcotest.(check int) "flipped literal-first range"
+    (reference (fun r -> cmp ( < ) r.(1) (Value.Int 70)))
+    (count "SELECT COUNT(*) FROM t WHERE 70 > x");
+  Alcotest.(check int) "mixed-type column keeps rank semantics"
+    (reference (fun r -> cmp ( >= ) r.(2) (Value.Int 25)))
+    (count "SELECT COUNT(*) FROM t WHERE mix >= 25")
+
 let test_exec_unknown_table_and_column () =
   let ctx = ctx_with_people () in
   Alcotest.(check bool) "unknown table" true
@@ -343,6 +419,7 @@ let () =
           Alcotest.test_case "case + predict" `Quick test_parser_case_predict;
           Alcotest.test_case "errors" `Quick test_parser_errors;
           Alcotest.test_case "conjuncts" `Quick test_conjuncts_roundtrip;
+          Alcotest.test_case "between desugars" `Quick test_parser_between_desugars;
         ] );
       ( "plan",
         [
@@ -355,6 +432,9 @@ let () =
           Alcotest.test_case "group by" `Quick test_exec_group_by;
           Alcotest.test_case "case when" `Quick test_exec_case_when;
           Alcotest.test_case "arithmetic" `Quick test_exec_arith_and_compare;
+          Alcotest.test_case "between" `Quick test_exec_between;
+          Alcotest.test_case "range prefilter differential" `Quick
+            test_range_prefilter_differential;
           Alcotest.test_case "unknown names" `Quick test_exec_unknown_table_and_column;
           Alcotest.test_case "numeric vector" `Quick test_numeric_vector;
           Alcotest.test_case "order by" `Quick test_exec_order_by;

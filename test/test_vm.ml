@@ -75,15 +75,15 @@ let rand_case seed =
                     (* occasionally drop an equality: a partial condition
                        is unreachable and must stay unreachable *)
                     if List.length given > 1 && Rng.float rng < 0.15 then None
-                    else Some { Dsl.attr = a; value = rand_value rng })
+                    else Some (Dsl.eq a (rand_value rng)))
                   given
               in
               let condition =
                 match condition with
-                | [] -> [ { Dsl.attr = List.hd given; value = rand_value rng } ]
+                | [] -> [ Dsl.eq (List.hd given) (rand_value rng) ]
                 | c -> c
               in
-              Dsl.branch ~condition ~assignment:(rand_value rng))
+              Dsl.branch ~condition ~assignment:(Dsl.Eq (rand_value rng)))
         in
         Dsl.stmt ~given ~on ~branches)
   in
@@ -172,8 +172,8 @@ let postal_prog schema =
     List.map
       (fun (z, c) ->
         Dsl.branch
-          ~condition:[ { Dsl.attr = 0; value = s z } ]
-          ~assignment:(s c))
+          ~condition:[ Dsl.eq 0 (s z) ]
+          ~assignment:(Dsl.Eq (s c)))
       [ ("94704", "Berkeley"); ("94612", "Oakland"); ("89501", "Reno") ]
   in
   Dsl.prog ~schema [ Dsl.stmt ~given:[ 0 ] ~on:1 ~branches ]
@@ -221,9 +221,9 @@ let test_high_cardinality_hashed () =
     List.init 8 (fun j ->
         Dsl.branch
           ~condition:
-            [ { Dsl.attr = 0; value = s (Printf.sprintf "a%d" j) };
-              { Dsl.attr = 1; value = s (Printf.sprintf "b%d" j) } ]
-          ~assignment:(s "ok"))
+            [ Dsl.eq 0 (s (Printf.sprintf "a%d" j));
+              Dsl.eq 1 (s (Printf.sprintf "b%d" j)) ]
+          ~assignment:(Dsl.Eq (s "ok")))
   in
   let prog = Dsl.prog ~schema [ Dsl.stmt ~given:[ 0; 1 ] ~on:2 ~branches ] in
   check_differential frame prog;
@@ -233,7 +233,8 @@ let test_high_cardinality_hashed () =
   Alcotest.(check int) "one table" 1 (Vm.Program.n_tables p);
   (match p.Vm.Program.tables.(0).Vm.Program.key with
    | Vm.Program.Hashed _ -> ()
-   | Vm.Program.Radix _ -> Alcotest.fail "expected hashed key index")
+   | Vm.Program.Radix _ | Vm.Program.Probe ->
+     Alcotest.fail "expected hashed key index")
 
 let test_alias_expect () =
   (* Int 1 and Float 1.0 are distinct dictionary codes but equal under
@@ -254,8 +255,8 @@ let test_alias_expect () =
           ~branches:
             [
               Dsl.branch
-                ~condition:[ { Dsl.attr = 0; value = s "x" } ]
-                ~assignment:(Value.Int 1);
+                ~condition:[ Dsl.eq 0 (s "x") ]
+                ~assignment:(Dsl.Eq (Value.Int 1));
             ];
       ]
   in
@@ -275,11 +276,11 @@ let test_duplicate_keys_last_wins () =
           ~branches:
             [
               Dsl.branch
-                ~condition:[ { Dsl.attr = 0; value = s "94704" } ]
-                ~assignment:(s "Berkeley");
+                ~condition:[ Dsl.eq 0 (s "94704") ]
+                ~assignment:(Dsl.Eq (s "Berkeley"));
               Dsl.branch
-                ~condition:[ { Dsl.attr = 0; value = s "94704" } ]
-                ~assignment:(s "Oakland");
+                ~condition:[ Dsl.eq 0 (s "94704") ]
+                ~assignment:(Dsl.Eq (s "Oakland"));
             ];
       ]
   in
@@ -394,8 +395,8 @@ let test_any_reduce () =
   let branches =
     List.init 10 (fun j ->
         Dsl.branch
-          ~condition:[ { Dsl.attr = 0; value = s (Printf.sprintf "g%d" j) } ]
-          ~assignment:(s (Printf.sprintf "y%d" j)))
+          ~condition:[ Dsl.eq 0 (s (Printf.sprintf "g%d" j)) ]
+          ~assignment:(Dsl.Eq (s (Printf.sprintf "y%d" j))))
   in
   let prog = Dsl.prog ~schema [ Dsl.stmt ~given:[ 0 ] ~on:1 ~branches ] in
   let c = Validator.compile prog in
